@@ -1,0 +1,283 @@
+package gent
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (Section VI), plus component micro-benchmarks. Sizes are scaled
+// down so `go test -bench=. -benchmem` completes in minutes; the
+// cmd/experiments tool exposes flags to run at larger scales.
+
+import (
+	"sync"
+	"testing"
+
+	"gent/internal/benchmark"
+	"gent/internal/core"
+	"gent/internal/discovery"
+	"gent/internal/experiments"
+	"gent/internal/index"
+	"gent/internal/matrix"
+	"gent/internal/table"
+	"gent/internal/tpch"
+)
+
+var (
+	setOnce  sync.Once
+	benchSet *experiments.BenchmarkSet
+)
+
+func benchmarkSet(b *testing.B) *experiments.BenchmarkSet {
+	b.Helper()
+	setOnce.Do(func() {
+		o := experiments.DefaultSetOptions()
+		o.SmallBase = 16
+		o.MedBase = 40
+		o.LargeBase = 80
+		o.Distractors = 60
+		o.T2DTables = 40
+		o.WDCTables = 120
+		o.MaxSourceRows = 80
+		set, err := experiments.BuildSet(o)
+		if err != nil {
+			panic(err)
+		}
+		benchSet = set
+	})
+	return benchSet
+}
+
+// BenchmarkTable1Stats regenerates Table I (benchmark statistics).
+func BenchmarkTable1Stats(b *testing.B) {
+	set := benchmarkSet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1(set)
+		if len(rows) != 6 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+// BenchmarkTable2Effectiveness regenerates Table II (larger TP-TR
+// benchmarks).
+func BenchmarkTable2Effectiveness(b *testing.B) {
+	set := benchmarkSet(b)
+	opts := experiments.DefaultRunOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table2(set, opts)
+		if len(res) != 3 {
+			b.Fatal("wrong benchmark count")
+		}
+	}
+}
+
+// BenchmarkTable3Small regenerates Table III (all baselines on TP-TR Small).
+func BenchmarkTable3Small(b *testing.B) {
+	set := benchmarkSet(b)
+	opts := experiments.DefaultRunOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table3(set, opts)
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkTable4WDC regenerates Table IV (T2D sources in the WDC sample).
+func BenchmarkTable4WDC(b *testing.B) {
+	set := benchmarkSet(b)
+	opts := experiments.DefaultRunOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table4(set.WDC, opts)
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFigure6QueryClasses regenerates Figure 6 (recall/precision by
+// query class).
+func BenchmarkFigure6QueryClasses(b *testing.B) {
+	set := benchmarkSet(b)
+	opts := experiments.DefaultRunOptions()
+	methods := []experiments.Method{experiments.MethodALITEPS, experiments.MethodGenT}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure6(set, methods, opts)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFigure7NoiseSweep regenerates Figure 7 (precision vs injected
+// noise), with two sweep points per line to bound bench time.
+func BenchmarkFigure7NoiseSweep(b *testing.B) {
+	o := experiments.DefaultSetOptions()
+	o.MedBase = 20
+	o.MaxSourceRows = 40
+	opts := experiments.DefaultRunOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Figure7(o, []int{10, 90}, opts)
+		if err != nil || len(points) != 4 {
+			b.Fatal("sweep failed")
+		}
+	}
+}
+
+// BenchmarkFigure8Scalability regenerates Figure 8 (runtimes and output-size
+// ratios).
+func BenchmarkFigure8Scalability(b *testing.B) {
+	set := benchmarkSet(b)
+	opts := experiments.DefaultRunOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure8(set, opts)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFigure9PerSource regenerates Figure 9 (per-source Gen-T vs
+// ALITE-PS).
+func BenchmarkFigure9PerSource(b *testing.B) {
+	set := benchmarkSet(b)
+	opts := experiments.DefaultRunOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure9(set, opts)
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkT2DSelfReclamation regenerates the Section VI-D study.
+func BenchmarkT2DSelfReclamation(b *testing.B) {
+	set := benchmarkSet(b)
+	opts := experiments.DefaultRunOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.T2DSelfReclamation(set.T2D, opts)
+		if res.SourcesTried == 0 {
+			b.Fatal("nothing tried")
+		}
+	}
+}
+
+// BenchmarkAblationMatrixEncoding compares three- vs two-valued matrices.
+func BenchmarkAblationMatrixEncoding(b *testing.B) {
+	set := benchmarkSet(b)
+	opts := experiments.DefaultRunOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.AblationMatrixEncoding(set.Small, opts)
+	}
+}
+
+// BenchmarkAblationDiversify compares diversified vs raw candidate ranking.
+func BenchmarkAblationDiversify(b *testing.B) {
+	set := benchmarkSet(b)
+	opts := experiments.DefaultRunOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.AblationDiversify(set.Small, opts)
+	}
+}
+
+// --- component micro-benchmarks ---
+
+// BenchmarkGenTSingleSource times one end-to-end reclamation.
+func BenchmarkGenTSingleSource(b *testing.B) {
+	set := benchmarkSet(b)
+	src := set.Small.Sources[0]
+	cfg := core.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Reclaim(set.Small.Lake, src, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSetSimilarity times candidate retrieval alone.
+func BenchmarkSetSimilarity(b *testing.B) {
+	set := benchmarkSet(b)
+	src := set.Small.Sources[0]
+	ix := index.BuildInverted(set.Small.Lake)
+	opts := discovery.DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		discovery.SetSimilarity(set.Small.Lake, ix, src, opts)
+	}
+}
+
+// BenchmarkMatrixTraversal times originating-table selection alone.
+func BenchmarkMatrixTraversal(b *testing.B) {
+	set := benchmarkSet(b)
+	src := set.Small.Sources[0]
+	cands := discovery.Discover(set.Small.Lake, src, discovery.DefaultOptions())
+	tables := make([]*table.Table, len(cands))
+	for i, c := range cands {
+		tables[i] = c.Table
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matrix.Traverse(src, tables, matrix.ThreeValued)
+	}
+}
+
+// BenchmarkFullDisjunction times ALITE's core operation on the integrating
+// set of one source — the cost Gen-T's pruning avoids.
+func BenchmarkFullDisjunction(b *testing.B) {
+	set := benchmarkSet(b)
+	src := set.Small.Sources[0]
+	inputs := set.Small.IntegratingTables(src.Name)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table.FullDisjunction(inputs, 40000)
+	}
+}
+
+// BenchmarkInvertedIndexBuild times lake indexing.
+func BenchmarkInvertedIndexBuild(b *testing.B) {
+	set := benchmarkSet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		index.BuildInverted(set.Med.Lake)
+	}
+}
+
+// BenchmarkMinHashTopK times the Starmie-stand-in first stage on the
+// distractor-heavy lake.
+func BenchmarkMinHashTopK(b *testing.B) {
+	set := benchmarkSet(b)
+	ix := index.BuildMinHashLSH(set.SantosMed.Lake)
+	src := set.SantosMed.Sources[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.TopK(src, 40)
+	}
+}
+
+// BenchmarkTPCHGenerate times the data generator substrate.
+func BenchmarkTPCHGenerate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tpch.Generate(tpch.Scale{Base: 100, Seed: 1})
+	}
+}
+
+// BenchmarkVariantConstruction times benchmark perturbation.
+func BenchmarkVariantConstruction(b *testing.B) {
+	o := benchmark.DefaultTPTROptions()
+	o.Scale.Base = 40
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := benchmark.BuildTPTR("bench", o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

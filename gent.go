@@ -1,0 +1,131 @@
+// Package gent is the public API of the Gen-T table-reclamation system
+// (Fan, Shraga, Miller: "Gen-T: Table Reclamation in Data Lakes", ICDE
+// 2024).
+//
+// Given a Source Table and a data lake, Gen-T discovers a set of originating
+// tables and integrates them — with outer union, selection, projection,
+// subsumption and complementation — into a table that reproduces the Source
+// as closely as possible, measured by the error-aware instance similarity
+// (EIS) score.
+//
+// Quickstart:
+//
+//	lake, _ := gent.LoadLake("path/to/lake")
+//	src, _ := gent.LoadTable("source.csv")
+//	res, err := gent.Reclaim(lake, src, gent.DefaultConfig())
+//	if err != nil { ... }
+//	fmt.Println(res.Report.EIS, res.Reclaimed)
+package gent
+
+import (
+	"io"
+
+	"gent/internal/core"
+	"gent/internal/discovery"
+	"gent/internal/lake"
+	"gent/internal/matrix"
+	"gent/internal/metrics"
+	"gent/internal/table"
+)
+
+// Re-exported data model. These aliases expose the full functionality of the
+// internal packages through the public API.
+type (
+	// Table is a named relation with optional key.
+	Table = table.Table
+	// Row is one tuple.
+	Row = table.Row
+	// Value is one cell; use S, N, Null.
+	Value = table.Value
+	// Lake is a catalog of data lake tables.
+	Lake = lake.Lake
+	// LakeStats summarizes a lake corpus.
+	LakeStats = lake.Stats
+	// Config tunes a reclamation run.
+	Config = core.Config
+	// Result is a reclamation outcome: reclaimed table, originating tables,
+	// metrics and timing.
+	Result = core.Result
+	// Report bundles the effectiveness measures (EIS, Recall, Precision,
+	// Instance Divergence, DKL, ...).
+	Report = metrics.Report
+	// DiscoveryOptions tunes candidate retrieval (τ, caps, LSH first
+	// stage).
+	DiscoveryOptions = discovery.Options
+	// Candidate is a discovered table with lake provenance.
+	Candidate = discovery.Candidate
+	// Explanation is a per-tuple reclamation breakdown (call
+	// Result.Explain).
+	Explanation = core.Explanation
+	// TupleStatus classifies one source tuple's reclamation outcome.
+	TupleStatus = core.TupleStatus
+)
+
+// Tuple statuses for Explanation entries.
+const (
+	// TupleMissing: the tuple's key is not derivable from the lake.
+	TupleMissing = core.TupleMissing
+	// TuplePartial: reclaimed with some values still null.
+	TuplePartial = core.TuplePartial
+	// TupleConflicting: the lake contradicts the source on some value.
+	TupleConflicting = core.TupleConflicting
+	// TupleExact: reproduced exactly.
+	TupleExact = core.TupleExact
+)
+
+// Matrix encodings for Config.Encoding.
+const (
+	// ThreeValued is Gen-T's matrix encoding (match/null/contradiction).
+	ThreeValued = matrix.ThreeValued
+	// TwoValued is the ablation encoding that cannot see contradictions.
+	TwoValued = matrix.TwoValued
+)
+
+// Null is the missing value ⊥.
+var Null = table.Null
+
+// S returns a string cell value.
+func S(s string) Value { return table.S(s) }
+
+// N returns a numeric cell value.
+func N(f float64) Value { return table.N(f) }
+
+// NewTable creates an empty table with the given columns.
+func NewTable(name string, cols ...string) *Table { return table.New(name, cols...) }
+
+// NewLake returns an empty in-memory lake.
+func NewLake() *Lake { return lake.New() }
+
+// LoadLake reads every CSV file under dir into a lake; unreadable files are
+// skipped and reported.
+func LoadLake(dir string) (*Lake, []error) { return lake.LoadDir(dir) }
+
+// LoadTable reads one CSV file.
+func LoadTable(path string) (*Table, error) { return table.LoadCSVFile(path) }
+
+// ReadTable parses CSV from a reader.
+func ReadTable(r io.Reader, name string) (*Table, error) { return table.ReadCSV(r, name) }
+
+// SaveTable writes a table as CSV.
+func SaveTable(path string, t *Table) error { return table.SaveCSVFile(path, t) }
+
+// DefaultConfig mirrors the paper's Gen-T configuration.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Reclaim runs the full Gen-T pipeline: Table Discovery, Matrix Traversal
+// and Table Integration. The Source must have a key, or one minable within
+// Config.KeyMaxArity columns.
+func Reclaim(l *Lake, src *Table, cfg Config) (*Result, error) {
+	return core.Reclaim(l, src, cfg)
+}
+
+// MineKey searches for a minimal key of t up to maxArity columns, returning
+// key column indices or nil.
+func MineKey(t *Table, maxArity int) []int { return table.MineKey(t, maxArity) }
+
+// EIS computes the error-aware instance similarity between a source and a
+// possible reclaimed table.
+func EIS(src, reclaimed *Table) float64 { return metrics.EIS(src, reclaimed) }
+
+// Evaluate computes the full metric report for a reclamation.
+func Evaluate(src, reclaimed *Table) Report { return metrics.Evaluate(src, reclaimed) }

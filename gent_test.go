@@ -1,0 +1,82 @@
+package gent
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	// Build a tiny lake through the public API only.
+	l := NewLake()
+
+	names := NewTable("names", "id", "name")
+	names.AddRow(S("e1"), S("Ada"))
+	names.AddRow(S("e2"), S("Grace"))
+	l.Add(names)
+
+	roles := NewTable("roles", "id", "role")
+	roles.AddRow(S("e1"), S("Engineer"))
+	roles.AddRow(S("e2"), S("Admiral"))
+	l.Add(roles)
+
+	src := NewTable("target", "id", "name", "role")
+	src.Key = []int{0}
+	src.AddRow(S("e1"), S("Ada"), S("Engineer"))
+	src.AddRow(S("e2"), S("Grace"), S("Admiral"))
+
+	res, err := Reclaim(l, src, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.PerfectReclamation {
+		t.Errorf("quickstart scenario not reclaimed: %+v\n%s",
+			res.Report, res.Reclaimed)
+	}
+	if len(res.Originating) != 2 {
+		t.Errorf("expected 2 originating tables, got %d", len(res.Originating))
+	}
+}
+
+func TestPublicCSVRoundTrip(t *testing.T) {
+	in := "id,name\n1,Ada\n2,Grace\n"
+	tb, err := ReadTable(strings.NewReader(in), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	if key := MineKey(tb, 2); len(key) != 1 {
+		t.Errorf("mined key %v", key)
+	}
+	if got := EIS(withKey(tb), withKey(tb)); got != 1 {
+		t.Errorf("self EIS = %v", got)
+	}
+	rep := Evaluate(withKey(tb), tb)
+	if !rep.PerfectReclamation {
+		t.Errorf("self evaluation not perfect: %+v", rep)
+	}
+}
+
+func withKey(t *Table) *Table {
+	c := t.Clone()
+	c.Key = []int{0}
+	return c
+}
+
+func TestPublicSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	tb := NewTable("x", "a", "b")
+	tb.AddRow(S("1"), N(2))
+	if err := SaveTable(dir+"/x.csv", tb); err != nil {
+		t.Fatal(err)
+	}
+	l, errs := LoadLake(dir)
+	if len(errs) != 0 || l.Len() != 1 {
+		t.Fatalf("load lake: %v, %d tables", errs, l.Len())
+	}
+	got, err := LoadTable(dir + "/x.csv")
+	if err != nil || got.NumRows() != 1 {
+		t.Fatalf("load table: %v", err)
+	}
+}

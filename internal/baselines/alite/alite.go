@@ -1,0 +1,59 @@
+// Package alite implements the ALITE baseline (Khatiwada et al., VLDB 2022):
+// state-of-the-art data lake table integration by full disjunction. ALITE is
+// not target-driven — it maximally combines every candidate table it is
+// given — which is exactly the behaviour Gen-T's experiments contrast with.
+//
+// Two variants are provided, as in the paper's evaluation:
+//
+//   - ALITE: full disjunction of the candidate tables as-is.
+//   - ALITE-PS: project each candidate onto the Source's columns and select
+//     rows with Source key values first, then full disjunction.
+package alite
+
+import (
+	"gent/internal/integrate"
+	"gent/internal/table"
+)
+
+// Options bounds a run.
+type Options struct {
+	// MaxRows caps the full disjunction's intermediate size; exceeding it
+	// reports a timeout, mirroring the wall-clock timeouts the paper applies
+	// to ALITE on large benchmarks. <= 0 means unbounded.
+	MaxRows int
+}
+
+// Result is a baseline integration outcome.
+type Result struct {
+	Table *table.Table
+	// TimedOut reports that the size budget was exhausted (the paper's
+	// "timeout" condition).
+	TimedOut bool
+}
+
+// Integrate runs plain ALITE: full disjunction over the candidates.
+func Integrate(src *table.Table, cands []*table.Table, opts Options) Result {
+	if len(cands) == 0 {
+		return Result{Table: table.New("alite").PadNullColumns(src.Cols)}
+	}
+	fd, truncated := table.FullDisjunction(cands, opts.MaxRows)
+	fd.Name = "alite"
+	return Result{Table: fd, TimedOut: truncated}
+}
+
+// IntegratePS runs ALITE-PS: ProjectSelect each candidate against the
+// Source, then full disjunction.
+func IntegratePS(src *table.Table, cands []*table.Table, opts Options) Result {
+	kept := make([]*table.Table, 0, len(cands))
+	for _, t := range cands {
+		if sel := integrate.ProjectSelect(src, t); sel != nil {
+			kept = append(kept, sel)
+		}
+	}
+	if len(kept) == 0 {
+		return Result{Table: table.New("alite-ps").PadNullColumns(src.Cols)}
+	}
+	fd, truncated := table.FullDisjunction(kept, opts.MaxRows)
+	fd.Name = "alite-ps"
+	return Result{Table: fd, TimedOut: truncated}
+}

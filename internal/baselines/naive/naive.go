@@ -1,0 +1,63 @@
+// Package naive is the deterministic stand-in for the paper's ChatGPT-3.5
+// appendix baseline (Appendix F). The LLM was prompted with the reclamation
+// problem, a source table and the integrating set, and returned a
+// concatenation-style "integration" bounded by its context window: only some
+// source tuples, no null handling, and many erroneous non-null values. This
+// package reproduces that behaviour shape without a network dependency:
+// tuples are copied table-by-table under a cell budget, matching columns by
+// name only, never merging partial tuples, and keeping whatever (possibly
+// erroneous) values arrive first.
+package naive
+
+import (
+	"gent/internal/table"
+)
+
+// Options bounds the stand-in.
+type Options struct {
+	// CellBudget caps the total number of cells emitted — the "context
+	// window". <= 0 uses the default.
+	CellBudget int
+}
+
+// DefaultCellBudget roughly matches a few thousand tokens of table text.
+const DefaultCellBudget = 600
+
+// Integrate produces the naive concatenation under the cell budget.
+func Integrate(src *table.Table, inputs []*table.Table, opts Options) *table.Table {
+	budget := opts.CellBudget
+	if budget <= 0 {
+		budget = DefaultCellBudget
+	}
+	out := table.New("naive-llm", src.Cols...)
+	seen := make(map[string]bool)
+	cells := 0
+	for _, t := range inputs {
+		// Name-only schema matching: value evidence is ignored entirely.
+		colOf := make([]int, len(src.Cols))
+		for i, c := range src.Cols {
+			colOf[i] = t.ColIndex(c)
+		}
+		for _, r := range t.Rows {
+			if cells+len(src.Cols) > budget {
+				return out
+			}
+			nr := make(table.Row, len(src.Cols))
+			for i, ti := range colOf {
+				if ti >= 0 {
+					nr[i] = r[ti]
+				} else {
+					nr[i] = table.Null
+				}
+			}
+			k := table.Row(nr).Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out.Rows = append(out.Rows, nr)
+			cells += len(src.Cols)
+		}
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+// Package ver implements the Ver baseline (Gong et al., ICDE 2023) adapted
+// to reclamation as the paper does: Ver is a Query-by-Example system that
+// takes tiny example tables (two columns) and discovers views that *contain*
+// the example plus many additional tuples. Following Section VI-A1, each
+// Source Table is decomposed into two-column queries (the key paired with
+// every other column); views answering each query are discovered among the
+// input tables (directly or through one join); and the per-query outputs are
+// aggregated into one wide table for evaluation.
+package ver
+
+import (
+	"gent/internal/table"
+)
+
+// Options tunes view discovery.
+type Options struct {
+	// Tau is the fraction of the query column-pair's values a view must
+	// contain to count as answering the query.
+	Tau float64
+	// MaxViewRows caps each discovered view's size.
+	MaxViewRows int
+}
+
+// DefaultOptions mirror the paper's usage.
+func DefaultOptions() Options { return Options{Tau: 0.2, MaxViewRows: 50000} }
+
+// Discover runs the adapted Ver pipeline and returns the aggregated output
+// table. True to Ver's QBE goal the output contains the discovered views'
+// tuples unfiltered — including tuples far beyond the Source — which is why
+// its precision is low on reclamation.
+func Discover(src *table.Table, inputs []*table.Table, opts Options) *table.Table {
+	if opts.Tau == 0 {
+		opts = DefaultOptions()
+	}
+	if len(src.Key) == 0 || len(inputs) == 0 {
+		return table.New("ver").PadNullColumns(src.Cols)
+	}
+	keyCol := src.Cols[src.Key[0]]
+
+	views := make([]*table.Table, 0)
+	for ci, col := range src.Cols {
+		if ci == src.Key[0] {
+			continue
+		}
+		// The two-column example query: (key, col).
+		query := src.Project(keyCol, col)
+		for _, v := range answerQuery(query, inputs, opts) {
+			views = append(views, v)
+		}
+	}
+	if len(views) == 0 {
+		return table.New("ver").PadNullColumns(src.Cols)
+	}
+	// Aggregate the per-query outputs: outer union of all views, then merge
+	// complementing tuples (views share the key column, so each entity's
+	// partial views combine into wide tuples — the Source's and the extra
+	// ones alike).
+	agg := table.OuterUnionAll(views)
+	agg = table.Complement(agg)
+	agg = agg.PadNullColumns(src.Cols)
+	out := agg.Project(src.Cols...)
+	out.Name = "ver"
+	return out.DropDuplicates()
+}
+
+// answerQuery finds views among the inputs that contain the two-column
+// example: single tables holding both columns, or joins of two tables that
+// together cover them.
+func answerQuery(query *table.Table, inputs []*table.Table, opts Options) []*table.Table {
+	kc, vc := query.Cols[0], query.Cols[1]
+	out := make([]*table.Table, 0)
+	keep := func(t *table.Table) {
+		v := t.Project(kc, vc)
+		if len(v.Rows) == 0 || (opts.MaxViewRows > 0 && len(v.Rows) > opts.MaxViewRows) {
+			return
+		}
+		if coverage(query, v) >= opts.Tau {
+			out = append(out, v.DropDuplicates())
+		}
+	}
+	for _, t := range inputs {
+		if t.HasCols(kc, vc) {
+			keep(t)
+			continue
+		}
+		// One join hop: t covers one column, partner covers the other.
+		if t.HasCols(kc) != t.HasCols(vc) {
+			for _, u := range inputs {
+				if u == t {
+					continue
+				}
+				if (t.HasCols(kc) && u.HasCols(vc) || t.HasCols(vc) && u.HasCols(kc)) &&
+					len(table.CommonCols(t, u)) > 0 {
+					j := table.InnerJoin(t, u)
+					if j.HasCols(kc, vc) {
+						keep(j)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// coverage measures the fraction of the query's (key, value) pairs found in
+// the view.
+func coverage(query, view *table.Table) float64 {
+	if len(query.Rows) == 0 {
+		return 0
+	}
+	have := make(map[string]bool, len(view.Rows))
+	for _, r := range view.Rows {
+		have[r.Key()] = true
+	}
+	n := 0
+	for _, r := range query.Rows {
+		if have[r.Key()] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(query.Rows))
+}

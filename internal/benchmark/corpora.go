@@ -1,0 +1,117 @@
+package benchmark
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gent/internal/lake"
+	"gent/internal/table"
+)
+
+// vocab pools shared across distractor tables so discovery sees realistic
+// value collisions.
+var vocabPools = [][]string{
+	{"red", "green", "blue", "amber", "violet", "teal", "ochre", "ivory"},
+	{"Boston", "Worcester", "Springfield", "Lowell", "Cambridge", "Quincy", "Newton"},
+	{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"},
+	{"2019", "2020", "2021", "2022", "2023"},
+	{"north", "south", "east", "west", "central"},
+}
+
+// AddDistractors fills a lake with n synthetic web-style tables of avgRows
+// average size — the role SANTOS Large and the WDC Sample play: adversarial
+// volume with overlapping vocabulary but no reclaimable content.
+func AddDistractors(l *lake.Lake, n, avgRows int, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		ncols := 2 + r.Intn(4)
+		cols := make([]string, ncols)
+		for c := range cols {
+			cols[c] = fmt.Sprintf("col%d_%d", i, c)
+		}
+		t := table.New(fmt.Sprintf("web%05d", i), cols...)
+		rows := 1 + r.Intn(avgRows*2)
+		for j := 0; j < rows; j++ {
+			row := make(table.Row, ncols)
+			for c := range row {
+				pool := vocabPools[(i+c)%len(vocabPools)]
+				switch r.Intn(4) {
+				case 0:
+					row[c] = table.N(float64(r.Intn(10000)))
+				case 1:
+					row[c] = table.S(fmt.Sprintf("%s-%d", pool[r.Intn(len(pool))], r.Intn(100)))
+				default:
+					row[c] = table.S(pool[r.Intn(len(pool))])
+				}
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		l.Add(t)
+	}
+}
+
+// T2D is the T2D-Gold-style benchmark: a corpus of web tables in which a
+// known subset is derivable from other corpus tables (by vertical splits)
+// and some tables have exact duplicates — the two phenomena Section VI-D
+// measures.
+type T2D struct {
+	Lake *lake.Lake
+	// Reclaimable names the tables that are exactly reconstructible from
+	// other corpus tables.
+	Reclaimable []string
+	// Duplicates maps a table to its exact-duplicate names.
+	Duplicates map[string][]string
+}
+
+// BuildT2D generates a corpus of roughly nTables web tables with
+// nReclaimable derivable ones and nDuplicatePairs duplicate pairs.
+func BuildT2D(nTables, nReclaimable, nDuplicatePairs int, seed int64) *T2D {
+	r := rand.New(rand.NewSource(seed))
+	out := &T2D{Lake: lake.New(), Duplicates: make(map[string][]string)}
+
+	mkEntity := func(id int, rows int) *table.Table {
+		t := table.New(fmt.Sprintf("t2d%04d", id),
+			"entity", "label", "category", "score", "origin")
+		for j := 0; j < rows; j++ {
+			t.AddRow(
+				table.S(fmt.Sprintf("T%dE%03d", id, j)),
+				table.S(fmt.Sprintf("%s-%d", vocabPools[2][r.Intn(8)], j)),
+				table.S(vocabPools[0][r.Intn(len(vocabPools[0]))]),
+				table.N(float64(r.Intn(1000))/10),
+				table.S(vocabPools[4][r.Intn(len(vocabPools[4]))]),
+			)
+		}
+		return t
+	}
+
+	id := 0
+	for i := 0; i < nReclaimable; i++ {
+		base := mkEntity(id, 8+r.Intn(20))
+		id++
+		out.Lake.Add(base)
+		out.Reclaimable = append(out.Reclaimable, base.Name)
+		// Vertical splits that jointly cover the base table.
+		left := base.Project("entity", "label", "category")
+		left.Name = fmt.Sprintf("%s_part1", base.Name)
+		right := base.Project("entity", "score", "origin")
+		right.Name = fmt.Sprintf("%s_part2", base.Name)
+		out.Lake.Add(left)
+		out.Lake.Add(right)
+		id += 0
+	}
+	for i := 0; i < nDuplicatePairs; i++ {
+		t := mkEntity(id, 5+r.Intn(15))
+		id++
+		dup := t.Clone()
+		dup.Name = t.Name + "_copy"
+		out.Lake.Add(t)
+		out.Lake.Add(dup)
+		out.Duplicates[t.Name] = []string{dup.Name}
+	}
+	for out.Lake.Len() < nTables {
+		t := mkEntity(id, 3+r.Intn(12))
+		id++
+		out.Lake.Add(t)
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+package benchmark
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gent/internal/lake"
+	"gent/internal/table"
+)
+
+// QueryClass groups the 26 source queries the way Figure 6 does.
+type QueryClass int
+
+const (
+	// ClassPSU is Project/Select + Union of 0–4 branches.
+	ClassPSU QueryClass = iota
+	// ClassOneJoin is one join + Union of 1–4 branches.
+	ClassOneJoin
+	// ClassMultiJoin is 2–3 joins + Union of 0–4 branches.
+	ClassMultiJoin
+)
+
+// String names the class like the figure's x axis.
+func (c QueryClass) String() string {
+	switch c {
+	case ClassPSU:
+		return "Project/Select+Union"
+	case ClassOneJoin:
+		return "One Join+Union"
+	default:
+		return "Multiple Joins+Union"
+	}
+}
+
+// Query is one source-table definition: which original tables it reads and
+// how to run it.
+type Query struct {
+	Name   string
+	Class  QueryClass
+	Tables []string
+	// KeyCols are the columns guaranteed to form a key of the result.
+	KeyCols []string
+	run     func(l *lake.Lake) *table.Table
+}
+
+// Execute runs the query over a lake of original tables and returns the
+// Source Table with its key set. Rows whose key attributes are null (full
+// outer join danglers) are dropped, and duplicate keys collapse to the first
+// row, so the result always satisfies its key.
+func (q *Query) Execute(l *lake.Lake) (*table.Table, error) {
+	t := q.run(l)
+	if t == nil {
+		return nil, fmt.Errorf("benchmark: query %s produced no table", q.Name)
+	}
+	key := make([]int, 0, len(q.KeyCols))
+	for _, c := range q.KeyCols {
+		i := t.ColIndex(c)
+		if i < 0 {
+			return nil, fmt.Errorf("benchmark: query %s lost key column %s", q.Name, c)
+		}
+		key = append(key, i)
+	}
+	t.Key = key
+	out := table.New(q.Name, t.Cols...)
+	out.Key = key
+	seen := make(map[string]bool)
+	for _, r := range t.Rows {
+		k := t.RowKey(r)
+		if k == "" || seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.Rows = append(out.Rows, r.Clone())
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// joinSpec describes a joinable pair/triple of TPC-H tables with the key
+// columns of the join result.
+type joinSpec struct {
+	tables []string
+	key    []string
+	// projBase are columns always worth projecting besides the key.
+	proj []string
+}
+
+var oneJoinSpecs = []joinSpec{
+	{[]string{"orders", "customer"}, []string{"orderkey"}, []string{"custkey", "o_totalprice", "o_orderdate", "c_name", "c_mktsegment"}},
+	{[]string{"customer", "nation"}, []string{"custkey"}, []string{"c_name", "c_acctbal", "n_name", "nationkey"}},
+	{[]string{"supplier", "nation"}, []string{"suppkey"}, []string{"s_name", "s_acctbal", "n_name", "nationkey"}},
+	{[]string{"partsupp", "part"}, []string{"partkey", "suppkey"}, []string{"ps_availqty", "ps_supplycost", "p_name", "p_type"}},
+	{[]string{"lineitem", "orders"}, []string{"orderkey", "l_linenumber"}, []string{"l_quantity", "l_extendedprice", "o_orderdate", "custkey"}},
+	{[]string{"nation", "region"}, []string{"nationkey"}, []string{"n_name", "r_name", "regionkey"}},
+}
+
+var multiJoinSpecs = []joinSpec{
+	{[]string{"orders", "customer", "nation"}, []string{"orderkey"}, []string{"custkey", "o_totalprice", "c_name", "n_name"}},
+	{[]string{"supplier", "nation", "region"}, []string{"suppkey"}, []string{"s_name", "n_name", "r_name", "s_acctbal"}},
+	{[]string{"partsupp", "part", "supplier"}, []string{"partkey", "suppkey"}, []string{"ps_supplycost", "p_name", "s_name", "p_retailprice"}},
+	{[]string{"lineitem", "orders", "customer"}, []string{"orderkey", "l_linenumber"}, []string{"l_quantity", "o_orderdate", "c_name", "custkey"}},
+	{[]string{"customer", "nation", "region"}, []string{"custkey"}, []string{"c_name", "c_acctbal", "n_name", "r_name"}},
+}
+
+// psuSpecs list base tables for Project/Select+Union queries with their key
+// and a numeric column usable for selections.
+var psuSpecs = []struct {
+	base    string
+	key     []string
+	numeric string
+	proj    []string
+}{
+	{"customer", []string{"custkey"}, "c_acctbal", []string{"c_name", "c_address", "nationkey", "c_mktsegment", "c_acctbal"}},
+	{"orders", []string{"orderkey"}, "o_totalprice", []string{"custkey", "o_orderstatus", "o_totalprice", "o_orderdate"}},
+	{"part", []string{"partkey"}, "p_retailprice", []string{"p_name", "p_brand", "p_type", "p_size", "p_retailprice"}},
+	{"supplier", []string{"suppkey"}, "s_acctbal", []string{"s_name", "s_address", "nationkey", "s_acctbal"}},
+	{"nation", []string{"nationkey"}, "", []string{"n_name", "regionkey"}},
+}
+
+// GenerateQueries builds the paper's 26 source queries: 10 Project/Select+
+// Union, 8 One Join+Union, 8 Multiple Joins+Union, deterministically from
+// the seed.
+func GenerateQueries(seed int64) []*Query {
+	r := rand.New(rand.NewSource(seed))
+	queries := make([]*Query, 0, 26)
+
+	for i := 0; i < 10; i++ {
+		spec := psuSpecs[i%len(psuSpecs)]
+		nUnion := r.Intn(5) // 0–4 extra branches
+		proj := pickProjection(r, spec.key, spec.proj)
+		name := fmt.Sprintf("q%02d_psu_%s", len(queries), spec.base)
+		base := spec.base
+		numeric := spec.numeric
+		queries = append(queries, &Query{
+			Name:    name,
+			Class:   ClassPSU,
+			Tables:  []string{base},
+			KeyCols: spec.key,
+			run: func(l *lake.Lake) *table.Table {
+				t := l.Get(base)
+				return unionBranches(t, numeric, nUnion, proj)
+			},
+		})
+	}
+
+	for i := 0; i < 8; i++ {
+		spec := oneJoinSpecs[i%len(oneJoinSpecs)]
+		kind := r.Intn(3)
+		nUnion := 1 + r.Intn(4)
+		proj := pickProjection(r, spec.key, spec.proj)
+		name := fmt.Sprintf("q%02d_join_%s_%s", len(queries), spec.tables[0], spec.tables[1])
+		queries = append(queries, &Query{
+			Name:    name,
+			Class:   ClassOneJoin,
+			Tables:  spec.tables,
+			KeyCols: spec.key,
+			run: func(l *lake.Lake) *table.Table {
+				j := applyJoin(l.Get(spec.tables[0]), l.Get(spec.tables[1]), kind)
+				return unionBranches(j, "", nUnion, proj)
+			},
+		})
+	}
+
+	for i := 0; i < 8; i++ {
+		spec := multiJoinSpecs[i%len(multiJoinSpecs)]
+		kind := r.Intn(3)
+		nUnion := r.Intn(5)
+		proj := pickProjection(r, spec.key, spec.proj)
+		name := fmt.Sprintf("q%02d_multi_%s", len(queries), spec.tables[0])
+		queries = append(queries, &Query{
+			Name:    name,
+			Class:   ClassMultiJoin,
+			Tables:  spec.tables,
+			KeyCols: spec.key,
+			run: func(l *lake.Lake) *table.Table {
+				j := table.InnerJoin(l.Get(spec.tables[0]), l.Get(spec.tables[1]))
+				j = applyJoin(j, l.Get(spec.tables[2]), kind)
+				return unionBranches(j, "", nUnion, proj)
+			},
+		})
+	}
+	return queries
+}
+
+func applyJoin(a, b *table.Table, kind int) *table.Table {
+	switch kind {
+	case 0:
+		return table.InnerJoin(a, b)
+	case 1:
+		return table.LeftJoin(a, b)
+	default:
+		return table.FullOuterJoin(a, b)
+	}
+}
+
+// pickProjection returns key columns plus a deterministic-random subset of
+// the projectable columns (at least two).
+func pickProjection(r *rand.Rand, key, proj []string) []string {
+	out := append([]string(nil), key...)
+	perm := r.Perm(len(proj))
+	n := 2 + r.Intn(len(proj)-1)
+	if n > len(proj) {
+		n = len(proj)
+	}
+	for _, pi := range perm[:n] {
+		dup := false
+		for _, have := range out {
+			if have == proj[pi] {
+				dup = true
+			}
+		}
+		if !dup {
+			out = append(out, proj[pi])
+		}
+	}
+	return out
+}
+
+// unionBranches projects t and, when nUnion > 0, splits rows into nUnion+1
+// round-robin branches that are selected and re-unioned — exercising σ and ∪
+// while keeping the result a deterministic subset of π(t).
+func unionBranches(t *table.Table, numeric string, nUnion int, proj []string) *table.Table {
+	p := t.Project(proj...)
+	if numeric != "" {
+		// A light selection: keep rows at or above the column's median-ish
+		// value, making the source a strict subset of the base table.
+		if ni := p.ColIndex(numeric); ni >= 0 {
+			sum, cnt := 0.0, 0
+			for _, r := range p.Rows {
+				if r[ni].Kind == table.KindNumber {
+					sum += r[ni].Num
+					cnt++
+				}
+			}
+			if cnt > 0 {
+				mean := sum / float64(cnt)
+				p = p.Select(table.NumCompare(numeric, ">=", mean))
+			}
+		}
+	}
+	if nUnion <= 0 || len(p.Rows) == 0 {
+		return p
+	}
+	branches := make([]*table.Table, nUnion+1)
+	for b := range branches {
+		branches[b] = table.New(p.Name, p.Cols...)
+	}
+	for i, r := range p.Rows {
+		b := i % (nUnion + 1)
+		branches[b].Rows = append(branches[b].Rows, r.Clone())
+	}
+	acc := branches[0]
+	for _, b := range branches[1:] {
+		acc = table.InnerUnion(acc, b)
+	}
+	acc.Name = p.Name
+	return acc
+}

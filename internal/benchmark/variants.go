@@ -1,0 +1,149 @@
+// Package benchmark constructs the paper's six evaluation suites: the TP-TR
+// benchmarks (TPC-H tables turned into nullified and erroneous lake
+// variants, with 26 SPJU queries defining the Source Tables), the SANTOS
+// Large and WDC Sample distractor corpora, and the T2D-Gold-style web-table
+// benchmark with known-reclaimable tables.
+package benchmark
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gent/internal/table"
+)
+
+// Nullify returns a copy of t with the given fraction of unprotected cells
+// replaced by nulls. mask selects which cells (by flat index) are hit; pass
+// nil to draw a fresh random mask from r.
+func Nullify(t *table.Table, rate float64, protected map[int]bool, r *rand.Rand, mask map[int]bool) (*table.Table, map[int]bool) {
+	return corrupt(t, rate, protected, r, mask, func(_ table.Value) table.Value {
+		return table.Null
+	})
+}
+
+// Corrupt returns a copy of t with the given fraction of unprotected cells
+// replaced by fresh random strings (the paper's "erroneous values").
+func Corrupt(t *table.Table, rate float64, protected map[int]bool, r *rand.Rand) *table.Table {
+	out, _ := corrupt(t, rate, protected, r, nil, func(_ table.Value) table.Value {
+		return table.S(fmt.Sprintf("err-%08x", r.Uint32()))
+	})
+	return out
+}
+
+// corrupt applies repl to a rate-fraction of cells outside protected
+// columns. It returns the result and the mask of flat cell indices hit.
+func corrupt(t *table.Table, rate float64, protected map[int]bool, r *rand.Rand,
+	mask map[int]bool, repl func(table.Value) table.Value) (*table.Table, map[int]bool) {
+
+	out := t.Clone()
+	if mask == nil {
+		mask = make(map[int]bool)
+		eligible := make([]int, 0, len(t.Rows)*len(t.Cols))
+		for i := range t.Rows {
+			for j := range t.Cols {
+				if !protected[j] {
+					eligible = append(eligible, i*len(t.Cols)+j)
+				}
+			}
+		}
+		r.Shuffle(len(eligible), func(a, b int) {
+			eligible[a], eligible[b] = eligible[b], eligible[a]
+		})
+		n := int(rate * float64(len(eligible)))
+		for _, idx := range eligible[:n] {
+			mask[idx] = true
+		}
+	}
+	for i := range out.Rows {
+		for j := range out.Cols {
+			if protected[j] {
+				continue
+			}
+			if mask[i*len(out.Cols)+j] {
+				out.Rows[i][j] = repl(out.Rows[i][j])
+			}
+		}
+	}
+	return out, mask
+}
+
+// disjointMask draws a mask of the same rate that prefers cells outside the
+// given mask, spilling into it only when the rate exceeds 50%.
+func disjointMask(t *table.Table, protected map[int]bool, avoid map[int]bool, rate float64, r *rand.Rand) map[int]bool {
+	var free, taken []int
+	for i := range t.Rows {
+		for j := range t.Cols {
+			if protected[j] {
+				continue
+			}
+			idx := i*len(t.Cols) + j
+			if avoid[idx] {
+				taken = append(taken, idx)
+			} else {
+				free = append(free, idx)
+			}
+		}
+	}
+	r.Shuffle(len(free), func(a, b int) { free[a], free[b] = free[b], free[a] })
+	r.Shuffle(len(taken), func(a, b int) { taken[a], taken[b] = taken[b], taken[a] })
+	n := int(rate * float64(len(free)+len(taken)))
+	out := make(map[int]bool, n)
+	for _, idx := range free {
+		if len(out) >= n {
+			break
+		}
+		out[idx] = true
+	}
+	for _, idx := range taken {
+		if len(out) >= n {
+			break
+		}
+		out[idx] = true
+	}
+	return out
+}
+
+// Variants holds the four lake versions of one original table: two nullified
+// (jointly complete) and two erroneous.
+type Variants struct {
+	Nullified [2]*table.Table
+	Erroneous [2]*table.Table
+}
+
+// MakeVariants builds the paper's four versions of an original table.
+// protectedCols names columns never perturbed (the alignment keys).
+// nullRate and errRate are the perturbation fractions (0.5 in the main
+// experiments; swept in the Figure 7 ablation).
+func MakeVariants(orig *table.Table, protectedCols []string, nullRate, errRate float64, r *rand.Rand) Variants {
+	protected := make(map[int]bool)
+	for _, c := range protectedCols {
+		if i := orig.ColIndex(c); i >= 0 {
+			protected[i] = true
+		}
+	}
+	var v Variants
+	n1, mask := Nullify(orig, nullRate, protected, r, nil)
+	n1.Name = orig.Name + "_null1"
+	v.Nullified[0] = n1
+
+	// The second nullified version hides "different subsets of values": its
+	// mask avoids the first version's cells as far as the rate allows, so
+	// joint coverage degrades smoothly — complete for rates ≤ 50%, losing
+	// a 2·rate−1 fraction above.
+	n2, _ := Nullify(orig, nullRate, protected, r, disjointMask(orig, protected, mask, nullRate, r))
+	n2.Name = orig.Name + "_null2"
+	v.Nullified[1] = n2
+
+	e1 := Corrupt(orig, errRate, protected, r)
+	e1.Name = orig.Name + "_err1"
+	v.Erroneous[0] = e1
+	e2 := Corrupt(orig, errRate, protected, r)
+	e2.Name = orig.Name + "_err2"
+	v.Erroneous[1] = e2
+	return v
+}
+
+// All returns the four variants as a slice.
+func (v Variants) All() []*table.Table {
+	return []*table.Table{v.Nullified[0], v.Nullified[1], v.Erroneous[0], v.Erroneous[1]}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteJSON(t *testing.T) {
+	src, l := buildScenario()
+	res, err := Reclaim(l, src, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := res.JSON(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(out), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if parsed["source"] != "people" {
+		t.Errorf("source = %v", parsed["source"])
+	}
+	metrics, ok := parsed["metrics"].(map[string]any)
+	if !ok || metrics["perfect_reclamation"] != true {
+		t.Errorf("metrics wrong: %v", parsed["metrics"])
+	}
+	if _, ok := parsed["tuples"]; !ok {
+		t.Error("tuple counts missing when source provided")
+	}
+	origs, ok := parsed["originating_tables"].([]any)
+	if !ok || len(origs) == 0 {
+		t.Error("originating tables missing")
+	}
+}
+
+func TestWriteJSONWithoutSource(t *testing.T) {
+	src, l := buildScenario()
+	res, err := Reclaim(l, src, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := res.JSON(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "\"tuples\"") {
+		t.Error("tuple counts present without a source")
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(out), &parsed); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,392 @@
+// Package discovery implements Gen-T's Table Discovery phase: candidate
+// retrieval by exact set similarity (Algorithm 3), candidate diversification
+// (Algorithm 4, Equation 10), implicit schema matching by renaming candidate
+// columns to the Source columns they align with, subsumed-candidate removal,
+// and the Expand join-path search (Algorithm 5) that gives every candidate
+// the Source Table's key.
+package discovery
+
+import (
+	"sort"
+
+	"gent/internal/index"
+	"gent/internal/lake"
+	"gent/internal/table"
+)
+
+// Options tunes discovery.
+type Options struct {
+	// Tau is the set-overlap threshold τ of Algorithms 3–4; overlap is
+	// measured as containment of the Source column's distinct values.
+	Tau float64
+	// MaxCandidates caps the candidate set handed to Matrix Traversal.
+	MaxCandidates int
+	// FirstStageTopK, when > 0, runs the MinHash-LSH retriever first (the
+	// Starmie stand-in) and restricts Set Similarity to its top-k tables —
+	// the configuration used on large lakes.
+	FirstStageTopK int
+	// MaxJoinDepth bounds Expand's join-path length.
+	MaxJoinDepth int
+	// Diversify toggles Algorithm 4 (on in Gen-T; the ablation bench turns
+	// it off).
+	Diversify bool
+	// RemoveSubsumed toggles subsumed-candidate removal (Algorithm 3 line
+	// 15) — the second redundancy control, disabled together with
+	// Diversify in the ablation.
+	RemoveSubsumed bool
+}
+
+// DefaultOptions mirror the paper's configuration at our scales.
+func DefaultOptions() Options {
+	return Options{
+		Tau:            0.2,
+		MaxCandidates:  15,
+		MaxJoinDepth:   3,
+		Diversify:      true,
+		RemoveSubsumed: true,
+	}
+}
+
+// Candidate is one discovered table, schema-matched to the Source: columns
+// that align with Source columns carry the Source column's name.
+type Candidate struct {
+	// Table is the renamed (and, after Expand, possibly joined) table.
+	Table *table.Table
+	// Sources lists the lake tables this candidate came from.
+	Sources []string
+	// Score is the averaged diversified overlap score that ranked it.
+	Score float64
+}
+
+// Discover runs the full Table Discovery phase and returns candidates ranked
+// by score, each guaranteed (when possible) to contain the Source key.
+func Discover(l *lake.Lake, src *table.Table, opts Options) []*Candidate {
+	pool := l
+	if opts.FirstStageTopK > 0 && l.Len() > opts.FirstStageTopK {
+		lsh := index.BuildMinHashLSH(l)
+		ranked := lsh.TopK(src, opts.FirstStageTopK)
+		pool = lake.New()
+		for _, r := range ranked {
+			pool.Add(l.Get(r.Table))
+		}
+	}
+	ix := index.BuildInverted(pool)
+	cands := SetSimilarity(pool, ix, src, opts)
+	return Expand(cands, src, opts)
+}
+
+// colOverlap measures |a ∩ b| / |b| over canonical value sets.
+func colOverlap(a, b map[string]bool) float64 {
+	if len(b) == 0 {
+		return 0
+	}
+	n := 0
+	for v := range a {
+		if b[v] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(b))
+}
+
+// perColumnCandidate is one lake column qualifying for one Source column.
+type perColumnCandidate struct {
+	tableName string
+	col       int
+	// sourceOverlap is |C ∩ c| / |c| (containment of the Source column).
+	sourceOverlap float64
+	// score is what accumulates into the table ranking: the raw overlap, or
+	// the diversified overlap of Equation 10 when diversification is on.
+	score float64
+}
+
+// SetSimilarity implements Algorithm 3: per-Source-column overlap search,
+// diversification, aligned-tuple verification, subsumed-candidate removal
+// and schema-matching renames. The returned candidates are ranked by their
+// averaged (diversified) overlap scores.
+func SetSimilarity(pool *lake.Lake, ix *index.Inverted, src *table.Table, opts Options) []*Candidate {
+	type agg struct {
+		sum float64
+		n   int
+	}
+	scores := make(map[string]*agg)
+	queryCols := 0
+
+	for ci := range src.Cols {
+		qset := src.ColumnSet(ci)
+		if len(qset) == 0 {
+			continue
+		}
+		queryCols++
+		overlaps := ix.SearchSet(qset)
+		// Best qualifying column per table, in overlap order.
+		seen := make(map[string]bool)
+		ranked := make([]perColumnCandidate, 0, len(overlaps))
+		for _, o := range overlaps {
+			if seen[o.Ref.Table] || o.Containment < opts.Tau {
+				continue
+			}
+			seen[o.Ref.Table] = true
+			ranked = append(ranked, perColumnCandidate{
+				tableName:     o.Ref.Table,
+				col:           o.Ref.Col,
+				sourceOverlap: o.Containment,
+				score:         o.Containment,
+			})
+		}
+		if opts.Diversify {
+			ranked = diversify(pool, ranked)
+		}
+		// Algorithm 3 line 8: accumulate the (diversified) overlap scores.
+		for _, pc := range ranked {
+			a := scores[pc.tableName]
+			if a == nil {
+				a = &agg{}
+				scores[pc.tableName] = a
+			}
+			a.sum += pc.score
+			a.n++
+		}
+	}
+
+	// Rank tables by average score, descending (Algorithm 3 line 9). The
+	// average is over all of the Source's (non-empty) columns, so a table
+	// overlapping many Source columns outranks one that perfectly matches a
+	// single column — coverage matters as much as overlap strength.
+	type rankedTable struct {
+		name  string
+		score float64
+	}
+	if queryCols == 0 {
+		return nil
+	}
+	order := make([]rankedTable, 0, len(scores))
+	for name, a := range scores {
+		order = append(order, rankedTable{name, a.sum / float64(queryCols)})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].score != order[j].score {
+			return order[i].score > order[j].score
+		}
+		return order[i].name < order[j].name
+	})
+
+	// Alignment verification, renaming, and candidate assembly.
+	cands := make([]*Candidate, 0, len(order))
+	for _, rt := range order {
+		t := pool.Get(rt.name)
+		renamed, matched := renameToSource(t, src, opts.Tau)
+		if len(matched) == 0 {
+			continue
+		}
+		if !alignedTuplesQualify(renamed, src, matched, opts.Tau) {
+			continue
+		}
+		cands = append(cands, &Candidate{
+			Table:   renamed,
+			Sources: []string{rt.name},
+			Score:   rt.score,
+		})
+		if opts.MaxCandidates > 0 && len(cands) >= opts.MaxCandidates {
+			break
+		}
+	}
+	if opts.RemoveSubsumed {
+		cands = removeSubsumedCandidates(cands, src)
+	}
+	return cands
+}
+
+// diversify implements Algorithm 4: re-score a Source column's candidates so
+// each has high overlap with the Source but low overlap with the previous
+// candidate (Equation 10), demoting near-duplicate tables. The adjusted
+// scores are what Algorithm 3 accumulates into the table ranking.
+func diversify(pool *lake.Lake, ranked []perColumnCandidate) []perColumnCandidate {
+	if len(ranked) <= 1 {
+		return ranked
+	}
+	out := make([]perColumnCandidate, 0, len(ranked))
+	for i, pc := range ranked {
+		if i == 0 {
+			// The top candidate keeps its raw overlap.
+			out = append(out, pc)
+			continue
+		}
+		cur := pool.Get(pc.tableName).ColumnSet(pc.col)
+		prev := ranked[i-1]
+		prevSet := pool.Get(prev.tableName).ColumnSet(prev.col)
+		prevColOverlap := 0.0
+		if len(cur) > 0 {
+			prevColOverlap = colOverlap(prevSet, cur)
+		}
+		// Equation 10's penalty demotes near-duplicates; clamping at zero
+		// keeps it from turning into an active penalty that could sink a
+		// genuinely needed table below unrelated junk (variants of the same
+		// original legitimately overlap each other).
+		pc.score = pc.sourceOverlap - prevColOverlap
+		if pc.score < 0 {
+			pc.score = 0
+		}
+		out = append(out, pc)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].score > out[j].score })
+	return out
+}
+
+// renameToSource matches candidate columns to Source columns by containment
+// and renames matched columns (implicit schema matching). The greedy
+// assignment is one-to-one, highest containment first. Unmatched candidate
+// columns keep their names unless they collide with a Source column name, in
+// which case they get a "~" suffix so later unions cannot confuse them.
+// matched maps Source column name -> candidate column index (pre-rename).
+func renameToSource(t, src *table.Table, tau float64) (*table.Table, map[string]int) {
+	type pair struct {
+		tCol, sCol int
+		overlap    float64
+	}
+	srcSets := make([]map[string]bool, len(src.Cols))
+	for i := range src.Cols {
+		srcSets[i] = src.ColumnSet(i)
+	}
+	pairs := make([]pair, 0)
+	for tc := range t.Cols {
+		tset := t.ColumnSet(tc)
+		for sc := range src.Cols {
+			if ov := colOverlap(tset, srcSets[sc]); ov >= tau {
+				pairs = append(pairs, pair{tc, sc, ov})
+			}
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].overlap != pairs[j].overlap {
+			return pairs[i].overlap > pairs[j].overlap
+		}
+		if pairs[i].sCol != pairs[j].sCol {
+			return pairs[i].sCol < pairs[j].sCol
+		}
+		return pairs[i].tCol < pairs[j].tCol
+	})
+	tTaken := make(map[int]bool)
+	sTaken := make(map[int]bool)
+	matched := make(map[string]int)
+	rename := make(map[string]string)
+	for _, p := range pairs {
+		if tTaken[p.tCol] || sTaken[p.sCol] {
+			continue
+		}
+		tTaken[p.tCol] = true
+		sTaken[p.sCol] = true
+		matched[src.Cols[p.sCol]] = p.tCol
+		rename[t.Cols[p.tCol]] = src.Cols[p.sCol]
+	}
+	// Avoid accidental collisions for unmatched columns.
+	for tc, name := range t.Cols {
+		if tTaken[tc] {
+			continue
+		}
+		if _, collides := rename[name]; collides {
+			continue // this name is being remapped from this column anyway
+		}
+		if src.ColIndex(name) >= 0 {
+			rename[name] = name + "~"
+		}
+	}
+	return t.Rename(rename), matched
+}
+
+// alignedTuplesQualify implements Algorithm 3 lines 11–14: keep only rows of
+// the candidate whose matched-column values appear in the Source, and verify
+// that within those rows at least one matched column still overlaps the
+// Source column above τ.
+func alignedTuplesQualify(t, src *table.Table, matched map[string]int, tau float64) bool {
+	type mc struct {
+		tCol int
+		set  map[string]bool // source column's distinct values
+	}
+	mcs := make([]mc, 0, len(matched))
+	for sName, tCol := range matched {
+		mcs = append(mcs, mc{tCol, src.ColumnSet(src.ColIndex(sName))})
+	}
+	alignedSets := make([]map[string]bool, len(mcs))
+	for i := range alignedSets {
+		alignedSets[i] = make(map[string]bool)
+	}
+	for _, r := range t.Rows {
+		aligned := false
+		for _, m := range mcs {
+			v := r[m.tCol]
+			if !v.IsNull() && m.set[v.Key()] {
+				aligned = true
+				break
+			}
+		}
+		if !aligned {
+			continue
+		}
+		for i, m := range mcs {
+			v := r[m.tCol]
+			if !v.IsNull() && m.set[v.Key()] {
+				alignedSets[i][v.Key()] = true
+			}
+		}
+	}
+	for i, m := range mcs {
+		if len(m.set) > 0 && float64(len(alignedSets[i]))/float64(len(m.set)) >= tau {
+			return true
+		}
+	}
+	return false
+}
+
+// removeSubsumedCandidates drops any candidate whose columns and column
+// values are all contained in another candidate (Algorithm 3 line 15).
+// Containment is checked over every column, not just the source-matched
+// ones: on low-cardinality columns a noisy variant can cover a clean one's
+// matched value sets even though its other cells differ, and pruning the
+// clean table there would be wrong. Exact duplicates keep the higher-ranked
+// copy.
+func removeSubsumedCandidates(cands []*Candidate, src *table.Table) []*Candidate {
+	sets := make([]map[string]map[string]bool, len(cands)) // cand -> colName -> values
+	for i, c := range cands {
+		sets[i] = make(map[string]map[string]bool)
+		for ci, name := range c.Table.Cols {
+			sets[i][name] = c.Table.ColumnSet(ci)
+		}
+	}
+	contains := func(big, small map[string]map[string]bool) bool {
+		for name, vals := range small {
+			b, ok := big[name]
+			if !ok {
+				return false
+			}
+			for v := range vals {
+				if !b[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	out := make([]*Candidate, 0, len(cands))
+	for i, c := range cands {
+		subsumed := false
+		for j := range cands {
+			if i == j {
+				continue
+			}
+			if contains(sets[j], sets[i]) {
+				// Mutual containment = duplicates: keep the earlier (higher
+				// ranked) one.
+				if contains(sets[i], sets[j]) && i < j {
+					continue
+				}
+				subsumed = true
+				break
+			}
+		}
+		if !subsumed {
+			out = append(out, c)
+		}
+	}
+	return out
+}

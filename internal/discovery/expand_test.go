@@ -1,0 +1,146 @@
+package discovery
+
+import (
+	"fmt"
+	"testing"
+
+	"gent/internal/table"
+)
+
+func expandSource(n int) *table.Table {
+	src := table.New("S", "ok", "attr")
+	src.Key = []int{0}
+	for i := 0; i < n; i++ {
+		src.AddRow(table.S(fmt.Sprintf("ok%d", i)), table.S(fmt.Sprintf("v%d", i)))
+	}
+	return src
+}
+
+// TestExpandPrefersKeyCoverage: two possible join partners both give the
+// key, but one covers more Source key values — it must win.
+func TestExpandPrefersKeyCoverage(t *testing.T) {
+	src := expandSource(10)
+
+	start := &Candidate{Table: table.New("start", "fk", "attr"), Sources: []string{"start"}}
+	for i := 0; i < 10; i++ {
+		start.Table.AddRow(table.S(fmt.Sprintf("fk%d", i)), table.S(fmt.Sprintf("v%d", i)))
+	}
+	// Partner covering 3 source keys.
+	weak := &Candidate{Table: table.New("weak", "fk", "ok"), Sources: []string{"weak"}}
+	for i := 0; i < 3; i++ {
+		weak.Table.AddRow(table.S(fmt.Sprintf("fk%d", i)), table.S(fmt.Sprintf("ok%d", i)))
+	}
+	// Partner covering all 10.
+	strong := &Candidate{Table: table.New("strong", "fk", "ok"), Sources: []string{"strong"}}
+	for i := 0; i < 10; i++ {
+		strong.Table.AddRow(table.S(fmt.Sprintf("fk%d", i)), table.S(fmt.Sprintf("ok%d", i)))
+	}
+
+	got := Expand([]*Candidate{start, weak, strong}, src, DefaultOptions())
+	var expanded *Candidate
+	for _, c := range got {
+		for _, s := range c.Sources {
+			if s == "start" {
+				expanded = c
+			}
+		}
+	}
+	if expanded == nil {
+		t.Fatal("start candidate lost")
+	}
+	usedStrong := false
+	for _, s := range expanded.Sources {
+		if s == "strong" {
+			usedStrong = true
+		}
+	}
+	if !usedStrong {
+		t.Errorf("expansion used %v, want the higher-coverage partner", expanded.Sources)
+	}
+}
+
+// TestExpandAvoidsDeadEndPaths: a heavier-weighted chain whose accumulated
+// natural join collapses must not be preferred over a direct working join.
+func TestExpandAvoidsDeadEndPaths(t *testing.T) {
+	src := expandSource(5)
+
+	start := &Candidate{Table: table.New("start", "fk", "attr"), Sources: []string{"start"}}
+	for i := 0; i < 5; i++ {
+		start.Table.AddRow(table.S(fmt.Sprintf("fk%d", i)), table.S(fmt.Sprintf("v%d", i)))
+	}
+	direct := &Candidate{Table: table.New("direct", "fk", "ok"), Sources: []string{"direct"}}
+	for i := 0; i < 5; i++ {
+		direct.Table.AddRow(table.S(fmt.Sprintf("fk%d", i)), table.S(fmt.Sprintf("ok%d", i)))
+	}
+	// A trap sharing many values with start on "fk" and with direct on
+	// "ok", but whose combination with both produces a conflicting join.
+	trap := &Candidate{Table: table.New("trap", "fk", "ok", "attr"), Sources: []string{"trap"}}
+	for i := 0; i < 5; i++ {
+		trap.Table.AddRow(
+			table.S(fmt.Sprintf("fk%d", i)),
+			table.S(fmt.Sprintf("ok%d", i)),
+			table.S("CONFLICT"), // disagrees with start's attr values
+		)
+	}
+
+	got := Expand([]*Candidate{start, direct, trap}, src, DefaultOptions())
+	var expanded *Candidate
+	for _, c := range got {
+		for _, s := range c.Sources {
+			if s == "start" {
+				expanded = c
+			}
+		}
+	}
+	if expanded == nil {
+		t.Fatal("start candidate lost entirely")
+	}
+	cov := 0
+	oki := expanded.Table.ColIndex("ok")
+	keys := map[string]bool{}
+	for _, r := range expanded.Table.Rows {
+		if oki >= 0 && !r[oki].IsNull() {
+			keys[r[oki].Key()] = true
+		}
+	}
+	cov = len(keys)
+	if cov < 5 {
+		t.Errorf("expansion covers %d keys, want 5 (dead-end path chosen?)", cov)
+	}
+}
+
+// TestExpandProjectsPartnerColumnsAway: the expanded table must not carry
+// the partner's non-key attributes.
+func TestExpandProjectsPartnerColumnsAway(t *testing.T) {
+	src := expandSource(3)
+	start := &Candidate{Table: table.New("start", "fk", "attr"), Sources: []string{"start"}}
+	partner := &Candidate{Table: table.New("partner", "fk", "ok", "junk"), Sources: []string{"partner"}}
+	for i := 0; i < 3; i++ {
+		start.Table.AddRow(table.S(fmt.Sprintf("fk%d", i)), table.S(fmt.Sprintf("v%d", i)))
+		partner.Table.AddRow(table.S(fmt.Sprintf("fk%d", i)), table.S(fmt.Sprintf("ok%d", i)), table.S("junk"))
+	}
+	got := Expand([]*Candidate{start, partner}, src, DefaultOptions())
+	for _, c := range got {
+		if len(c.Sources) > 1 && c.Table.ColIndex("junk") >= 0 {
+			t.Errorf("partner attribute leaked into expansion: %v", c.Table.Cols)
+		}
+	}
+}
+
+// TestKeyCoverage checks the coverage helper directly.
+func TestKeyCoverage(t *testing.T) {
+	src := expandSource(4)
+	keys := sourceKeySet(src)
+	tb := table.New("t", "ok", "x")
+	tb.AddRow(table.S("ok0"), table.S("a"))
+	tb.AddRow(table.S("ok1"), table.S("b"))
+	tb.AddRow(table.S("ok1"), table.S("c"))     // duplicate key counted once
+	tb.AddRow(table.S("foreign"), table.S("d")) // not a source key
+	tb.AddRow(table.Null, table.S("e"))         // null keys never count
+	if got := keyCoverage(tb, []string{"ok"}, keys); got != 2 {
+		t.Errorf("coverage = %d, want 2", got)
+	}
+	if got := keyCoverage(tb, []string{"missing"}, keys); got != 0 {
+		t.Errorf("coverage with missing column = %d, want 0", got)
+	}
+}

@@ -1,0 +1,157 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VI): the effectiveness tables (II, III, IV), the
+// query-class breakdown (Figure 6), the noise ablation (Figure 7), the
+// scalability study (Figure 8), the per-source breakdown (Figure 9), the
+// T2D generalizability study, and the appendix LLM baseline — all over the
+// synthetic benchmark suites of internal/benchmark.
+package experiments
+
+import (
+	"time"
+
+	"gent/internal/baselines/alite"
+	"gent/internal/baselines/autopipeline"
+	"gent/internal/baselines/naive"
+	"gent/internal/baselines/ver"
+	"gent/internal/core"
+	"gent/internal/discovery"
+	"gent/internal/lake"
+	"gent/internal/metrics"
+	"gent/internal/table"
+)
+
+// Method identifies one system under evaluation.
+type Method string
+
+// The evaluated methods, named as the paper's tables name them.
+const (
+	MethodGenT               Method = "Gen-T"
+	MethodALITE              Method = "ALITE"
+	MethodALITEIntSet        Method = "ALITE w/ int. set"
+	MethodALITEPS            Method = "ALITE-PS"
+	MethodALITEPSIntSet      Method = "ALITE-PS w/ int. set"
+	MethodAutoPipeline       Method = "Auto-Pipeline*"
+	MethodAutoPipelineIntSet Method = "Auto-Pipeline* w/ int. set"
+	MethodVerIntSet          Method = "Ver w/ int. set"
+	MethodNaiveLLM           Method = "ChatGPT* (naive stand-in)"
+)
+
+// RunOptions bound the methods, standing in for the paper's wall-clock
+// timeouts.
+type RunOptions struct {
+	// Discovery configures Gen-T's (and the shared candidate retrieval's)
+	// table discovery.
+	Discovery discovery.Options
+	// FDMaxRows bounds full disjunction's intermediate size for the ALITE
+	// variants.
+	FDMaxRows int
+	// AP bounds the Auto-Pipeline* search.
+	AP autopipeline.Options
+	// Parallel runs that many sources concurrently in RunEffectiveness
+	// (<= 1 is sequential). All pipeline stages are read-only over the
+	// lake, so source-level parallelism is safe. Per-source runtimes stay
+	// meaningful; wall-clock totals do not, so keep it at 1 when measuring
+	// Figure 8.
+	Parallel int
+}
+
+// DefaultRunOptions sizes the budgets for the scaled-down benchmarks. The
+// full-disjunction row budget is deliberately tight: ALITE's closure is
+// worst-case exponential and the paper likewise runs it under wall-clock
+// timeouts.
+func DefaultRunOptions() RunOptions {
+	return RunOptions{
+		Discovery: discovery.DefaultOptions(),
+		FDMaxRows: 4000,
+		AP:        autopipeline.DefaultOptions(),
+	}
+}
+
+// Input is one reclamation task: a source, its lake, the shared candidate
+// tables from Set Similarity, and (when available) the known integrating
+// set.
+type Input struct {
+	Src        *table.Table
+	Lake       *lake.Lake
+	Candidates []*table.Table
+	IntSet     []*table.Table
+}
+
+// Outcome is one method's result on one input.
+type Outcome struct {
+	Reclaimed *table.Table
+	Report    metrics.Report
+	Runtime   time.Duration
+	TimedOut  bool
+	// Originating counts the tables the method integrated (where defined).
+	Originating int
+}
+
+// SharedCandidates runs Table Discovery once so every method sees the same
+// candidate set, as in the paper's setup.
+func SharedCandidates(l *lake.Lake, src *table.Table, opts discovery.Options) []*table.Table {
+	cands := discovery.Discover(l, src, opts)
+	out := make([]*table.Table, len(cands))
+	for i, c := range cands {
+		out[i] = c.Table
+	}
+	return out
+}
+
+// Run executes one method on one input.
+func Run(m Method, in Input, opts RunOptions) Outcome {
+	start := time.Now()
+	var out *table.Table
+	timedOut := false
+	origN := 0
+
+	switch m {
+	case MethodGenT:
+		cfg := core.DefaultConfig()
+		cfg.Discovery = opts.Discovery
+		res, err := core.Reclaim(in.Lake, in.Src, cfg)
+		if err != nil {
+			out = table.New("failed").PadNullColumns(in.Src.Cols)
+		} else {
+			out = res.Reclaimed
+			origN = len(res.Originating)
+		}
+	case MethodALITE:
+		r := alite.Integrate(in.Src, in.Candidates, alite.Options{MaxRows: opts.FDMaxRows})
+		out, timedOut = r.Table, r.TimedOut
+		origN = len(in.Candidates)
+	case MethodALITEIntSet:
+		r := alite.Integrate(in.Src, in.IntSet, alite.Options{MaxRows: opts.FDMaxRows})
+		out, timedOut = r.Table, r.TimedOut
+		origN = len(in.IntSet)
+	case MethodALITEPS:
+		r := alite.IntegratePS(in.Src, in.Candidates, alite.Options{MaxRows: opts.FDMaxRows})
+		out, timedOut = r.Table, r.TimedOut
+		origN = len(in.Candidates)
+	case MethodALITEPSIntSet:
+		r := alite.IntegratePS(in.Src, in.IntSet, alite.Options{MaxRows: opts.FDMaxRows})
+		out, timedOut = r.Table, r.TimedOut
+		origN = len(in.IntSet)
+	case MethodAutoPipeline:
+		r := autopipeline.Synthesize(in.Src, in.Candidates, opts.AP)
+		out, timedOut = r.Table, r.TimedOut
+	case MethodAutoPipelineIntSet:
+		r := autopipeline.Synthesize(in.Src, in.IntSet, opts.AP)
+		out, timedOut = r.Table, r.TimedOut
+	case MethodVerIntSet:
+		out = ver.Discover(in.Src, in.IntSet, ver.DefaultOptions())
+	case MethodNaiveLLM:
+		out = naive.Integrate(in.Src, in.IntSet, naive.Options{})
+	default:
+		out = table.New("unknown").PadNullColumns(in.Src.Cols)
+	}
+
+	rt := time.Since(start)
+	return Outcome{
+		Reclaimed:   out,
+		Report:      metrics.Evaluate(in.Src, out),
+		Runtime:     rt,
+		TimedOut:    timedOut,
+		Originating: origN,
+	}
+}

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// RenderTable1 prints benchmark statistics like Table I.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s %8s %8s %10s %10s\n", "Benchmark", "#Tables", "#Cols", "AvgRows", "Size(MB)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-26s %8d %8d %10.1f %10.2f\n",
+			r.Benchmark, r.Stats.Tables, r.Stats.Cols, r.Stats.AvgRows,
+			float64(r.Stats.SizeBytes)/(1<<20))
+	}
+	return b.String()
+}
+
+// RenderEffectiveness prints one benchmark's method comparison like Tables
+// II–IV.
+func RenderEffectiveness(res EffectivenessResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s (%d sources) ==\n", res.Benchmark, sourcesOf(res))
+	fmt.Fprintf(&b, "%-28s %6s %6s %9s %8s %8s %8s %8s\n",
+		"Method", "Rec", "Pre", "Inst-Div", "DKL", "EIS", "Perfect", "Timeout")
+	for _, row := range res.Rows {
+		fmt.Fprintf(&b, "%-28s %6.3f %6.3f %9.3f %8.3f %8.3f %8d %8d\n",
+			row.Method, row.Avg.Recall, row.Avg.Precision, row.Avg.InstDiv,
+			row.Avg.DKL, row.Avg.EIS, row.Perfect, row.Timeouts)
+	}
+	return b.String()
+}
+
+func sourcesOf(res EffectivenessResult) int {
+	if len(res.Rows) == 0 {
+		return 0
+	}
+	return res.Rows[0].Sources
+}
+
+// RenderFigure6 prints the query-class breakdown.
+func RenderFigure6(rows []Fig6Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %-26s %-28s %6s %6s\n", "Benchmark", "QueryClass", "Method", "Rec", "Pre")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %-26s %-28s %6.3f %6.3f\n",
+			r.Benchmark, r.Class, r.Method, r.Recall, r.Precision)
+	}
+	return b.String()
+}
+
+// RenderFigure7 prints the noise sweep.
+func RenderFigure7(points []Fig7Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %8s %10s %8s\n", "Sweep", "Percent", "Precision", "EIS")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-10s %7d%% %10.3f %8.3f\n", p.Sweep, p.Percent, p.Precision, p.EIS)
+	}
+	return b.String()
+}
+
+// RenderFigure8 prints the scalability study.
+func RenderFigure8(rows []Fig8Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %-28s %12s %10s %8s\n", "Benchmark", "Method", "AvgRuntime", "SizeRatio", "Timeout")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %-28s %12s %10.2f %8d\n",
+			r.Benchmark, r.Method, r.AvgRuntime.Round(timeUnit(r.AvgRuntime)), r.AvgSizeRatio, r.Timeouts)
+	}
+	return b.String()
+}
+
+// RenderFigure9 prints the per-source breakdown.
+func RenderFigure9(rows []Fig9Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %18s %18s %18s\n", "Source", "Recall(G/A)", "Precision(G/A)", "F1(G/A)")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %8.3f/%8.3f %8.3f/%8.3f %8.3f/%8.3f\n",
+			r.Source, r.GenT.Recall, r.ALITE.Recall,
+			r.GenT.Precision, r.ALITE.Precision,
+			r.GenT.F1, r.ALITE.F1)
+	}
+	return b.String()
+}
+
+// RenderT2DSelf prints the generalizability summary.
+func RenderT2DSelf(r T2DSelfResult) string {
+	return fmt.Sprintf(
+		"sources tried: %d\nperfect reclamations: %d (multi-table: %d, via duplicate: %d)\n",
+		r.SourcesTried, r.PerfectReclamations, r.MultiTable, r.DuplicatesFound)
+}
+
+// RenderAblation prints one design-choice comparison.
+func RenderAblation(a AblationRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== ablation: %s ==\n", a.Name)
+	fmt.Fprintf(&b, "%-10s %6s %6s %8s %8s\n", "", "Rec", "Pre", "EIS", "DKL")
+	fmt.Fprintf(&b, "%-10s %6.3f %6.3f %8.3f %8.3f\n", "with", a.With.Recall, a.With.Precision, a.With.EIS, a.With.DKL)
+	fmt.Fprintf(&b, "%-10s %6.3f %6.3f %8.3f %8.3f\n", "without", a.Without.Recall, a.Without.Precision, a.Without.EIS, a.Without.DKL)
+	return b.String()
+}
+
+func timeUnit(d time.Duration) time.Duration {
+	switch {
+	case d > time.Second:
+		return 10 * time.Millisecond
+	case d > time.Millisecond:
+		return 100 * time.Microsecond
+	default:
+		return time.Microsecond
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"gent/internal/benchmark"
+	"gent/internal/metrics"
+)
+
+func TestRenderFigure6(t *testing.T) {
+	rows := []Fig6Row{{
+		Benchmark: "TP-TR Small", Class: benchmark.ClassOneJoin,
+		Method: MethodGenT, Recall: 0.9, Precision: 0.8, Sources: 8,
+	}}
+	out := RenderFigure6(rows)
+	for _, want := range []string{"TP-TR Small", "One Join", "Gen-T", "0.900", "0.800"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFigure7(t *testing.T) {
+	out := RenderFigure7([]Fig7Point{
+		{Sweep: "erroneous", Percent: 30, Precision: 0.75, EIS: 0.99},
+	})
+	for _, want := range []string{"erroneous", "30%", "0.750"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFigure8(t *testing.T) {
+	out := RenderFigure8([]Fig8Row{
+		{Benchmark: "TP-TR Med", Method: MethodALITE, AvgRuntime: 1500 * time.Millisecond, AvgSizeRatio: 288.1, Timeouts: 26},
+		{Benchmark: "TP-TR Med", Method: MethodGenT, AvgRuntime: 51 * time.Millisecond, AvgSizeRatio: 1.2},
+	})
+	for _, want := range []string{"ALITE", "288.10", "26", "Gen-T", "1.20"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderFigure9AndT2D(t *testing.T) {
+	out := RenderFigure9([]Fig9Row{{
+		Source: "q00",
+		GenT:   metrics.Report{Recall: 1, Precision: 1, F1: 1},
+		ALITE:  metrics.Report{Recall: 1, Precision: 0.4, F1: 0.57},
+	}})
+	if !strings.Contains(out, "q00") || !strings.Contains(out, "0.400") {
+		t.Errorf("figure 9 render wrong:\n%s", out)
+	}
+	self := RenderT2DSelf(T2DSelfResult{SourcesTried: 80, PerfectReclamations: 26, MultiTable: 6, DuplicatesFound: 20})
+	for _, want := range []string{"80", "26", "multi-table: 6", "duplicate: 20"} {
+		if !strings.Contains(self, want) {
+			t.Errorf("missing %q in %q", want, self)
+		}
+	}
+}
+
+func TestRenderAblationRow(t *testing.T) {
+	out := RenderAblation(AblationRow{
+		Name:    "x vs y",
+		With:    metrics.Report{Recall: 1, Precision: 0.9, EIS: 0.99, DKL: 0.1},
+		Without: metrics.Report{Recall: 1, Precision: 0.5, EIS: 0.95, DKL: 0.5},
+	})
+	for _, want := range []string{"x vs y", "with", "without", "0.900", "0.500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"gent/internal/benchmark"
+	"gent/internal/core"
+	"gent/internal/table"
+)
+
+// Table4 reproduces Table IV: the T2D-Gold-style sources immersed in the
+// WDC-style corpus, comparing ALITE, ALITE-PS, Auto-Pipeline* and Gen-T on
+// the sources for which every method produces non-empty output. Each source
+// table is removed from the lake while it is being reclaimed, so methods
+// must reconstruct it from its vertical splits and duplicates.
+func Table4(corpus *benchmark.T2D, opts RunOptions) EffectivenessResult {
+	methods := []Method{MethodALITE, MethodALITEPS, MethodAutoPipeline, MethodGenT}
+	res := EffectivenessResult{Benchmark: "WDC Sample+T2D Gold"}
+	perMethod := make(map[Method][]Outcome)
+
+	for _, name := range corpus.Reclaimable {
+		src := corpus.Lake.Get(name).Clone()
+		key := table.MineKey(src, 2)
+		if key == nil {
+			continue
+		}
+		src.Key = key
+		corpus.Lake.Remove(name)
+		cands := SharedCandidates(corpus.Lake, src, opts.Discovery)
+		in := Input{Src: src, Lake: corpus.Lake, Candidates: cands, IntSet: cands}
+		outcomes := make(map[Method]Outcome, len(methods))
+		nonEmpty := true
+		for _, m := range methods {
+			o := Run(m, in, opts)
+			outcomes[m] = o
+			if len(o.Reclaimed.Rows) == 0 {
+				nonEmpty = false
+			}
+		}
+		restore(corpus, name, src)
+		if !nonEmpty {
+			continue // Table IV reports only commonly non-empty sources
+		}
+		for _, m := range methods {
+			perMethod[m] = append(perMethod[m], outcomes[m])
+			res.Detail = append(res.Detail, PerSource{
+				Source: name, Method: m, Report: outcomes[m].Report, Runtime: outcomes[m].Runtime,
+			})
+		}
+	}
+	for _, m := range methods {
+		res.Rows = append(res.Rows, aggregateOutcomes(m, perMethod[m]))
+	}
+	return res
+}
+
+// T2DSelfResult summarizes the Section VI-D generalizability study.
+type T2DSelfResult struct {
+	SourcesTried        int
+	PerfectReclamations int
+	DuplicatesFound     int
+	// MultiTable counts perfect reclamations that integrated >= 2 tables.
+	MultiTable int
+}
+
+// T2DSelfReclamation iterates every corpus table as a potential source (as
+// Section VI-D does with the 515 T2D Gold tables), reclaiming each from the
+// remaining corpus.
+func T2DSelfReclamation(corpus *benchmark.T2D, opts RunOptions) T2DSelfResult {
+	var out T2DSelfResult
+	cfg := core.DefaultConfig()
+	cfg.Discovery = opts.Discovery
+	for _, name := range corpus.Lake.Names() {
+		src := corpus.Lake.Get(name).Clone()
+		key := table.MineKey(src, 2)
+		if key == nil {
+			continue
+		}
+		src.Key = key
+		corpus.Lake.Remove(name)
+		out.SourcesTried++
+		res, err := core.Reclaim(corpus.Lake, src, cfg)
+		restore(corpus, name, src)
+		if err != nil {
+			continue
+		}
+		if res.Report.PerfectReclamation {
+			out.PerfectReclamations++
+			if len(res.Originating) >= 2 {
+				out.MultiTable++
+			} else if len(res.Originating) == 1 {
+				out.DuplicatesFound++
+			}
+		}
+	}
+	return out
+}
+
+// restore puts a removed source table back into the corpus lake.
+func restore(corpus *benchmark.T2D, name string, src *table.Table) {
+	if corpus.Lake.Get(name) == nil {
+		back := src.Clone()
+		back.Name = name
+		back.Key = nil
+		corpus.Lake.Add(back)
+	}
+}

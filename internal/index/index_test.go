@@ -1,0 +1,136 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gent/internal/lake"
+	"gent/internal/table"
+)
+
+func buildLake() *lake.Lake {
+	l := lake.New()
+	people := table.New("people", "name", "age")
+	people.AddRow(table.S("Smith"), table.N(27))
+	people.AddRow(table.S("Brown"), table.N(24))
+	people.AddRow(table.S("Wang"), table.N(32))
+	l.Add(people)
+
+	cities := table.New("cities", "city", "pop")
+	cities.AddRow(table.S("Boston"), table.N(600))
+	cities.AddRow(table.S("Worcester"), table.N(180))
+	l.Add(cities)
+
+	mixed := table.New("mixed", "name", "city")
+	mixed.AddRow(table.S("Smith"), table.S("Boston"))
+	mixed.AddRow(table.S("Nobody"), table.S("Nowhere"))
+	l.Add(mixed)
+	return l
+}
+
+func TestInvertedSearch(t *testing.T) {
+	ix := BuildInverted(buildLake())
+	query := map[string]bool{
+		table.S("Smith").Key(): true,
+		table.S("Brown").Key(): true,
+	}
+	got := ix.SearchSet(query)
+	if len(got) != 2 {
+		t.Fatalf("got %d overlapping columns, want 2: %v", len(got), got)
+	}
+	// people.name overlaps on 2 values, mixed.name on 1.
+	if got[0].Ref.Table != "people" || got[0].Count != 2 {
+		t.Errorf("top overlap wrong: %+v", got[0])
+	}
+	if got[1].Ref.Table != "mixed" || got[1].Count != 1 {
+		t.Errorf("second overlap wrong: %+v", got[1])
+	}
+	if got[0].Containment != 1.0 {
+		t.Errorf("containment = %v, want 1", got[0].Containment)
+	}
+}
+
+func TestInvertedSearchColumnAndSizes(t *testing.T) {
+	l := buildLake()
+	ix := BuildInverted(l)
+	q := table.New("q", "who")
+	q.AddRow(table.S("Wang"))
+	got := ix.SearchColumn(q, 0)
+	if len(got) != 1 || got[0].Ref.Table != "people" {
+		t.Fatalf("SearchColumn wrong: %v", got)
+	}
+	if ix.ColumnSize(ColumnRef{Table: "people", Col: 0}) != 3 {
+		t.Error("column size wrong")
+	}
+}
+
+func TestInvertedEmptyQuery(t *testing.T) {
+	ix := BuildInverted(buildLake())
+	if got := ix.SearchSet(nil); len(got) != 0 {
+		t.Error("empty query must return nothing")
+	}
+}
+
+func TestInvertedIgnoresNulls(t *testing.T) {
+	l := lake.New()
+	tb := table.New("nulls", "a")
+	tb.AddRow(table.Null)
+	l.Add(tb)
+	ix := BuildInverted(l)
+	if got := ix.SearchSet(map[string]bool{table.Null.Key(): true}); len(got) != 0 {
+		t.Error("nulls must never be indexed or matched")
+	}
+}
+
+func TestMinHashTopKFindsOverlappingTables(t *testing.T) {
+	// A lake of 200 distractor tables plus one table sharing a column with
+	// the query: the sharing table must rank first.
+	r := rand.New(rand.NewSource(7))
+	l := lake.New()
+	for i := 0; i < 200; i++ {
+		tb := table.New(fmt.Sprintf("noise%03d", i), "x", "y")
+		for j := 0; j < 20; j++ {
+			tb.AddRow(table.S(fmt.Sprintf("n%d-%d", i, r.Intn(1000))), table.N(float64(r.Intn(100))))
+		}
+		l.Add(tb)
+	}
+	target := table.New("target", "name", "extra")
+	query := table.New("query", "name")
+	for j := 0; j < 30; j++ {
+		v := table.S(fmt.Sprintf("shared-%d", j))
+		target.AddRow(v, table.N(float64(j)))
+		query.AddRow(v)
+	}
+	l.Add(target)
+
+	ix := BuildMinHashLSH(l)
+	top := ix.TopK(query, 5)
+	if len(top) == 0 || top[0].Table != "target" {
+		t.Fatalf("target not retrieved first: %v", top)
+	}
+}
+
+func TestMinHashTopKBound(t *testing.T) {
+	l := buildLake()
+	ix := BuildMinHashLSH(l)
+	q := table.New("q", "name")
+	q.AddRow(table.S("Smith"))
+	q.AddRow(table.S("Brown"))
+	q.AddRow(table.S("Wang"))
+	got := ix.TopK(q, 1)
+	if len(got) > 1 {
+		t.Errorf("TopK(1) returned %d results", len(got))
+	}
+}
+
+func TestEstimateJaccardIdentical(t *testing.T) {
+	set := map[string]bool{"a": true, "b": true, "c": true}
+	if got := estimateJaccard(sketch(set), sketch(set)); got != 1 {
+		t.Errorf("identical sets estimate %v, want 1", got)
+	}
+	other := map[string]bool{"x": true, "y": true, "z": true}
+	if got := estimateJaccard(sketch(set), sketch(other)); got > 0.2 {
+		t.Errorf("disjoint sets estimate %v, want ~0", got)
+	}
+}

@@ -1,0 +1,95 @@
+// Package index implements the discovery substrates Gen-T retrieves
+// candidates with: an exact value-level inverted index supporting JOSIE-style
+// set-overlap search over lake columns, and a MinHash-LSH index that stands
+// in for Starmie's learned retriever as the scalable top-k first stage on
+// large lakes.
+package index
+
+import (
+	"sort"
+
+	"gent/internal/lake"
+	"gent/internal/table"
+)
+
+// ColumnRef addresses one column of one lake table.
+type ColumnRef struct {
+	Table string
+	Col   int
+}
+
+// Inverted maps each distinct cell value to the lake columns containing it,
+// enabling exact set-overlap search (the JOSIE role in the paper).
+type Inverted struct {
+	postings map[string][]ColumnRef
+	// colSizes caches each column's distinct-value count for containment
+	// scoring.
+	colSizes map[ColumnRef]int
+}
+
+// BuildInverted indexes every non-null value of every table column.
+func BuildInverted(l *lake.Lake) *Inverted {
+	ix := &Inverted{
+		postings: make(map[string][]ColumnRef),
+		colSizes: make(map[ColumnRef]int),
+	}
+	for _, t := range l.Tables() {
+		for c := range t.Cols {
+			ref := ColumnRef{Table: t.Name, Col: c}
+			set := t.ColumnSet(c)
+			ix.colSizes[ref] = len(set)
+			for v := range set {
+				ix.postings[v] = append(ix.postings[v], ref)
+			}
+		}
+	}
+	return ix
+}
+
+// Overlap holds one column's exact overlap with a query value set.
+type Overlap struct {
+	Ref ColumnRef
+	// Count is |query ∩ column|.
+	Count int
+	// Containment is Count / |query| — how much of the query column the lake
+	// column covers.
+	Containment float64
+}
+
+// SearchSet returns, for a query value set (canonical keys), every lake
+// column overlapping it, ranked by overlap count (ties by table name and
+// column for determinism).
+func (ix *Inverted) SearchSet(query map[string]bool) []Overlap {
+	counts := make(map[ColumnRef]int)
+	for v := range query {
+		for _, ref := range ix.postings[v] {
+			counts[ref]++
+		}
+	}
+	out := make([]Overlap, 0, len(counts))
+	for ref, c := range counts {
+		o := Overlap{Ref: ref, Count: c}
+		if len(query) > 0 {
+			o.Containment = float64(c) / float64(len(query))
+		}
+		out = append(out, o)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].Ref.Table != out[j].Ref.Table {
+			return out[i].Ref.Table < out[j].Ref.Table
+		}
+		return out[i].Ref.Col < out[j].Ref.Col
+	})
+	return out
+}
+
+// SearchColumn is SearchSet for a concrete table column.
+func (ix *Inverted) SearchColumn(t *table.Table, col int) []Overlap {
+	return ix.SearchSet(t.ColumnSet(col))
+}
+
+// ColumnSize returns the distinct-value count of an indexed column.
+func (ix *Inverted) ColumnSize(ref ColumnRef) int { return ix.colSizes[ref] }

@@ -1,0 +1,170 @@
+package index
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"gent/internal/lake"
+	"gent/internal/table"
+)
+
+// MinHash parameters: numHashes signatures split into bands rows each for
+// LSH bucketing. 32 hashes × 4-row bands gives high recall at Jaccard ≥ 0.3,
+// which is what a first-stage retriever needs (Set Similarity re-verifies
+// exactly afterwards).
+const (
+	numHashes = 32
+	bandRows  = 4
+	numBands  = numHashes / bandRows
+)
+
+// signature is a column's MinHash sketch.
+type signature [numHashes]uint64
+
+func hashValue(v string, seed uint64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(seed >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(v))
+	return h.Sum64()
+}
+
+func sketch(set map[string]bool) signature {
+	var sig signature
+	for i := range sig {
+		sig[i] = math.MaxUint64
+	}
+	for v := range set {
+		for i := 0; i < numHashes; i++ {
+			if h := hashValue(v, uint64(i)); h < sig[i] {
+				sig[i] = h
+			}
+		}
+	}
+	return sig
+}
+
+// estimateJaccard estimates Jaccard similarity from two sketches.
+func estimateJaccard(a, b signature) float64 {
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	return float64(same) / float64(numHashes)
+}
+
+// MinHashLSH indexes every lake column's MinHash sketch with banded LSH. It
+// plays Starmie's role: a scalable, recall-oriented top-k table retriever
+// over a large lake whose output Set Similarity verifies exactly.
+type MinHashLSH struct {
+	sigs    map[ColumnRef]signature
+	buckets map[uint64][]ColumnRef
+	tables  []string
+}
+
+// BuildMinHashLSH sketches and buckets every column of the lake.
+func BuildMinHashLSH(l *lake.Lake) *MinHashLSH {
+	ix := &MinHashLSH{
+		sigs:    make(map[ColumnRef]signature),
+		buckets: make(map[uint64][]ColumnRef),
+		tables:  l.Names(),
+	}
+	for _, t := range l.Tables() {
+		for c := range t.Cols {
+			set := t.ColumnSet(c)
+			if len(set) == 0 {
+				continue
+			}
+			ref := ColumnRef{Table: t.Name, Col: c}
+			sig := sketch(set)
+			ix.sigs[ref] = sig
+			for _, bk := range bandKeys(sig) {
+				ix.buckets[bk] = append(ix.buckets[bk], ref)
+			}
+		}
+	}
+	return ix
+}
+
+func bandKeys(sig signature) []uint64 {
+	keys := make([]uint64, numBands)
+	for b := 0; b < numBands; b++ {
+		h := fnv.New64a()
+		for r := 0; r < bandRows; r++ {
+			v := sig[b*bandRows+r]
+			var buf [8]byte
+			for i := 0; i < 8; i++ {
+				buf[i] = byte(v >> (8 * i))
+			}
+			h.Write(buf[:])
+		}
+		keys[b] = uint64(b)<<56 ^ h.Sum64()>>8
+	}
+	return keys
+}
+
+// Ranked is a retrieved table with its relevance score (sum over query
+// columns of the best estimated column Jaccard).
+type Ranked struct {
+	Table string
+	Score float64
+}
+
+// TopK retrieves the k lake tables most relevant to the query table: for
+// each query column, LSH candidates are scored by estimated Jaccard, and a
+// table's score is the sum of its best per-query-column estimates.
+func (ix *MinHashLSH) TopK(query *table.Table, k int) []Ranked {
+	best := make(map[string]map[int]float64) // table -> query col -> best jaccard
+	for qc := range query.Cols {
+		set := query.ColumnSet(qc)
+		if len(set) == 0 {
+			continue
+		}
+		qsig := sketch(set)
+		seen := make(map[ColumnRef]bool)
+		for _, bk := range bandKeys(qsig) {
+			for _, ref := range ix.buckets[bk] {
+				if seen[ref] {
+					continue
+				}
+				seen[ref] = true
+				j := estimateJaccard(qsig, ix.sigs[ref])
+				if j == 0 {
+					continue
+				}
+				m := best[ref.Table]
+				if m == nil {
+					m = make(map[int]float64)
+					best[ref.Table] = m
+				}
+				if j > m[qc] {
+					m[qc] = j
+				}
+			}
+		}
+	}
+	out := make([]Ranked, 0, len(best))
+	for name, cols := range best {
+		score := 0.0
+		for _, j := range cols {
+			score += j
+		}
+		out = append(out, Ranked{Table: name, Score: score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Table < out[j].Table
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

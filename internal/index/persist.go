@@ -1,0 +1,123 @@
+package index
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Real lakes are indexed once and queried many times, so both index kinds
+// persist to disk with encoding/gob. The formats are versioned so a stale
+// index fails loudly instead of answering wrongly.
+
+const (
+	invertedFormatVersion = 1
+	minhashFormatVersion  = 1
+)
+
+// invertedDisk is the serializable form of Inverted.
+type invertedDisk struct {
+	Version  int
+	Postings map[string][]ColumnRef
+	ColSizes map[ColumnRef]int
+}
+
+// Save writes the inverted index.
+func (ix *Inverted) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(invertedDisk{
+		Version:  invertedFormatVersion,
+		Postings: ix.postings,
+		ColSizes: ix.colSizes,
+	})
+}
+
+// LoadInverted reads an inverted index written by Save.
+func LoadInverted(r io.Reader) (*Inverted, error) {
+	var d invertedDisk
+	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("index: decoding inverted index: %w", err)
+	}
+	if d.Version != invertedFormatVersion {
+		return nil, fmt.Errorf("index: inverted index format v%d, want v%d",
+			d.Version, invertedFormatVersion)
+	}
+	return &Inverted{postings: d.Postings, colSizes: d.ColSizes}, nil
+}
+
+// minhashDisk is the serializable form of MinHashLSH.
+type minhashDisk struct {
+	Version int
+	Sigs    map[ColumnRef]signature
+	Buckets map[uint64][]ColumnRef
+	Tables  []string
+}
+
+// Save writes the MinHash-LSH index.
+func (ix *MinHashLSH) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(minhashDisk{
+		Version: minhashFormatVersion,
+		Sigs:    ix.sigs,
+		Buckets: ix.buckets,
+		Tables:  ix.tables,
+	})
+}
+
+// LoadMinHashLSH reads a MinHash-LSH index written by Save.
+func LoadMinHashLSH(r io.Reader) (*MinHashLSH, error) {
+	var d minhashDisk
+	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("index: decoding minhash index: %w", err)
+	}
+	if d.Version != minhashFormatVersion {
+		return nil, fmt.Errorf("index: minhash index format v%d, want v%d",
+			d.Version, minhashFormatVersion)
+	}
+	return &MinHashLSH{sigs: d.Sigs, buckets: d.Buckets, tables: d.Tables}, nil
+}
+
+// SaveFile persists the inverted index to a file, creating directories.
+func (ix *Inverted) SaveFile(path string) error {
+	return saveFile(path, ix.Save)
+}
+
+// SaveFile persists the MinHash index to a file, creating directories.
+func (ix *MinHashLSH) SaveFile(path string) error {
+	return saveFile(path, ix.Save)
+}
+
+func saveFile(path string, save func(io.Writer) error) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("index: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("index: %w", err)
+	}
+	if err := save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadInvertedFile reads an inverted index file.
+func LoadInvertedFile(path string) (*Inverted, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	defer f.Close()
+	return LoadInverted(f)
+}
+
+// LoadMinHashLSHFile reads a MinHash index file.
+func LoadMinHashLSHFile(path string) (*MinHashLSH, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	defer f.Close()
+	return LoadMinHashLSH(f)
+}

@@ -1,0 +1,74 @@
+package index
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"gent/internal/table"
+)
+
+func TestInvertedSaveLoadRoundTrip(t *testing.T) {
+	l := buildLake()
+	orig := BuildInverted(l)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadInverted(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := map[string]bool{table.S("Smith").Key(): true}
+	a, b := orig.SearchSet(query), got.SearchSet(query)
+	if len(a) != len(b) {
+		t.Fatalf("results differ after round trip: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("result %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if got.ColumnSize(ColumnRef{Table: "people", Col: 0}) != 3 {
+		t.Error("column sizes lost")
+	}
+}
+
+func TestMinHashSaveLoadRoundTrip(t *testing.T) {
+	l := buildLake()
+	orig := BuildMinHashLSH(l)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "mh.idx")
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadMinHashLSHFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := table.New("q", "name")
+	q.AddRow(table.S("Smith"))
+	q.AddRow(table.S("Brown"))
+	q.AddRow(table.S("Wang"))
+	a, b := orig.TopK(q, 3), got.TopK(q, 3)
+	if len(a) != len(b) {
+		t.Fatalf("TopK differs after round trip")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("ranked %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := LoadInverted(bytes.NewReader([]byte("not a gob"))); err == nil {
+		t.Error("garbage accepted as inverted index")
+	}
+	if _, err := LoadMinHashLSH(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted as minhash index")
+	}
+	if _, err := LoadInvertedFile("/nonexistent/path"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

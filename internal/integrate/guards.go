@@ -1,0 +1,182 @@
+package integrate
+
+import (
+	"gent/internal/table"
+)
+
+// tupleScorer computes the error-aware similarity E of accumulator tuples
+// against their aligned (labeled) Source tuples — the per-pair guard of
+// Figure 5's integration steps.
+type tupleScorer struct {
+	in *Integrator
+	// srcColOf maps a t column index to the labeled source column index.
+	srcColOf []int
+	keyIdx   []int
+	srcByKey map[string]table.Row
+	nonKey   int
+}
+
+func (in *Integrator) scorer(t *table.Table) *tupleScorer {
+	src := in.labeledSrc
+	s := &tupleScorer{
+		in:       in,
+		srcColOf: make([]int, len(t.Cols)),
+		srcByKey: make(map[string]table.Row, len(src.Rows)),
+		nonKey:   len(src.Cols) - len(src.Key),
+	}
+	for i, name := range t.Cols {
+		s.srcColOf[i] = src.ColIndex(name)
+	}
+	for _, k := range src.Key {
+		ci := t.ColIndex(src.Cols[k])
+		if ci < 0 {
+			return nil
+		}
+		s.keyIdx = append(s.keyIdx, ci)
+	}
+	for _, r := range src.Rows {
+		if k := src.RowKey(r); k != "" {
+			s.srcByKey[k] = r
+		}
+	}
+	return s
+}
+
+// key returns the source-key string of an accumulator row.
+func (s *tupleScorer) key(r table.Row) string {
+	k, ok := rowKeyAt(r, s.keyIdx)
+	if !ok {
+		return ""
+	}
+	return k
+}
+
+// e computes E(srcRow, r) = (α−δ)/n with label-aware matching: a preserved
+// label matches the labeled source, a value over a label counts as an error.
+func (s *tupleScorer) e(r table.Row) float64 {
+	srow, ok := s.srcByKey[s.key(r)]
+	if !ok {
+		return -1
+	}
+	isKey := make(map[int]bool, len(s.keyIdx))
+	for _, k := range s.keyIdx {
+		isKey[k] = true
+	}
+	alpha, delta := 0, 0
+	for i, v := range r {
+		if isKey[i] || s.srcColOf[i] < 0 {
+			continue
+		}
+		sv := srow[s.srcColOf[i]]
+		switch {
+		case sv.Equal(v):
+			alpha++
+		case v.IsNull():
+			// nullified: neither
+		default:
+			delta++
+		}
+	}
+	if s.nonKey == 0 {
+		return 1
+	}
+	return float64(alpha-delta) / float64(s.nonKey)
+}
+
+// guardedComplement merges complementing tuple pairs within each source-key
+// group, but only when the merged tuple scores at least as well as both
+// parts — so an erroneous value never fills a slot a better tuple already
+// explains.
+func (in *Integrator) guardedComplement(t *table.Table) *table.Table {
+	s := in.scorer(t)
+	if s == nil {
+		return t
+	}
+	groups, order := groupByKey(t, s)
+	out := table.New(t.Name, t.Cols...)
+	for _, k := range order {
+		rows := groups[k]
+		// Fixpoint merge within the group.
+		for {
+			merged := false
+		scan:
+			for i := 0; i < len(rows); i++ {
+				for j := i + 1; j < len(rows); j++ {
+					if !table.Complements(rows[i], rows[j]) {
+						continue
+					}
+					m := table.MergeComplement(rows[i], rows[j])
+					// Strict improvement: a merge that adds as many
+					// erroneous values as correct ones would block the
+					// correct values from ever merging in.
+					em := s.e(m)
+					if em > s.e(rows[i]) && em > s.e(rows[j]) {
+						rows[i] = m
+						rows = append(rows[:j], rows[j+1:]...)
+						merged = true
+						break scan
+					}
+				}
+			}
+			if !merged {
+				break
+			}
+		}
+		out.Rows = append(out.Rows, rows...)
+	}
+	return out.DropDuplicates()
+}
+
+// guardedSubsume removes duplicates and subsumed tuples, keeping a subsumed
+// tuple alive when it scores better than its subsumer (its extra nulls are
+// closer to the Source than the subsumer's extra errors).
+func (in *Integrator) guardedSubsume(t *table.Table) *table.Table {
+	s := in.scorer(t)
+	if s == nil {
+		return table.Subsume(t)
+	}
+	groups, order := groupByKey(t, s)
+	out := table.New(t.Name, t.Cols...)
+	for _, k := range order {
+		rows := groups[k]
+		alive := make([]bool, len(rows))
+		for i := range alive {
+			alive[i] = true
+		}
+		for i := range rows {
+			if !alive[i] {
+				continue
+			}
+			for j := range rows {
+				if i == j || !alive[j] {
+					continue
+				}
+				if table.Subsumes(rows[j], rows[i]) && s.e(rows[j]) >= s.e(rows[i]) {
+					alive[i] = false
+					break
+				}
+			}
+		}
+		for i, r := range rows {
+			if alive[i] {
+				out.Rows = append(out.Rows, r)
+			}
+		}
+	}
+	return out.DropDuplicates()
+}
+
+// groupByKey splits rows by source key, preserving first-seen key order;
+// rows with no source key are kept under "".
+func groupByKey(t *table.Table, s *tupleScorer) (map[string][]table.Row, []string) {
+	groups := make(map[string][]table.Row)
+	var order []string
+	for _, r := range t.Rows {
+		k := s.key(r)
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], r.Clone())
+	}
+	return groups, order
+}

@@ -1,0 +1,110 @@
+package integrate
+
+import (
+	"testing"
+
+	"gent/internal/table"
+)
+
+func guardSource() *table.Table {
+	s := table.New("S", "k", "a", "b")
+	s.Key = []int{0}
+	s.AddRow(table.S("k1"), table.S("a1"), table.S("b1"))
+	s.AddRow(table.S("k2"), table.S("a2"), table.Null)
+	return s
+}
+
+func TestScorerE(t *testing.T) {
+	in := New(guardSource())
+	acc := table.New("acc", "k", "a", "b")
+	s := in.scorer(acc)
+	if s == nil {
+		t.Fatal("scorer failed")
+	}
+	perfect := table.Row{table.S("k1"), table.S("a1"), table.S("b1")}
+	if got := s.e(perfect); got != 1 {
+		t.Errorf("E(perfect) = %v", got)
+	}
+	nullified := table.Row{table.S("k1"), table.S("a1"), table.Null}
+	if got := s.e(nullified); got != 0.5 {
+		t.Errorf("E(nullified) = %v", got)
+	}
+	erroneous := table.Row{table.S("k1"), table.S("a1"), table.S("WRONG")}
+	if got := s.e(erroneous); got != 0 {
+		t.Errorf("E(erroneous) = %v, want (1-1)/2", got)
+	}
+	foreign := table.Row{table.S("nope"), table.S("x"), table.S("y")}
+	if got := s.e(foreign); got != -1 {
+		t.Errorf("E(foreign key) = %v, want -1", got)
+	}
+	// A preserved label counts as a match: k2's b is a labeled source null.
+	labeled := in.labelSourceNulls(func() *table.Table {
+		a := table.New("x", "k", "a", "b")
+		a.AddRow(table.S("k2"), table.S("a2"), table.Null)
+		return a
+	}())
+	if got := s.e(labeled.Rows[0]); got != 1 {
+		t.Errorf("E(label-preserving) = %v, want 1", got)
+	}
+}
+
+func TestGuardedComplementMergesCleanPairs(t *testing.T) {
+	in := New(guardSource())
+	acc := table.New("acc", "k", "a", "b")
+	acc.AddRow(table.S("k1"), table.S("a1"), table.Null)
+	acc.AddRow(table.S("k1"), table.Null, table.S("b1"))
+	got := in.guardedComplement(acc)
+	if len(got.Rows) != 1 {
+		t.Fatalf("clean complement not merged:\n%s", got)
+	}
+	want := table.Row{table.S("k1"), table.S("a1"), table.S("b1")}
+	if !got.Rows[0].Equal(want) {
+		t.Errorf("merged = %v", got.Rows[0])
+	}
+}
+
+func TestGuardedComplementBlocksNetZeroMerge(t *testing.T) {
+	// Merging would add one correct (a1) and one erroneous (WRONG for b1)
+	// value — net zero, which must be blocked so the real b1 can merge
+	// later.
+	in := New(guardSource())
+	acc := table.New("acc", "k", "a", "b")
+	acc.AddRow(table.S("k1"), table.S("a1"), table.Null)
+	acc.AddRow(table.S("k1"), table.Null, table.S("WRONG"))
+	got := in.guardedComplement(acc)
+	if len(got.Rows) != 2 {
+		t.Errorf("net-zero merge happened:\n%s", got)
+	}
+}
+
+func TestGuardedSubsumeKeepsBetterSubsumed(t *testing.T) {
+	in := New(guardSource())
+	acc := table.New("acc", "k", "a", "b")
+	acc.AddRow(table.S("k1"), table.S("a1"), table.S("WRONG")) // subsumer, E=0
+	acc.AddRow(table.S("k1"), table.S("a1"), table.Null)       // subsumed, E=0.5
+	got := in.guardedSubsume(acc)
+	if len(got.Rows) != 2 {
+		t.Errorf("better-scoring subsumed tuple removed:\n%s", got)
+	}
+
+	// With a correct subsumer, the subsumed tuple goes.
+	acc2 := table.New("acc", "k", "a", "b")
+	acc2.AddRow(table.S("k1"), table.S("a1"), table.S("b1"))
+	acc2.AddRow(table.S("k1"), table.S("a1"), table.Null)
+	got2 := in.guardedSubsume(acc2)
+	if len(got2.Rows) != 1 {
+		t.Errorf("subsumed tuple survived a correct subsumer:\n%s", got2)
+	}
+}
+
+func TestGuardedOpsPreserveRowsWithoutKeys(t *testing.T) {
+	in := New(guardSource())
+	acc := table.New("acc", "k", "a", "b")
+	acc.AddRow(table.Null, table.S("x"), table.S("y"))
+	if got := in.guardedComplement(acc); len(got.Rows) != 1 {
+		t.Error("keyless row lost in complement")
+	}
+	if got := in.guardedSubsume(acc); len(got.Rows) != 1 {
+		t.Error("keyless row lost in subsume")
+	}
+}

@@ -1,0 +1,276 @@
+// Package integrate implements Gen-T's Table Reclamation phase (Algorithm
+// 2): originating tables are projected and selected down to the Source's
+// columns and keys, inner-unioned when they share schemas, protected by
+// labeled nulls wherever they correctly agree with a Source null, reduced to
+// minimal form, and finally folded together with outer unions — applying
+// complementation (κ) and subsumption (β) only when doing so does not lower
+// the EIS score.
+package integrate
+
+import (
+	"fmt"
+	"strings"
+
+	"gent/internal/metrics"
+	"gent/internal/table"
+)
+
+// Integrator reclaims one Source Table from sets of originating tables. It
+// is stateful only for label identities, so one Integrator must be used for
+// one Source.
+type Integrator struct {
+	src *table.Table
+	// labeledSrc is the Source with its nulls replaced by labels, so EIS
+	// evaluation rewards preserving a correct null and penalizes filling it.
+	labeledSrc *table.Table
+	labels     map[string]int64
+	labelOf    map[int64]bool
+	nextID     int64
+	srcKeys    map[string]bool
+}
+
+// New prepares an Integrator for the given Source Table (which must have a
+// key).
+func New(src *table.Table) *Integrator {
+	in := &Integrator{
+		src:     src,
+		labels:  make(map[string]int64),
+		labelOf: make(map[int64]bool),
+		srcKeys: make(map[string]bool, len(src.Rows)),
+	}
+	for _, r := range src.Rows {
+		if k := src.RowKey(r); k != "" {
+			in.srcKeys[k] = true
+		}
+	}
+	in.labeledSrc = in.labelSourceNulls(src)
+	return in
+}
+
+// label returns the stable label for a (source key, column name) slot: the
+// same slot gets the same label in every table, so labeled tuples still
+// deduplicate, subsume and complement consistently.
+func (in *Integrator) label(rowKey, col string) table.Value {
+	slot := rowKey + "\x02" + col
+	id, ok := in.labels[slot]
+	if !ok {
+		in.nextID++
+		id = in.nextID
+		in.labels[slot] = id
+		in.labelOf[id] = true
+	}
+	return table.Label(id)
+}
+
+// ProjectSelect applies Algorithm 2 line 3 to one table: project onto the
+// Source's columns and, when the table carries the Source's key columns,
+// keep only rows whose key values appear in the Source. Tables without the
+// key keep all their (projected) rows — full disjunction can still combine
+// them through other shared columns. It returns nil when nothing of the
+// Source's schema remains.
+func ProjectSelect(src, t *table.Table) *table.Table {
+	p := t.Project(src.Cols...)
+	if len(p.Cols) == 0 || len(p.Rows) == 0 {
+		return nil
+	}
+	p.Key = nil
+	if !p.HasCols(src.KeyCols()...) {
+		return p.DropDuplicates()
+	}
+	srcKeys := make(map[string]bool, len(src.Rows))
+	for _, r := range src.Rows {
+		if k := src.RowKey(r); k != "" {
+			srcKeys[k] = true
+		}
+	}
+	keyIdx := make([]int, len(src.Key))
+	for i, k := range src.Key {
+		keyIdx[i] = p.ColIndex(src.Cols[k])
+	}
+	sel := table.New(p.Name, p.Cols...)
+	for _, r := range p.Rows {
+		key, ok := rowKeyAt(r, keyIdx)
+		if ok && srcKeys[key] {
+			sel.Rows = append(sel.Rows, r)
+		}
+	}
+	if len(sel.Rows) == 0 {
+		return nil
+	}
+	return sel
+}
+
+// Reclaim integrates the originating tables into a possible reclaimed Source
+// Table with exactly the Source's schema.
+func (in *Integrator) Reclaim(origs []*table.Table) *table.Table {
+	src := in.src
+
+	// ProjectSelect (line 3): keep only Source columns and rows whose key
+	// values appear in the Source. Gen-T's originating tables carry the
+	// Source key (Expand guarantees it), so key-less leftovers — whose
+	// tuples could never align — are dropped here.
+	kept := make([]*table.Table, 0, len(origs))
+	for _, t := range origs {
+		sel := ProjectSelect(src, t)
+		if sel != nil && sel.HasCols(src.KeyCols()...) {
+			kept = append(kept, sel)
+		}
+	}
+	if len(kept) == 0 {
+		out := table.New("reclaimed")
+		return out.PadNullColumns(src.Cols)
+	}
+
+	// InnerUnion (line 4): merge tables with identical column-name sets.
+	unioned := innerUnionGroups(kept)
+
+	// LabelSourceNulls (line 5) and TakeMinimalForm (line 6).
+	for i, t := range unioned {
+		labeled := in.labelSourceNulls(t)
+		unioned[i] = table.MinimalForm(labeled)
+	}
+
+	// Integration loop (lines 7–13): outer union one table at a time, then
+	// apply complementation and subsumption under the Figure 5 guard — a
+	// merge or removal happens only when it does not reduce the affected
+	// tuple's error-aware similarity to its Source tuple. After each union
+	// the accumulator is relabeled: ⊎ introduces nulls for columns a side
+	// lacked, and where the Source is also null those are "correct nulls"
+	// that must not be filled by a later complementation. Labeling is
+	// idempotent — each (key, column) slot has one stable label.
+	acc := unioned[0]
+	for _, t := range unioned[1:] {
+		acc = in.labelSourceNulls(table.OuterUnion(acc, t))
+		acc = in.guardedComplement(acc)
+		acc = in.guardedSubsume(acc)
+	}
+	if len(unioned) == 1 {
+		acc = in.labelSourceNulls(acc)
+		acc = in.guardedComplement(acc)
+		acc = in.guardedSubsume(acc)
+	}
+
+	// RemoveLabeledNulls (line 14) and schema padding (lines 15–16).
+	out := in.removeLabels(acc)
+	out = out.PadNullColumns(src.Cols)
+	reordered, err := out.ReorderCols(src.Cols)
+	if err != nil {
+		panic(fmt.Sprintf("integrate: unreachable: %v", err))
+	}
+	reordered.Name = "reclaimed:" + src.Name
+	reordered.Key = nil
+	return reordered.DropDuplicates()
+}
+
+// score is evaluateSimilarity(): EIS against the labeled Source, so that a
+// preserved labeled null counts as a match and an over-combined value does
+// not.
+func (in *Integrator) score(t *table.Table) float64 {
+	return metrics.EIS(in.labeledSrc, t)
+}
+
+// labelSourceNulls replaces, in t, every null that sits in a slot where the
+// Source is also null (same key, same column) with that slot's unique label.
+func (in *Integrator) labelSourceNulls(t *table.Table) *table.Table {
+	src := in.src
+	srcByKey := make(map[string]table.Row, len(src.Rows))
+	for _, r := range src.Rows {
+		if k := src.RowKey(r); k != "" {
+			srcByKey[k] = r
+		}
+	}
+	keyIdx := make([]int, 0, len(src.Key))
+	for _, k := range src.Key {
+		ci := t.ColIndex(src.Cols[k])
+		if ci < 0 {
+			return t.Clone()
+		}
+		keyIdx = append(keyIdx, ci)
+	}
+	srcColOf := make([]int, len(t.Cols))
+	for i, name := range t.Cols {
+		srcColOf[i] = src.ColIndex(name)
+	}
+	out := table.New(t.Name, t.Cols...)
+	out.Key = append([]int(nil), t.Key...)
+	for _, r := range t.Rows {
+		key, ok := rowKeyAt(r, keyIdx)
+		if !ok {
+			out.Rows = append(out.Rows, r.Clone())
+			continue
+		}
+		srow, ok := srcByKey[key]
+		if !ok {
+			out.Rows = append(out.Rows, r.Clone())
+			continue
+		}
+		nr := r.Clone()
+		for i := range nr {
+			if sc := srcColOf[i]; sc >= 0 && nr[i].IsNull() && srow[sc].IsNull() {
+				nr[i] = in.label(key, t.Cols[i])
+			}
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	return out
+}
+
+// removeLabels reverts this Integrator's labels back to nulls.
+func (in *Integrator) removeLabels(t *table.Table) *table.Table {
+	out := table.New(t.Name, t.Cols...)
+	out.Key = append([]int(nil), t.Key...)
+	for _, r := range t.Rows {
+		nr := r.Clone()
+		for i, v := range nr {
+			if v.Kind == table.KindLabel && in.labelOf[v.ID] {
+				nr[i] = table.Null
+			}
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	return out
+}
+
+// innerUnionGroups unions tables with identical column-name sets, reducing
+// the integration space (Algorithm 2 line 4).
+func innerUnionGroups(ts []*table.Table) []*table.Table {
+	groups := make(map[string]*table.Table)
+	var order []string
+	for _, t := range ts {
+		sig := schemaSignature(t)
+		if have, ok := groups[sig]; ok {
+			groups[sig] = table.InnerUnion(have, t)
+		} else {
+			groups[sig] = t
+			order = append(order, sig)
+		}
+	}
+	out := make([]*table.Table, 0, len(order))
+	for _, sig := range order {
+		out = append(out, groups[sig])
+	}
+	return out
+}
+
+func schemaSignature(t *table.Table) string {
+	cols := append([]string(nil), t.Cols...)
+	// Column order is irrelevant to inner union, so the signature sorts.
+	for i := 1; i < len(cols); i++ {
+		for j := i; j > 0 && cols[j] < cols[j-1]; j-- {
+			cols[j], cols[j-1] = cols[j-1], cols[j]
+		}
+	}
+	return strings.Join(cols, "\x01")
+}
+
+func rowKeyAt(r table.Row, idx []int) (string, bool) {
+	var b strings.Builder
+	for _, i := range idx {
+		if r[i].IsNull() {
+			return "", false
+		}
+		b.WriteString(r[i].Key())
+		b.WriteByte('\x01')
+	}
+	return b.String(), true
+}

@@ -1,0 +1,181 @@
+// Package lake implements the data lake substrate: a catalog of autonomous,
+// key-less, metadata-unreliable tables, with an in-memory store, a CSV
+// directory backend, and the corpus statistics the paper reports in Table I.
+package lake
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"gent/internal/table"
+)
+
+// Lake is a catalog of data lake tables addressed by name.
+type Lake struct {
+	byName map[string]*table.Table
+	names  []string // insertion order, for deterministic iteration
+}
+
+// New returns an empty lake.
+func New() *Lake {
+	return &Lake{byName: make(map[string]*table.Table)}
+}
+
+// Add registers a table; re-adding a name replaces the previous table (lakes
+// are autonomous — tables change under us).
+func (l *Lake) Add(t *table.Table) {
+	if _, exists := l.byName[t.Name]; !exists {
+		l.names = append(l.names, t.Name)
+	}
+	l.byName[t.Name] = t
+}
+
+// Get returns the named table, or nil.
+func (l *Lake) Get(name string) *table.Table { return l.byName[name] }
+
+// Len returns the number of tables.
+func (l *Lake) Len() int { return len(l.names) }
+
+// Names returns table names in insertion order.
+func (l *Lake) Names() []string { return append([]string(nil), l.names...) }
+
+// Tables returns all tables in insertion order.
+func (l *Lake) Tables() []*table.Table {
+	out := make([]*table.Table, 0, len(l.names))
+	for _, n := range l.names {
+		out = append(out, l.byName[n])
+	}
+	return out
+}
+
+// Remove drops the named table if present.
+func (l *Lake) Remove(name string) {
+	if _, ok := l.byName[name]; !ok {
+		return
+	}
+	delete(l.byName, name)
+	for i, n := range l.names {
+		if n == name {
+			l.names = append(l.names[:i], l.names[i+1:]...)
+			break
+		}
+	}
+}
+
+// LoadDir reads every *.csv file under dir (recursively) into a lake,
+// parsing files concurrently. Unreadable or malformed files are skipped and
+// reported in the returned error list — a real lake always has a few broken
+// tables and discovery must survive them.
+func LoadDir(dir string) (*Lake, []error) {
+	var paths []string
+	var errs []error
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			errs = append(errs, err)
+			return nil
+		}
+		if !d.IsDir() && strings.EqualFold(filepath.Ext(path), ".csv") {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		errs = append(errs, err)
+	}
+
+	type loaded struct {
+		t   *table.Table
+		err error
+	}
+	results := make([]loaded, len(paths))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(paths) {
+		workers = len(paths)
+	}
+	if workers > 1 {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					results[i].t, results[i].err = table.LoadCSVFile(paths[i])
+				}
+			}()
+		}
+		for i := range paths {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	} else {
+		for i := range paths {
+			results[i].t, results[i].err = table.LoadCSVFile(paths[i])
+		}
+	}
+
+	l := New()
+	for _, r := range results {
+		if r.err != nil {
+			errs = append(errs, r.err)
+			continue
+		}
+		l.Add(r.t)
+	}
+	sort.Strings(l.names)
+	return l, errs
+}
+
+// SaveDir writes every table as dir/<name>.csv.
+func (l *Lake) SaveDir(dir string) error {
+	for _, t := range l.Tables() {
+		if err := table.SaveCSVFile(filepath.Join(dir, t.Name+".csv"), t); err != nil {
+			return fmt.Errorf("lake: saving %s: %w", t.Name, err)
+		}
+	}
+	return nil
+}
+
+// Stats summarizes a lake the way Table I does.
+type Stats struct {
+	Tables  int
+	Cols    int
+	AvgRows float64
+	// SizeBytes approximates on-disk CSV size.
+	SizeBytes int64
+}
+
+// ComputeStats derives corpus statistics.
+func (l *Lake) ComputeStats() Stats {
+	var s Stats
+	s.Tables = l.Len()
+	rows := 0
+	for _, t := range l.Tables() {
+		s.Cols += t.NumCols()
+		rows += t.NumRows()
+		for _, c := range t.Cols {
+			s.SizeBytes += int64(len(c) + 1)
+		}
+		for _, r := range t.Rows {
+			for _, v := range r {
+				s.SizeBytes += int64(len(v.Text()) + 1)
+			}
+		}
+	}
+	if s.Tables > 0 {
+		s.AvgRows = float64(rows) / float64(s.Tables)
+	}
+	return s
+}
+
+// String renders stats as a Table I row.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d tables, %d cols, %.1f avg rows, %.2f MB",
+		s.Tables, s.Cols, s.AvgRows, float64(s.SizeBytes)/(1<<20))
+}

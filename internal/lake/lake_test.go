@@ -1,0 +1,100 @@
+package lake
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gent/internal/table"
+)
+
+func smallTable(name string, n int) *table.Table {
+	t := table.New(name, "id", "val")
+	for i := 0; i < n; i++ {
+		t.AddRow(table.N(float64(i)), table.S(name+"-v"))
+	}
+	return t
+}
+
+func TestAddGetRemove(t *testing.T) {
+	l := New()
+	l.Add(smallTable("a", 2))
+	l.Add(smallTable("b", 3))
+	if l.Len() != 2 || l.Get("a") == nil || l.Get("c") != nil {
+		t.Fatal("basic catalog operations wrong")
+	}
+	// Replacement keeps a single entry.
+	l.Add(smallTable("a", 5))
+	if l.Len() != 2 || l.Get("a").NumRows() != 5 {
+		t.Error("replacement failed")
+	}
+	l.Remove("a")
+	if l.Len() != 1 || l.Get("a") != nil {
+		t.Error("remove failed")
+	}
+	l.Remove("missing") // must not panic
+}
+
+func TestTablesDeterministicOrder(t *testing.T) {
+	l := New()
+	for _, n := range []string{"z", "a", "m"} {
+		l.Add(smallTable(n, 1))
+	}
+	got := l.Names()
+	want := []string{"z", "a", "m"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want insertion order %v", got, want)
+		}
+	}
+}
+
+func TestSaveLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	l := New()
+	l.Add(smallTable("t1", 2))
+	l.Add(smallTable("t2", 4))
+	if err := l.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, errs := LoadDir(dir)
+	if len(errs) != 0 {
+		t.Fatalf("unexpected load errors: %v", errs)
+	}
+	if got.Len() != 2 || got.Get("t1").NumRows() != 2 || got.Get("t2").NumRows() != 4 {
+		t.Error("round trip lost tables")
+	}
+}
+
+func TestLoadDirSkipsBrokenFiles(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "broken.csv"), []byte(""), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := table.SaveCSVFile(filepath.Join(dir, "good.csv"), smallTable("good", 1)); err != nil {
+		t.Fatal(err)
+	}
+	l, errs := LoadDir(dir)
+	if l.Len() != 1 || l.Get("good") == nil {
+		t.Error("good table lost")
+	}
+	if len(errs) != 1 {
+		t.Errorf("expected 1 error for broken file, got %v", errs)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	l := New()
+	l.Add(smallTable("a", 2))
+	l.Add(smallTable("b", 4))
+	s := l.ComputeStats()
+	if s.Tables != 2 || s.Cols != 4 || s.AvgRows != 3 || s.SizeBytes <= 0 {
+		t.Errorf("stats wrong: %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty stats string")
+	}
+	if empty := New().ComputeStats(); empty.AvgRows != 0 {
+		t.Error("empty lake stats must not divide by zero")
+	}
+}

@@ -1,0 +1,336 @@
+// Package matrix implements Gen-T's Matrix Traversal (Section V-A2/3): a
+// candidate table is encoded as a three-valued alignment matrix against the
+// Source Table (Equation 4), integration is simulated by combining matrices
+// with a contradiction-aware logical OR (Equation 5), and Algorithm 1
+// greedily selects the subset of candidates — the originating tables — whose
+// simulated integration maximizes the EIS score, all without performing a
+// single real table integration.
+package matrix
+
+import (
+	"sort"
+
+	"gent/internal/table"
+)
+
+// Encoding selects the matrix value domain.
+type Encoding int
+
+const (
+	// ThreeValued encodes match = 1, nullified = 0, contradiction = -1
+	// (Equation 4) — Gen-T's encoding.
+	ThreeValued Encoding = iota
+	// TwoValued collapses nullified and contradicting cells to 0 — the
+	// strawman of Section V-A2, kept for the ablation study.
+	TwoValued
+)
+
+// Shape carries the Source Table facts every matrix shares.
+type Shape struct {
+	Src    *table.Table
+	keyIdx map[int]bool
+	nonKey int
+	// keys lists each source row's canonical key, row-aligned with Src.Rows.
+	keys []string
+}
+
+// NewShape prepares the matrix shape for a Source Table, which must have a
+// key.
+func NewShape(src *table.Table) *Shape {
+	s := &Shape{Src: src, keyIdx: make(map[int]bool, len(src.Key))}
+	for _, k := range src.Key {
+		s.keyIdx[k] = true
+	}
+	s.nonKey = len(src.Cols) - len(src.Key)
+	s.keys = make([]string, len(src.Rows))
+	for i, r := range src.Rows {
+		s.keys[i] = src.RowKey(r)
+	}
+	return s
+}
+
+// Matrix is the dictionary encoding of Section V-A3: each source key maps to
+// the list of aligned coded tuples (one int8 per source column).
+type Matrix struct {
+	shape *Shape
+	rows  map[string][][]int8
+}
+
+// FromTable aligns a candidate table (already renamed to the Source schema
+// and containing the Source key columns) and encodes it per Equation 4.
+// Candidate rows whose key does not appear in the Source are ignored — they
+// can contribute nothing to reclamation.
+func FromTable(shape *Shape, cand *table.Table, enc Encoding) *Matrix {
+	m := &Matrix{shape: shape, rows: make(map[string][][]int8)}
+	src := shape.Src
+
+	// Column mapping: source column index -> candidate column index (-1 when
+	// the candidate lacks it).
+	colMap := make([]int, len(src.Cols))
+	for i, name := range src.Cols {
+		colMap[i] = cand.ColIndex(name)
+	}
+	keyMap := make([]int, len(src.Key))
+	for i, k := range src.Key {
+		keyMap[i] = cand.ColIndex(src.Cols[k])
+		if keyMap[i] < 0 {
+			return m // cannot align without the key
+		}
+	}
+	srcByKey := make(map[string]int, len(src.Rows))
+	for i, k := range shape.keys {
+		if k != "" {
+			srcByKey[k] = i
+		}
+	}
+
+	for _, r := range cand.Rows {
+		key, ok := candKey(r, keyMap)
+		if !ok {
+			continue
+		}
+		si, ok := srcByKey[key]
+		if !ok {
+			continue
+		}
+		srow := src.Rows[si]
+		code := make([]int8, len(src.Cols))
+		for j := range src.Cols {
+			var cv table.Value
+			if colMap[j] >= 0 {
+				cv = r[colMap[j]]
+			} else {
+				cv = table.Null
+			}
+			switch {
+			case srow[j].Equal(cv):
+				code[j] = 1
+			case !srow[j].IsNull() && cv.IsNull():
+				code[j] = 0
+			default:
+				// Contradiction: differing non-nulls, or a non-null where
+				// the Source has a (correct) null.
+				if enc == ThreeValued {
+					code[j] = -1
+				} else {
+					code[j] = 0
+				}
+			}
+		}
+		m.rows[key] = appendCoded(m.rows[key], code)
+	}
+	return m
+}
+
+func candKey(r table.Row, keyMap []int) (string, bool) {
+	key := ""
+	for _, ci := range keyMap {
+		if r[ci].IsNull() {
+			return "", false
+		}
+		key += r[ci].Key() + "\x01"
+	}
+	return key, true
+}
+
+// appendCoded adds a coded tuple, skipping exact duplicates.
+func appendCoded(list [][]int8, code []int8) [][]int8 {
+	for _, have := range list {
+		if equalCodes(have, code) {
+			return list
+		}
+	}
+	return append(list, code)
+}
+
+func equalCodes(a, b []int8) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// conflicts reports ∃j: t1[j] ≠ t2[j] with both non-zero — the Equation 5
+// condition under which tuples stay separate.
+func conflicts(a, b []int8) bool {
+	for i := range a {
+		if a[i] != 0 && b[i] != 0 && a[i] != b[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// or merges two coded tuples element-wise with max (logical OR on truth
+// values).
+func or(a, b []int8) []int8 {
+	out := make([]int8, len(a))
+	for i := range a {
+		if a[i] > b[i] {
+			out[i] = a[i]
+		} else {
+			out[i] = b[i]
+		}
+	}
+	return out
+}
+
+// Combine simulates the outer union + subsumption + complementation of two
+// (partial) integrations per Equation 5: conflicting tuples are kept
+// separate, everything else merges by logical OR. Pairing is greedy (first
+// non-conflicting partner), so Combine is order-sensitive on conflicting
+// inputs; Algorithm 1 applies it as a left fold in pick order. The EIS of
+// the result never decreases relative to either input, which is what the
+// greedy traversal's soundness rests on.
+func Combine(a, b *Matrix) *Matrix {
+	out := &Matrix{shape: a.shape, rows: make(map[string][][]int8, len(a.rows))}
+	for k, list := range a.rows {
+		cp := make([][]int8, len(list))
+		copy(cp, list)
+		out.rows[k] = cp
+	}
+	for k, blist := range b.rows {
+		cur := out.rows[k]
+		for _, bt := range blist {
+			merged := false
+			for i, at := range cur {
+				if !conflicts(at, bt) {
+					cur[i] = or(at, bt)
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				cur = append(cur, bt)
+			}
+		}
+		// Merging can create duplicates or newly-mergeable pairs; one
+		// normalization pass keeps lists small.
+		out.rows[k] = normalize(cur)
+	}
+	return out
+}
+
+// normalize deduplicates and re-merges non-conflicting tuples to fixpoint.
+func normalize(list [][]int8) [][]int8 {
+	if len(list) <= 1 {
+		return list
+	}
+	for {
+		merged := false
+	scan:
+		for i := 0; i < len(list); i++ {
+			for j := i + 1; j < len(list); j++ {
+				if !conflicts(list[i], list[j]) {
+					list[i] = or(list[i], list[j])
+					list = append(list[:j], list[j+1:]...)
+					merged = true
+					break scan
+				}
+			}
+		}
+		if !merged {
+			break
+		}
+	}
+	return list
+}
+
+// EIS evaluates the simulated integration exactly as evaluateSimilarity()
+// does: per source row, the best aligned tuple's error-aware similarity with
+// 1s as α and -1s as δ, averaged into Equation 3.
+func (m *Matrix) EIS() float64 {
+	src := m.shape.Src
+	if len(src.Rows) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for i := range src.Rows {
+		list := m.rows[m.shape.keys[i]]
+		if len(list) == 0 {
+			continue
+		}
+		best := -1.0
+		for _, code := range list {
+			var alpha, delta int
+			for j := range code {
+				if m.shape.keyIdx[j] {
+					continue
+				}
+				switch code[j] {
+				case 1:
+					alpha++
+				case -1:
+					delta++
+				}
+			}
+			e := 1.0
+			if m.shape.nonKey > 0 {
+				e = float64(alpha-delta) / float64(m.shape.nonKey)
+			}
+			if e > best {
+				best = e
+			}
+		}
+		sum += 0.5 * (1 + best)
+	}
+	return sum / float64(len(src.Rows))
+}
+
+// Traverse implements Algorithm 1: given candidate tables (renamed, keyed),
+// greedily pick the subset whose simulated integration maximizes EIS,
+// stopping when adding any remaining candidate no longer improves it. It
+// returns the indices of the originating tables, in pick order.
+func Traverse(src *table.Table, cands []*table.Table, enc Encoding) []int {
+	shape := NewShape(src)
+	mats := make([]*Matrix, len(cands))
+	for i, c := range cands {
+		mats[i] = FromTable(shape, c, enc)
+	}
+
+	remaining := make(map[int]bool, len(cands))
+	for i := range cands {
+		remaining[i] = true
+	}
+
+	// GetStartTable: the candidate with the best standalone score.
+	start, startScore := -1, -1.0
+	for i := range cands {
+		if s := mats[i].EIS(); s > startScore {
+			start, startScore = i, s
+		}
+	}
+	if start < 0 {
+		return nil
+	}
+	picked := []int{start}
+	delete(remaining, start)
+	combined := mats[start]
+	mostCorrect := startScore
+
+	for len(remaining) > 0 {
+		next, nextScore := -1, mostCorrect
+		var nextCombined *Matrix
+		// Deterministic iteration order.
+		order := make([]int, 0, len(remaining))
+		for i := range remaining {
+			order = append(order, i)
+		}
+		sort.Ints(order)
+		for _, i := range order {
+			mc := Combine(combined, mats[i])
+			if s := mc.EIS(); s > nextScore {
+				next, nextScore, nextCombined = i, s, mc
+			}
+		}
+		if next < 0 {
+			break // integration found no more of S's values: converged
+		}
+		picked = append(picked, next)
+		delete(remaining, next)
+		combined, mostCorrect = nextCombined, nextScore
+	}
+	return picked
+}

@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"gent/internal/table"
+)
+
+// bigPair builds a large source and a reclamation with a known EIS.
+func bigPair(n int) (*table.Table, *table.Table) {
+	s := table.New("S", "k", "a", "b")
+	s.Key = []int{0}
+	t := table.New("T", "k", "a", "b")
+	for i := 0; i < n; i++ {
+		k := table.S(fmt.Sprintf("k%d", i))
+		s.AddRow(k, table.S("a"), table.S("b"))
+		switch i % 4 {
+		case 0: // exact
+			t.AddRow(k, table.S("a"), table.S("b"))
+		case 1: // half nullified
+			t.AddRow(k, table.S("a"), table.Null)
+		case 2: // erroneous
+			t.AddRow(k, table.S("a"), table.S("WRONG"))
+		default: // missing entirely
+		}
+	}
+	return s, t
+}
+
+func TestApproxEISFallsBackToExact(t *testing.T) {
+	s, r := bigPair(40)
+	exact := EIS(s, r)
+	if got := ApproxEIS(s, r, 0, 1); got != exact {
+		t.Errorf("sampleSize=0 must be exact: %v vs %v", got, exact)
+	}
+	if got := ApproxEIS(s, r, 40, 1); got != exact {
+		t.Errorf("sampleSize=|S| must be exact: %v vs %v", got, exact)
+	}
+}
+
+func TestApproxEISConverges(t *testing.T) {
+	s, r := bigPair(2000)
+	exact := EIS(s, r)
+	// Average several seeds at a modest sample size: the estimator is
+	// unbiased, so the mean must land near the exact value.
+	sum := 0.0
+	const seeds = 20
+	for seed := int64(0); seed < seeds; seed++ {
+		sum += ApproxEIS(s, r, 200, seed)
+	}
+	mean := sum / seeds
+	if math.Abs(mean-exact) > 0.03 {
+		t.Errorf("approx mean %v too far from exact %v", mean, exact)
+	}
+}
+
+func TestApproxEISWithinBounds(t *testing.T) {
+	s, r := bigPair(500)
+	for seed := int64(0); seed < 10; seed++ {
+		v := ApproxEIS(s, r, 50, seed)
+		if v < 0 || v > 1 {
+			t.Fatalf("out of range: %v", v)
+		}
+	}
+}

@@ -1,0 +1,330 @@
+// Package metrics implements every measure the paper evaluates with: the
+// error-aware instance similarity (EIS) score of Definitions 4–5, the
+// instance similarity of Alexe et al. it generalizes, the TDR-derived Recall
+// and Precision, Instance Divergence, and the penalized conditional
+// KL-divergence of Appendix E.
+//
+// All measures compare a possible reclaimed table T against a Source Table S
+// that has a key; lake-derived tuples align with a source tuple exactly when
+// they share its key value.
+package metrics
+
+import (
+	"math"
+
+	"gent/internal/table"
+)
+
+// epsilon smooths the conditional KL-divergence so that missing values yield
+// a large finite penalty instead of an infinity, and erroneous values yield
+// roughly twice the penalty of nulls — the ordering Appendix E requires.
+const epsilon = 1e-3
+
+// Alignment holds T's rows grouped by S's key values, with T's columns
+// permuted into S's column order (missing columns null-padded).
+type Alignment struct {
+	Source *table.Table
+	// Reclaimed is T reshaped to S's schema.
+	Reclaimed *table.Table
+	// ByKey maps a source row key to the reclaimed rows sharing it.
+	ByKey map[string][]table.Row
+	// KeyIdx marks which column positions are key attributes.
+	KeyIdx map[int]bool
+	// NonKey is the number of non-key attributes (n in Definition 4).
+	NonKey int
+}
+
+// Align reshapes T to S's schema and groups its tuples by S's key. S must
+// have a key.
+func Align(s, t *table.Table) *Alignment {
+	padded := t.PadNullColumns(s.Cols)
+	reshaped, err := padded.ReorderCols(s.Cols)
+	if err != nil {
+		// PadNullColumns guarantees every column exists.
+		panic("metrics: unreachable reorder failure: " + err.Error())
+	}
+	reshaped.Key = append([]int(nil), s.Key...)
+	a := &Alignment{
+		Source:    s,
+		Reclaimed: reshaped,
+		ByKey:     make(map[string][]table.Row),
+		KeyIdx:    make(map[int]bool, len(s.Key)),
+	}
+	for _, k := range s.Key {
+		a.KeyIdx[k] = true
+	}
+	a.NonKey = len(s.Cols) - len(s.Key)
+	for _, r := range reshaped.Rows {
+		k := reshaped.RowKey(r)
+		if k != "" {
+			a.ByKey[k] = append(a.ByKey[k], r)
+		}
+	}
+	return a
+}
+
+// alphaDelta returns α(s,t) (non-key attributes on which s and t share the
+// same value) and δ(s,t) (non-key positions where t holds a different,
+// non-null value) per Definition 4. Agreement on a null counts toward α when
+// nullAgrees is set: reproducing the paper's Example 6 arithmetic (EIS of
+// 0.875 vs 0.917) requires counting both-null positions as "sharing the same
+// value" in the error-aware score, while the plain instance similarity of
+// Alexe et al. counts only shared non-null values.
+func (a *Alignment) alphaDelta(s, t table.Row, nullAgrees bool) (alpha, delta int) {
+	for i := range s {
+		if a.KeyIdx[i] {
+			continue
+		}
+		switch {
+		case s[i].IsNull() && t[i].IsNull():
+			if nullAgrees {
+				alpha++
+			}
+		case t[i].IsNull():
+			// Nullified: neither shared nor erroneous.
+		case s[i].Equal(t[i]):
+			alpha++
+		default:
+			delta++
+		}
+	}
+	return alpha, delta
+}
+
+// TupleE returns the error-aware tuple similarity E(s,t) = (α−δ)/n. With no
+// non-key attributes the aligned tuple is a perfect match by key, so E = 1.
+func (a *Alignment) TupleE(s, t table.Row) float64 {
+	if a.NonKey == 0 {
+		return 1
+	}
+	alpha, delta := a.alphaDelta(s, t, true)
+	return float64(alpha-delta) / float64(a.NonKey)
+}
+
+// tupleAlpha returns α(s,t)/n, the (plain) tuple similarity of Alexe et al.
+func (a *Alignment) tupleAlpha(s, t table.Row) float64 {
+	if a.NonKey == 0 {
+		return 1
+	}
+	alpha, _ := a.alphaDelta(s, t, false)
+	return float64(alpha) / float64(a.NonKey)
+}
+
+// EIS returns the Error-Aware Instance Similarity of Definition 5, in [0,1].
+// Source tuples with no aligned reclaimed tuple contribute 0.
+func EIS(s, t *table.Table) float64 {
+	return eisOf(Align(s, t))
+}
+
+func eisOf(a *Alignment) float64 {
+	if len(a.Source.Rows) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, sr := range a.Source.Rows {
+		aligned := a.ByKey[a.Source.RowKey(sr)]
+		if len(aligned) == 0 {
+			continue
+		}
+		best := math.Inf(-1)
+		for _, tr := range aligned {
+			if e := a.TupleE(sr, tr); e > best {
+				best = e
+			}
+		}
+		sum += 0.5 * (1 + best)
+	}
+	return sum / float64(len(a.Source.Rows))
+}
+
+// InstanceSimilarity returns the (non-error-aware) instance similarity of
+// Equation 2.
+func InstanceSimilarity(s, t *table.Table) float64 {
+	a := Align(s, t)
+	if len(s.Rows) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, sr := range s.Rows {
+		aligned := a.ByKey[s.RowKey(sr)]
+		best := 0.0
+		for _, tr := range aligned {
+			if v := a.tupleAlpha(sr, tr); v > best {
+				best = v
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(s.Rows))
+}
+
+// InstanceDivergence is 1 − InstanceSimilarity; 0 is ideal.
+func InstanceDivergence(s, t *table.Table) float64 {
+	return 1 - InstanceSimilarity(s, t)
+}
+
+// RecallPrecision returns the TDR-derived Rec = |S∩Ŝ|/|S| and Pre =
+// |S∩Ŝ|/|Ŝ| over distinct whole tuples (Ŝ reshaped to S's schema first).
+// An empty reclaimed table has precision 0.
+func RecallPrecision(s, t *table.Table) (rec, pre float64) {
+	a := Align(s, t)
+	sSet := make(map[string]bool, len(s.Rows))
+	for _, r := range s.Rows {
+		sSet[r.Key()] = true
+	}
+	tSet := make(map[string]bool, len(a.Reclaimed.Rows))
+	for _, r := range a.Reclaimed.Rows {
+		tSet[r.Key()] = true
+	}
+	inter := 0
+	for k := range sSet {
+		if tSet[k] {
+			inter++
+		}
+	}
+	if len(sSet) > 0 {
+		rec = float64(inter) / float64(len(sSet))
+	}
+	if len(tSet) > 0 {
+		pre = float64(inter) / float64(len(tSet))
+	}
+	return rec, pre
+}
+
+// F1 combines recall and precision; 0 when both are 0.
+func F1(rec, pre float64) float64 {
+	if rec+pre == 0 {
+		return 0
+	}
+	return 2 * rec * pre / (rec + pre)
+}
+
+// bestAligned picks, for a source row, the aligned reclaimed tuple sharing
+// the most non-key values — the paper's rule for divergence measures.
+func (a *Alignment) bestAligned(sr table.Row) (table.Row, bool) {
+	aligned := a.ByKey[a.Source.RowKey(sr)]
+	if len(aligned) == 0 {
+		return nil, false
+	}
+	best, bestAlpha := aligned[0], -1
+	for _, tr := range aligned {
+		alpha, _ := a.alphaDelta(sr, tr, false)
+		if alpha > bestAlpha {
+			best, bestAlpha = tr, alpha
+		}
+	}
+	return best, true
+}
+
+// ConditionalKL computes the penalized conditional KL-divergence of
+// Appendix E (Equations 11–12): per non-key column, the per-key penalty
+// −log(Q(x|k)·(1−Q(¬x|k))) averaged over source keys, summed over columns,
+// and normalized by Q(K)·n where Q(K) is the (smoothed) fraction of source
+// keys found in the reclaimed table. Matching values cost ~0, nullified
+// values cost −log ε, erroneous values cost ~−2·log ε. 0 is ideal.
+func ConditionalKL(s, t *table.Table) float64 {
+	a := Align(s, t)
+	if len(s.Rows) == 0 || a.NonKey == 0 {
+		return 0
+	}
+	matchedKeys := 0
+	colSums := make([]float64, len(s.Cols))
+	for _, sr := range s.Rows {
+		tr, ok := a.bestAligned(sr)
+		if ok {
+			matchedKeys++
+		}
+		for i := range s.Cols {
+			if a.KeyIdx[i] {
+				continue
+			}
+			var q, qneg float64
+			switch {
+			case !ok:
+				q, qneg = 0, 0 // no aligned tuple at all
+			case sr[i].Equal(tr[i]):
+				q, qneg = 1, 0 // match (a shared null matches)
+			case tr[i].IsNull():
+				q, qneg = 0, 0 // nullified
+			default:
+				q, qneg = 0, 1 // erroneous
+			}
+			// Smooth into (0,1) so the logarithm stays finite.
+			q = q*(1-2*epsilon) + epsilon
+			qneg = qneg * (1 - 2*epsilon)
+			colSums[i] += -math.Log(q * (1 - qneg))
+		}
+	}
+	total := 0.0
+	for _, v := range colSums {
+		total += v / float64(len(s.Rows))
+	}
+	qk := (float64(matchedKeys) + epsilon) / (float64(len(s.Rows)) + epsilon)
+	return total / (qk * float64(a.NonKey))
+}
+
+// Report bundles every effectiveness measure for one reclamation.
+type Report struct {
+	EIS         float64
+	InstanceSim float64
+	Recall      float64
+	Precision   float64
+	F1          float64
+	InstDiv     float64
+	DKL         float64
+	// SizeRatio is |T| cells over |S| cells, the scalability measure of
+	// Figure 8(b).
+	SizeRatio float64
+	// PerfectReclamation reports Rec = Pre = 1.
+	PerfectReclamation bool
+}
+
+// Evaluate computes the full Report for reclaimed table t against source s.
+func Evaluate(s, t *table.Table) Report {
+	rec, pre := RecallPrecision(s, t)
+	r := Report{
+		EIS:         EIS(s, t),
+		InstanceSim: InstanceSimilarity(s, t),
+		Recall:      rec,
+		Precision:   pre,
+		F1:          F1(rec, pre),
+		InstDiv:     InstanceDivergence(s, t),
+		DKL:         ConditionalKL(s, t),
+	}
+	if s.NumCells() > 0 {
+		r.SizeRatio = float64(t.NumCells()) / float64(s.NumCells())
+	}
+	r.PerfectReclamation = rec == 1 && pre == 1
+	return r
+}
+
+// Average folds reports element-wise; it returns a zero Report for no input.
+// PerfectReclamation on the average means every input was perfect.
+func Average(reports []Report) Report {
+	if len(reports) == 0 {
+		return Report{}
+	}
+	var avg Report
+	avg.PerfectReclamation = true
+	for _, r := range reports {
+		avg.EIS += r.EIS
+		avg.InstanceSim += r.InstanceSim
+		avg.Recall += r.Recall
+		avg.Precision += r.Precision
+		avg.F1 += r.F1
+		avg.InstDiv += r.InstDiv
+		avg.DKL += r.DKL
+		avg.SizeRatio += r.SizeRatio
+		avg.PerfectReclamation = avg.PerfectReclamation && r.PerfectReclamation
+	}
+	n := float64(len(reports))
+	avg.EIS /= n
+	avg.InstanceSim /= n
+	avg.Recall /= n
+	avg.Precision /= n
+	avg.F1 /= n
+	avg.InstDiv /= n
+	avg.DKL /= n
+	avg.SizeRatio /= n
+	return avg
+}

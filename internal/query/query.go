@@ -1,0 +1,274 @@
+// Package query implements a small SPJU query algebra over the table
+// substrate: scan, projection, selection, the join family, inner/outer
+// union, and the unary integration operators β and κ. Plans are explicit
+// trees, so the 26 benchmark queries that define the Source Tables are
+// inspectable and serializable, and the Auto-Pipeline* baseline can return
+// the pipeline it synthesized — not just its output table.
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"gent/internal/lake"
+	"gent/internal/table"
+)
+
+// Plan is one node of a query tree.
+type Plan interface {
+	// Run evaluates the plan over a lake.
+	Run(l *lake.Lake) (*table.Table, error)
+	// String renders the plan as a one-line algebra expression.
+	String() string
+	// Tables lists the base tables the plan reads (with duplicates
+	// removed).
+	Tables() []string
+}
+
+// Scan reads a named base table.
+type Scan struct{ Name string }
+
+// Run implements Plan.
+func (s Scan) Run(l *lake.Lake) (*table.Table, error) {
+	t := l.Get(s.Name)
+	if t == nil {
+		return nil, fmt.Errorf("query: no table %q", s.Name)
+	}
+	return t, nil
+}
+
+// String implements Plan.
+func (s Scan) String() string { return s.Name }
+
+// Tables implements Plan.
+func (s Scan) Tables() []string { return []string{s.Name} }
+
+// Project is π over named columns.
+type Project struct {
+	Input Plan
+	Cols  []string
+}
+
+// Run implements Plan.
+func (p Project) Run(l *lake.Lake) (*table.Table, error) {
+	in, err := p.Input.Run(l)
+	if err != nil {
+		return nil, err
+	}
+	return in.Project(p.Cols...), nil
+}
+
+// String implements Plan.
+func (p Project) String() string {
+	return fmt.Sprintf("π[%s](%s)", strings.Join(p.Cols, ","), p.Input)
+}
+
+// Tables implements Plan.
+func (p Project) Tables() []string { return p.Input.Tables() }
+
+// CompareOp names a selection comparison.
+type CompareOp string
+
+// Selection comparisons.
+const (
+	Lt  CompareOp = "<"
+	Le  CompareOp = "<="
+	Gt  CompareOp = ">"
+	Ge  CompareOp = ">="
+	Eq  CompareOp = "="
+	Neq CompareOp = "!="
+)
+
+// Select is σ with a single comparison predicate: Col op Value. Numeric
+// bounds compare numerically; string values compare by equality operators
+// only.
+type Select struct {
+	Input Plan
+	Col   string
+	Op    CompareOp
+	Value table.Value
+}
+
+// Run implements Plan.
+func (s Select) Run(l *lake.Lake) (*table.Table, error) {
+	in, err := s.Input.Run(l)
+	if err != nil {
+		return nil, err
+	}
+	var pred table.Predicate
+	switch {
+	case s.Value.Kind == table.KindNumber:
+		pred = table.NumCompare(s.Col, string(s.Op), s.Value.Num)
+	case s.Op == Eq:
+		pred = table.ColEquals(s.Col, s.Value)
+	case s.Op == Neq:
+		eq := table.ColEquals(s.Col, s.Value)
+		pred = func(t *table.Table, r table.Row) bool { return !eq(t, r) }
+	default:
+		return nil, fmt.Errorf("query: %s not supported for non-numeric values", s.Op)
+	}
+	return in.Select(pred), nil
+}
+
+// String implements Plan.
+func (s Select) String() string {
+	return fmt.Sprintf("σ[%s%s%s](%s)", s.Col, s.Op, s.Value, s.Input)
+}
+
+// Tables implements Plan.
+func (s Select) Tables() []string { return s.Input.Tables() }
+
+// JoinKind selects the join operator.
+type JoinKind int
+
+// Join kinds.
+const (
+	InnerJoin JoinKind = iota
+	LeftJoin
+	FullOuterJoin
+)
+
+func (k JoinKind) String() string {
+	switch k {
+	case InnerJoin:
+		return "⋈"
+	case LeftJoin:
+		return "⟕"
+	default:
+		return "⟗"
+	}
+}
+
+// Join is a natural join over the inputs' shared columns.
+type Join struct {
+	Left, Right Plan
+	Kind        JoinKind
+}
+
+// Run implements Plan.
+func (j Join) Run(l *lake.Lake) (*table.Table, error) {
+	left, err := j.Left.Run(l)
+	if err != nil {
+		return nil, err
+	}
+	right, err := j.Right.Run(l)
+	if err != nil {
+		return nil, err
+	}
+	switch j.Kind {
+	case InnerJoin:
+		return table.InnerJoin(left, right), nil
+	case LeftJoin:
+		return table.LeftJoin(left, right), nil
+	default:
+		return table.FullOuterJoin(left, right), nil
+	}
+}
+
+// String implements Plan.
+func (j Join) String() string {
+	return fmt.Sprintf("(%s %s %s)", j.Left, j.Kind, j.Right)
+}
+
+// Tables implements Plan.
+func (j Join) Tables() []string { return mergeTables(j.Left, j.Right) }
+
+// Union combines two inputs: inner union when their schemas agree, outer
+// union (⊎) otherwise when Outer is set.
+type Union struct {
+	Left, Right Plan
+	Outer       bool
+}
+
+// Run implements Plan.
+func (u Union) Run(l *lake.Lake) (*table.Table, error) {
+	left, err := u.Left.Run(l)
+	if err != nil {
+		return nil, err
+	}
+	right, err := u.Right.Run(l)
+	if err != nil {
+		return nil, err
+	}
+	if table.SameSchema(left, right) {
+		return table.InnerUnion(left, right), nil
+	}
+	if !u.Outer {
+		return nil, fmt.Errorf("query: inner union of unequal schemas %v vs %v",
+			left.Cols, right.Cols)
+	}
+	return table.OuterUnion(left, right), nil
+}
+
+// String implements Plan.
+func (u Union) String() string {
+	op := "∪"
+	if u.Outer {
+		op = "⊎"
+	}
+	return fmt.Sprintf("(%s %s %s)", u.Left, op, u.Right)
+}
+
+// Tables implements Plan.
+func (u Union) Tables() []string { return mergeTables(u.Left, u.Right) }
+
+// Subsume applies β.
+type Subsume struct{ Input Plan }
+
+// Run implements Plan.
+func (s Subsume) Run(l *lake.Lake) (*table.Table, error) {
+	in, err := s.Input.Run(l)
+	if err != nil {
+		return nil, err
+	}
+	return table.Subsume(in), nil
+}
+
+// String implements Plan.
+func (s Subsume) String() string { return fmt.Sprintf("β(%s)", s.Input) }
+
+// Tables implements Plan.
+func (s Subsume) Tables() []string { return s.Input.Tables() }
+
+// Complement applies κ.
+type Complement struct{ Input Plan }
+
+// Run implements Plan.
+func (c Complement) Run(l *lake.Lake) (*table.Table, error) {
+	in, err := c.Input.Run(l)
+	if err != nil {
+		return nil, err
+	}
+	return table.Complement(in), nil
+}
+
+// String implements Plan.
+func (c Complement) String() string { return fmt.Sprintf("κ(%s)", c.Input) }
+
+// Tables implements Plan.
+func (c Complement) Tables() []string { return c.Input.Tables() }
+
+func mergeTables(a, b Plan) []string {
+	seen := make(map[string]bool)
+	out := make([]string, 0)
+	for _, n := range append(a.Tables(), b.Tables()...) {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Materialized wraps an already-computed table as a plan leaf; Auto-
+// Pipeline* uses it for its input tables, which are not lake members.
+type Materialized struct{ T *table.Table }
+
+// Run implements Plan.
+func (m Materialized) Run(*lake.Lake) (*table.Table, error) { return m.T, nil }
+
+// String implements Plan.
+func (m Materialized) String() string { return m.T.Name }
+
+// Tables implements Plan.
+func (m Materialized) Tables() []string { return []string{m.T.Name} }

@@ -1,0 +1,141 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"gent/internal/lake"
+	"gent/internal/table"
+)
+
+func queryLake() *lake.Lake {
+	l := lake.New()
+	people := table.New("people", "id", "name", "age")
+	people.AddRow(table.S("p1"), table.S("Ann"), table.N(30))
+	people.AddRow(table.S("p2"), table.S("Bob"), table.N(40))
+	people.AddRow(table.S("p3"), table.S("Cem"), table.N(50))
+	l.Add(people)
+	cities := table.New("cities", "id", "city")
+	cities.AddRow(table.S("p1"), table.S("Boston"))
+	cities.AddRow(table.S("p2"), table.S("Worcester"))
+	l.Add(cities)
+	return l
+}
+
+func run(t *testing.T, p Plan) *table.Table {
+	t.Helper()
+	got, err := p.Run(queryLake())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestScanProjectSelect(t *testing.T) {
+	p := Project{
+		Input: Select{Input: Scan{"people"}, Col: "age", Op: Ge, Value: table.N(40)},
+		Cols:  []string{"id", "name"},
+	}
+	got := run(t, p)
+	if len(got.Rows) != 2 || len(got.Cols) != 2 {
+		t.Fatalf("wrong result:\n%s", got)
+	}
+	if !strings.Contains(p.String(), "π") || !strings.Contains(p.String(), "σ") {
+		t.Errorf("bad rendering: %s", p)
+	}
+	if tabs := p.Tables(); len(tabs) != 1 || tabs[0] != "people" {
+		t.Errorf("tables = %v", tabs)
+	}
+}
+
+func TestSelectOperators(t *testing.T) {
+	cases := []struct {
+		op   CompareOp
+		v    table.Value
+		want int
+	}{
+		{Lt, table.N(40), 1}, {Le, table.N(40), 2}, {Gt, table.N(40), 1},
+		{Ge, table.N(40), 2}, {Eq, table.N(40), 1}, {Neq, table.N(40), 2},
+		{Eq, table.S("Ann"), 0}, // Ann is not in the age column
+	}
+	for _, c := range cases {
+		col := "age"
+		got := run(t, Select{Input: Scan{"people"}, Col: col, Op: c.op, Value: c.v})
+		if len(got.Rows) != c.want {
+			t.Errorf("age %s %v: %d rows, want %d", c.op, c.v, len(got.Rows), c.want)
+		}
+	}
+	// String equality on the right column.
+	got := run(t, Select{Input: Scan{"people"}, Col: "name", Op: Eq, Value: table.S("Ann")})
+	if len(got.Rows) != 1 {
+		t.Errorf("name=Ann: %d rows", len(got.Rows))
+	}
+	// Ordering on strings is rejected.
+	if _, err := (Select{Input: Scan{"people"}, Col: "name", Op: Lt, Value: table.S("B")}).Run(queryLake()); err == nil {
+		t.Error("string ordering should be rejected")
+	}
+}
+
+func TestJoinKinds(t *testing.T) {
+	inner := run(t, Join{Left: Scan{"people"}, Right: Scan{"cities"}, Kind: InnerJoin})
+	if len(inner.Rows) != 2 {
+		t.Errorf("inner join rows = %d", len(inner.Rows))
+	}
+	left := run(t, Join{Left: Scan{"people"}, Right: Scan{"cities"}, Kind: LeftJoin})
+	if len(left.Rows) != 3 {
+		t.Errorf("left join rows = %d", len(left.Rows))
+	}
+	outer := run(t, Join{Left: Scan{"cities"}, Right: Scan{"people"}, Kind: FullOuterJoin})
+	if len(outer.Rows) != 3 {
+		t.Errorf("outer join rows = %d", len(outer.Rows))
+	}
+	if tabs := (Join{Left: Scan{"people"}, Right: Scan{"cities"}}).Tables(); len(tabs) != 2 {
+		t.Errorf("join tables = %v", tabs)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	young := Select{Input: Scan{"people"}, Col: "age", Op: Lt, Value: table.N(40)}
+	old := Select{Input: Scan{"people"}, Col: "age", Op: Ge, Value: table.N(40)}
+	got := run(t, Union{Left: young, Right: old})
+	if len(got.Rows) != 3 {
+		t.Errorf("union rows = %d", len(got.Rows))
+	}
+	// Unequal schemas need Outer.
+	if _, err := (Union{Left: Scan{"people"}, Right: Scan{"cities"}}).Run(queryLake()); err == nil {
+		t.Error("inner union of unequal schemas should fail")
+	}
+	ou := run(t, Union{Left: Scan{"people"}, Right: Scan{"cities"}, Outer: true})
+	if len(ou.Cols) != 4 || len(ou.Rows) != 5 {
+		t.Errorf("outer union wrong:\n%s", ou)
+	}
+}
+
+func TestSubsumeComplementNodes(t *testing.T) {
+	// β(κ(people ⊎ cities)) merges the partial tuples per id.
+	p := Subsume{Complement{Union{Left: Scan{"people"}, Right: Scan{"cities"}, Outer: true}}}
+	got := run(t, p)
+	if len(got.Rows) != 3 {
+		t.Errorf("κ/β pipeline rows = %d, want 3 (one per person)\n%s", len(got.Rows), got)
+	}
+	for _, want := range []string{"β", "κ", "⊎"} {
+		if !strings.Contains(p.String(), want) {
+			t.Errorf("rendering missing %s: %s", want, p)
+		}
+	}
+}
+
+func TestScanMissingTable(t *testing.T) {
+	if _, err := (Scan{"missing"}).Run(queryLake()); err == nil {
+		t.Error("missing table should fail")
+	}
+}
+
+func TestMaterialized(t *testing.T) {
+	tb := table.New("mem", "x")
+	tb.AddRow(table.S("v"))
+	got := run(t, Materialized{tb})
+	if got != tb {
+		t.Error("materialized leaf must return its table")
+	}
+}

@@ -1,0 +1,101 @@
+package table
+
+// Complements reports whether t1 and t2 (same schema) complement each other:
+// they agree on every attribute where both are non-null, share at least one
+// non-null value, and each has a non-null value where the other has a null.
+func Complements(t1, t2 Row) bool {
+	share, oneFills, twoFills := false, false, false
+	for i := range t1 {
+		a, b := t1[i], t2[i]
+		switch {
+		case a.IsNull() && b.IsNull():
+		case a.IsNull():
+			twoFills = true
+		case b.IsNull():
+			oneFills = true
+		case a.Equal(b):
+			share = true
+		default:
+			return false // disagree on a shared non-null
+		}
+	}
+	return share && oneFills && twoFills
+}
+
+// MergeComplement applies κ to one complementing pair, producing the tuple
+// holding all non-null values of either.
+func MergeComplement(t1, t2 Row) Row {
+	out := make(Row, len(t1))
+	for i := range t1 {
+		if t1[i].IsNull() {
+			out[i] = t2[i]
+		} else {
+			out[i] = t1[i]
+		}
+	}
+	return out
+}
+
+// Complement applies κ on a whole table: repeatedly merge complementing
+// pairs until no pair complements. Merged inputs are replaced by their merge;
+// the result has no complementing tuples.
+func Complement(t *Table) *Table {
+	rows := make([]Row, 0, len(t.Rows))
+	seen := make(map[string]bool, len(t.Rows))
+	for _, r := range t.Rows {
+		k := r.Key()
+		if !seen[k] {
+			seen[k] = true
+			rows = append(rows, r.Clone())
+		}
+	}
+
+	// Fixpoint: scan for a complementing pair, merge, rescan. Each merge
+	// removes a tuple, so at most len(rows)-1 merges happen and termination
+	// is guaranteed.
+	for {
+		merged := false
+	scan:
+		for i := 0; i < len(rows); i++ {
+			for j := i + 1; j < len(rows); j++ {
+				if Complements(rows[i], rows[j]) {
+					m := MergeComplement(rows[i], rows[j])
+					rows[i] = m
+					rows = append(rows[:j], rows[j+1:]...)
+					merged = true
+					break scan
+				}
+			}
+		}
+		if !merged {
+			break
+		}
+	}
+
+	out := New(t.Name, t.Cols...)
+	out.Key = append([]int(nil), t.Key...)
+	// Re-deduplicate: merges can converge to equal tuples.
+	seen = make(map[string]bool, len(rows))
+	for _, r := range rows {
+		k := r.Key()
+		if !seen[k] {
+			seen[k] = true
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out
+}
+
+// MinimalForm removes duplicates and applies β and κ to fixpoint, yielding a
+// table with no duplicate, subsumable or complementable tuples — the
+// precondition of the representative-operators theorem (Theorem 8).
+func MinimalForm(t *Table) *Table {
+	cur := t
+	for {
+		next := Subsume(Complement(cur))
+		if len(next.Rows) == len(cur.Rows) && EqualRows(next, cur) {
+			return next
+		}
+		cur = next
+	}
+}

@@ -1,0 +1,92 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ReadCSV parses a table from CSV: the first record is the header, empty
+// cells are nulls, numeric-looking cells become numbers. The table name is
+// taken from the argument.
+func ReadCSV(r io.Reader, name string) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table: reading CSV header of %s: %w", name, err)
+	}
+	t := New(name, header...)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table: reading CSV rows of %s: %w", name, err)
+		}
+		row := make(Row, len(header))
+		for i := range header {
+			if i < len(rec) {
+				row[i] = Parse(rec[i])
+			} else {
+				row[i] = Null
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// WriteCSV renders the table as CSV with nulls as empty cells.
+func WriteCSV(w io.Writer, t *Table) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Cols); err != nil {
+		return fmt.Errorf("table: writing CSV header of %s: %w", t.Name, err)
+	}
+	rec := make([]string, len(t.Cols))
+	for _, r := range t.Rows {
+		for i, v := range r {
+			rec[i] = v.Text()
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("table: writing CSV row of %s: %w", t.Name, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadCSVFile reads one CSV file; the table is named after the file without
+// its extension.
+func LoadCSVFile(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("table: %w", err)
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return ReadCSV(f, name)
+}
+
+// SaveCSVFile writes the table to path, creating parent directories.
+func SaveCSVFile(path string, t *Table) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("table: %w", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("table: %w", err)
+	}
+	if err := WriteCSV(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

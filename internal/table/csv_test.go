@@ -1,0 +1,109 @@
+package table
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := figSource()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "Source")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Key = []int{0}
+	if !EqualRows(s, got) {
+		t.Errorf("round trip changed rows:\n%s\nvs\n%s", s, got)
+	}
+}
+
+func TestReadCSVNullsAndNumbers(t *testing.T) {
+	in := "a,b,c\n1,,text\n,2.5,\n"
+	got, err := ReadCSV(strings.NewReader(in), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Rows[0][0].Equal(N(1)) || !got.Rows[0][1].IsNull() {
+		t.Errorf("row 0 wrong: %v", got.Rows[0])
+	}
+	if !got.Rows[1][1].Equal(N(2.5)) || !got.Rows[1][2].IsNull() {
+		t.Errorf("row 1 wrong: %v", got.Rows[1])
+	}
+}
+
+func TestReadCSVShortRecords(t *testing.T) {
+	in := "a,b,c\nx\n"
+	got, err := ReadCSV(strings.NewReader(in), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows[0]) != 3 || !got.Rows[0][2].IsNull() {
+		t.Error("short records must be null-padded")
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader(""), "t"); err == nil {
+		t.Error("empty input should fail (no header)")
+	}
+}
+
+func TestLoadSaveCSVFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "fig_a.csv")
+	if err := SaveCSVFile(path, figA()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "fig_a" {
+		t.Errorf("table name = %q, want fig_a", got.Name)
+	}
+	if !EqualRows(figA(), got) {
+		t.Error("file round trip changed rows")
+	}
+	if _, err := LoadCSVFile(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestCSVQuotedFields(t *testing.T) {
+	tbl := New("q", "a", "b")
+	tbl.AddRow(S("has,comma"), S("has\nnewline"))
+	tbl.AddRow(S(`has"quote`), S("  padded  "))
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tbl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualRows(tbl, got) {
+		t.Errorf("quoted round trip changed rows:\n%s\nvs\n%s", tbl, got)
+	}
+}
+
+func TestCSVUnicode(t *testing.T) {
+	tbl := New("u", "名前", "ville")
+	tbl.AddRow(S("日本語"), S("Besançon"))
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tbl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !EqualRows(tbl, got) {
+		t.Error("unicode round trip changed rows")
+	}
+}

@@ -1,0 +1,64 @@
+package table
+
+// ComplementClosure keeps every original tuple and adds the merge of every
+// complementing pair, repeating until no new tuple appears, then removes
+// subsumed tuples. Unlike Complement (which replaces a pair by its merge and
+// so under-combines when several tuples complement the same partner), the
+// closure maximally combines tuples — the semantics full disjunction needs.
+//
+// maxRows bounds the closure's worst-case exponential growth; when the bound
+// is hit the closure stops early and truncated is true. maxRows <= 0 means
+// unbounded.
+func ComplementClosure(t *Table, maxRows int) (out *Table, truncated bool) {
+	rows := make([]Row, 0, len(t.Rows))
+	seen := make(map[string]bool, len(t.Rows))
+	add := func(r Row) bool {
+		k := r.Key()
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+		rows = append(rows, r)
+		return true
+	}
+	for _, r := range t.Rows {
+		add(r.Clone())
+	}
+
+	// Worklist closure: each new tuple is paired against everything present.
+	for head := 0; head < len(rows); head++ {
+		if maxRows > 0 && len(rows) >= maxRows {
+			truncated = true
+			break
+		}
+		for j := 0; j < head; j++ {
+			if Complements(rows[head], rows[j]) {
+				add(MergeComplement(rows[head], rows[j]))
+				if maxRows > 0 && len(rows) >= maxRows {
+					break
+				}
+			}
+		}
+	}
+
+	closed := New(t.Name, t.Cols...)
+	closed.Key = append([]int(nil), t.Key...)
+	closed.Rows = rows
+	return Subsume(closed), truncated
+}
+
+// FullDisjunction maximally combines tuples from the given tables, following
+// ALITE's formulation: outer-union everything, then take the complementation
+// closure and drop subsumed tuples. On key-less heterogeneous tables this is
+// the state-of-the-art integration result Gen-T's baselines use.
+//
+// Full disjunction is worst-case exponential in the number of tables; the
+// scalability experiments rely on exactly that blow-up. maxRows bounds the
+// closure (<= 0 for unbounded); hitting it reports truncated, which the
+// experiment harness treats as a timeout.
+func FullDisjunction(ts []*Table, maxRows int) (out *Table, truncated bool) {
+	u := OuterUnionAll(ts)
+	out, truncated = ComplementClosure(u, maxRows)
+	out.Name = "FD"
+	return out, truncated
+}

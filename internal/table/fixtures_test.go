@@ -1,0 +1,51 @@
+package table
+
+// Fixtures from the paper's running example (Figures 3 and 5): a Source
+// Table about applicants and the data lake tables A, B, C that overlap it.
+
+// figSource returns the Source Table of Figure 3 (key column "ID").
+func figSource() *Table {
+	s := New("Source", "ID", "Name", "Age", "Gender", "Education Level")
+	s.Key = []int{0}
+	s.AddRow(N(0), S("Smith"), N(27), Null, S("Bachelors"))
+	s.AddRow(N(1), S("Brown"), N(24), S("Male"), S("Masters"))
+	s.AddRow(N(2), S("Wang"), N(32), S("Female"), S("High School"))
+	return s
+}
+
+// figA returns Table A of Figure 3: ID, Name, Education Level.
+func figA() *Table {
+	a := New("A", "ID", "Name", "Education Level")
+	a.AddRow(N(0), S("Smith"), S("Bachelors"))
+	a.AddRow(N(1), S("Brown"), Null)
+	a.AddRow(N(2), S("Wang"), S("High School"))
+	return a
+}
+
+// figB returns Table B of Figure 3: Name, Age.
+func figB() *Table {
+	b := New("B", "Name", "Age")
+	b.AddRow(S("Smith"), N(27))
+	b.AddRow(S("Brown"), N(24))
+	b.AddRow(S("Wang"), N(32))
+	return b
+}
+
+// figC returns Table C of Figure 3: Name, Gender — the table whose "Male"
+// values contradict the Source.
+func figC() *Table {
+	c := New("C", "Name", "Gender")
+	c.AddRow(S("Smith"), S("Male"))
+	c.AddRow(S("Brown"), S("Male"))
+	c.AddRow(S("Wang"), S("Male"))
+	return c
+}
+
+// mustRows asserts a table holds exactly the given rows as a multiset.
+func mustRows(t *Table, rows ...Row) bool {
+	want := New(t.Name, t.Cols...)
+	for _, r := range rows {
+		want.Rows = append(want.Rows, r)
+	}
+	return EqualRows(t, want)
+}

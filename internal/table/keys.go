@@ -1,0 +1,59 @@
+package table
+
+// MineKey searches for a minimal key of t: the smallest column subset (up to
+// maxArity attributes, in left-to-right preference order) whose non-null
+// value combinations are unique across all rows and that contains no nulls.
+// It returns the key column indices, or nil when no key of that arity exists.
+//
+// The paper assumes Source Tables have a key discoverable by existing mining
+// techniques; this is that technique for our setting.
+func MineKey(t *Table, maxArity int) []int {
+	if len(t.Rows) == 0 || len(t.Cols) == 0 {
+		return nil
+	}
+	if maxArity > len(t.Cols) {
+		maxArity = len(t.Cols)
+	}
+	for arity := 1; arity <= maxArity; arity++ {
+		if key := mineKeyOfArity(t, arity); key != nil {
+			return key
+		}
+	}
+	return nil
+}
+
+func mineKeyOfArity(t *Table, arity int) []int {
+	idx := make([]int, arity)
+	var rec func(start, depth int) []int
+	rec = func(start, depth int) []int {
+		if depth == arity {
+			if isKey(t, idx) {
+				return append([]int(nil), idx...)
+			}
+			return nil
+		}
+		for i := start; i < len(t.Cols); i++ {
+			idx[depth] = i
+			if found := rec(i+1, depth+1); found != nil {
+				return found
+			}
+		}
+		return nil
+	}
+	return rec(0, 0)
+}
+
+func isKey(t *Table, idx []int) bool {
+	seen := make(map[string]bool, len(t.Rows))
+	for _, r := range t.Rows {
+		k, ok := joinKey(r, idx)
+		if !ok {
+			return false // key attributes must be non-null
+		}
+		if seen[k] {
+			return false
+		}
+		seen[k] = true
+	}
+	return true
+}

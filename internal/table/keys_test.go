@@ -1,0 +1,51 @@
+package table
+
+import "testing"
+
+func TestMineKeySingleColumn(t *testing.T) {
+	s := figSource()
+	s.Key = nil
+	key := MineKey(s, 3)
+	if len(key) != 1 || s.Cols[key[0]] != "ID" {
+		t.Errorf("mined key %v, want [ID]", key)
+	}
+}
+
+func TestMineKeyMultiColumn(t *testing.T) {
+	tbl := New("t", "city", "year", "pop")
+	tbl.AddRow(S("Boston"), N(2020), N(600))
+	tbl.AddRow(S("Boston"), N(2021), N(610))
+	tbl.AddRow(S("Worcester"), N(2020), N(180))
+	// pop is unique, so arity-1 mining finds it first; restrict to
+	// non-numeric behavior by duplicating a pop value.
+	tbl.AddRow(S("Worcester"), N(2021), N(600))
+	key := MineKey(tbl, 2)
+	if len(key) != 2 {
+		t.Fatalf("mined key %v, want a 2-column key", key)
+	}
+	if tbl.Cols[key[0]] != "city" || tbl.Cols[key[1]] != "year" {
+		t.Errorf("mined key %v, want [city year]", key)
+	}
+}
+
+func TestMineKeyRejectsNullKeys(t *testing.T) {
+	tbl := New("t", "a", "b")
+	tbl.AddRow(Null, S("x"))
+	tbl.AddRow(S("v"), S("y"))
+	key := MineKey(tbl, 1)
+	if len(key) != 1 || tbl.Cols[key[0]] != "b" {
+		t.Errorf("mined key %v, want [b] (a contains a null)", key)
+	}
+}
+
+func TestMineKeyNone(t *testing.T) {
+	tbl := New("t", "a")
+	tbl.AddRow(S("x"))
+	tbl.AddRow(S("x"))
+	if key := MineKey(tbl, 1); key != nil {
+		t.Errorf("mined key %v from a duplicate column", key)
+	}
+	if key := MineKey(New("empty", "a"), 1); key != nil {
+		t.Error("empty table has no key")
+	}
+}

@@ -1,0 +1,77 @@
+package table
+
+// Subsumes reports whether t1 subsumes t2 (same schema assumed): wherever
+// both are non-null they agree, t1 is non-null everywhere t2 is, and t1 has
+// strictly more non-null cells.
+func Subsumes(t1, t2 Row) bool {
+	strict := false
+	for i := range t1 {
+		switch {
+		case t2[i].IsNull():
+			if !t1[i].IsNull() {
+				strict = true
+			}
+		case t1[i].IsNull():
+			return false // t2 has a value where t1 has none
+		case !t1[i].Equal(t2[i]):
+			return false
+		}
+	}
+	return strict
+}
+
+// Subsume applies β: repeatedly discard tuples subsumed by another tuple, and
+// collapse exact duplicates to one copy. The result contains no subsumable
+// pair.
+func Subsume(t *Table) *Table {
+	out := New(t.Name, t.Cols...)
+	out.Key = append([]int(nil), t.Key...)
+	if len(t.Rows) == 0 {
+		return out
+	}
+
+	// Deduplicate first; β removes duplicates implicitly (a duplicate is the
+	// degenerate "equal on all shared non-nulls, nothing extra" case the
+	// paper folds into minimal form).
+	uniq := make([]Row, 0, len(t.Rows))
+	seen := make(map[string]bool, len(t.Rows))
+	for _, r := range t.Rows {
+		k := r.Key()
+		if !seen[k] {
+			seen[k] = true
+			uniq = append(uniq, r.Clone())
+		}
+	}
+
+	// Bucket rows by non-null count, descending: a row can only be subsumed
+	// by a row with strictly more non-nulls, so each row need only be checked
+	// against richer rows.
+	alive := make([]bool, len(uniq))
+	for i := range alive {
+		alive[i] = true
+	}
+	counts := make([]int, len(uniq))
+	for i, r := range uniq {
+		counts[i] = r.NonNullCount()
+	}
+	for i := range uniq {
+		if !alive[i] {
+			continue
+		}
+		for j := range uniq {
+			if i == j || !alive[j] || counts[j] <= counts[i] {
+				continue
+			}
+			if Subsumes(uniq[j], uniq[i]) {
+				alive[i] = false
+				break
+			}
+		}
+	}
+	for i, r := range uniq {
+		if alive[i] {
+			out.Rows = append(out.Rows, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package table
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSubsumes(t *testing.T) {
+	full := Row{S("x"), N(1), S("y")}
+	partial := Row{S("x"), Null, S("y")}
+	other := Row{S("x"), N(2), Null}
+	if !Subsumes(full, partial) {
+		t.Error("full should subsume partial")
+	}
+	if Subsumes(partial, full) {
+		t.Error("partial must not subsume full")
+	}
+	if Subsumes(full, full) {
+		t.Error("a tuple must not subsume its duplicate (no strict gain)")
+	}
+	if Subsumes(full, other) || Subsumes(other, full) {
+		t.Error("conflicting tuples must not subsume")
+	}
+	// Incomparable null patterns.
+	p1 := Row{S("x"), Null}
+	p2 := Row{Null, N(1)}
+	if Subsumes(p1, p2) || Subsumes(p2, p1) {
+		t.Error("tuples filling each other are complements, not subsumption")
+	}
+}
+
+func TestSubsumeTable(t *testing.T) {
+	tbl := New("t", "a", "b", "c")
+	tbl.AddRow(S("x"), N(1), S("y"))
+	tbl.AddRow(S("x"), Null, S("y")) // subsumed
+	tbl.AddRow(S("x"), N(1), S("y")) // duplicate
+	tbl.AddRow(Null, N(2), Null)     // survives
+	got := Subsume(tbl)
+	if !mustRows(got, Row{S("x"), N(1), S("y")}, Row{Null, N(2), Null}) {
+		t.Errorf("Subsume wrong:\n%s", got)
+	}
+}
+
+func TestSubsumeIdempotent(t *testing.T) {
+	prop := func(a randTable) bool {
+		once := Subsume(a.T)
+		twice := Subsume(once)
+		return EqualRows(once, twice)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubsumeLeavesNoSubsumablePair(t *testing.T) {
+	prop := func(a randTable) bool {
+		got := Subsume(a.T)
+		for i := range got.Rows {
+			for j := range got.Rows {
+				if i != j && Subsumes(got.Rows[i], got.Rows[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubsumeRespectsLabels(t *testing.T) {
+	// A labeled null is a real value: a tuple with a label is not subsumed
+	// by one with a conflicting real value there.
+	tbl := New("t", "a", "b")
+	tbl.AddRow(S("x"), Label(1))
+	tbl.AddRow(S("x"), S("v"))
+	got := Subsume(tbl)
+	if len(got.Rows) != 2 {
+		t.Errorf("label treated as null: %s", got)
+	}
+	// But a plain null IS subsumed by the labeled row.
+	tbl2 := New("t", "a", "b")
+	tbl2.AddRow(S("x"), Label(1))
+	tbl2.AddRow(S("x"), Null)
+	got2 := Subsume(tbl2)
+	if len(got2.Rows) != 1 || got2.Rows[0][1].Kind != KindLabel {
+		t.Errorf("null not subsumed by labeled row: %s", got2)
+	}
+}

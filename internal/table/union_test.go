@@ -1,0 +1,123 @@
+package table
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestInnerUnion(t *testing.T) {
+	a := figB()
+	b := New("b2", "Age", "Name") // permuted schema
+	b.AddRow(N(40), S("Lee"))
+	u := InnerUnion(a, b)
+	if len(u.Cols) != 2 || len(u.Rows) != 4 {
+		t.Fatalf("bad inner union: %s", u)
+	}
+	last := u.Rows[3]
+	if !last[0].Equal(S("Lee")) || !last[1].Equal(N(40)) {
+		t.Error("permuted columns not realigned")
+	}
+}
+
+func TestInnerUnionPanicsOnSchemaMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("InnerUnion on different schemas did not panic")
+		}
+	}()
+	InnerUnion(figA(), figB())
+}
+
+func TestOuterUnionPaperExample(t *testing.T) {
+	// Figure 5: A ⊎ B ⊎ C over the running example.
+	u := OuterUnionAll([]*Table{figA(), figB(), figC()})
+	want := New("w", "ID", "Name", "Education Level", "Age", "Gender")
+	want.AddRow(N(0), S("Smith"), S("Bachelors"), Null, Null)
+	want.AddRow(N(1), S("Brown"), Null, Null, Null)
+	want.AddRow(N(2), S("Wang"), S("High School"), Null, Null)
+	want.AddRow(Null, S("Smith"), Null, N(27), Null)
+	want.AddRow(Null, S("Brown"), Null, N(24), Null)
+	want.AddRow(Null, S("Wang"), Null, N(32), Null)
+	want.AddRow(Null, S("Smith"), Null, Null, S("Male"))
+	want.AddRow(Null, S("Brown"), Null, Null, S("Male"))
+	want.AddRow(Null, S("Wang"), Null, Null, S("Male"))
+	if !SameInstance(u, want) {
+		t.Errorf("A⊎B⊎C wrong:\n%s", u)
+	}
+}
+
+func TestOuterUnionSameSchemaIsInnerUnion(t *testing.T) {
+	a, b := figB(), figB()
+	ou := OuterUnion(a, b)
+	iu := InnerUnion(a, b)
+	if !SameInstance(ou, iu) {
+		t.Error("⊎ on equal schemas must equal inner union")
+	}
+}
+
+// randTable is a quick.Generator producing small tables over a fixed column
+// pool, so generated pairs often share columns and values.
+type randTable struct{ T *Table }
+
+var colPool = []string{"k", "a", "b", "c", "d"}
+
+func genTable(r *rand.Rand) *Table {
+	ncols := 1 + r.Intn(4)
+	perm := r.Perm(len(colPool))[:ncols]
+	cols := make([]string, ncols)
+	for i, p := range perm {
+		cols[i] = colPool[p]
+	}
+	t := New("t", cols...)
+	nrows := r.Intn(5)
+	for i := 0; i < nrows; i++ {
+		row := make(Row, ncols)
+		for j := range row {
+			row[j] = randomValue(r)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Generate implements quick.Generator.
+func (randTable) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(randTable{genTable(r)})
+}
+
+func TestOuterUnionCommutative(t *testing.T) {
+	prop := func(a, b randTable) bool {
+		return SameInstance(OuterUnion(a.T, b.T), OuterUnion(b.T, a.T))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOuterUnionAssociative(t *testing.T) {
+	prop := func(a, b, c randTable) bool {
+		l := OuterUnion(OuterUnion(a.T, b.T), c.T)
+		r := OuterUnion(a.T, OuterUnion(b.T, c.T))
+		return SameInstance(l, r)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOuterUnionPreservesRowCount(t *testing.T) {
+	prop := func(a, b randTable) bool {
+		return len(OuterUnion(a.T, b.T).Rows) == len(a.T.Rows)+len(b.T.Rows)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOuterUnionAllEmpty(t *testing.T) {
+	if got := OuterUnionAll(nil); len(got.Rows) != 0 || len(got.Cols) != 0 {
+		t.Error("outer union of nothing should be the empty table")
+	}
+}

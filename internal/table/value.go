@@ -1,0 +1,193 @@
+// Package table implements the relational substrate Gen-T is built on: cell
+// values (including the labeled nulls used by table integration), tables with
+// optional keys, a CSV codec, and the full set of integration operators from
+// the paper — projection, selection, inner/outer union, subsumption (β),
+// complementation (κ), the join family, cross product and full disjunction.
+//
+// Value comparison is syntactic, as in the paper: two cells are equal when
+// their canonical forms match. Numbers carry a parsed float alongside the
+// canonical string so numeric selections remain possible.
+package table
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the kinds of cell values.
+type Kind uint8
+
+const (
+	// KindNull is the SQL-style missing value ⊥.
+	KindNull Kind = iota
+	// KindString is an uninterpreted string value.
+	KindString
+	// KindNumber is a numeric value; it keeps its canonical text form so
+	// equality stays syntactic.
+	KindNumber
+	// KindLabel is a labeled null: a value that behaves as a unique non-null
+	// constant. Algorithm 2 uses labels to protect nulls the Source Table
+	// shares with candidate tuples from being "filled in" erroneously.
+	KindLabel
+)
+
+// Value is one table cell. The zero Value is the null ⊥.
+type Value struct {
+	Kind Kind
+	Str  string  // canonical text for String and Number kinds
+	Num  float64 // parsed number for KindNumber
+	ID   int64   // label identity for KindLabel
+}
+
+// Null is the missing value ⊥.
+var Null = Value{Kind: KindNull}
+
+// S returns a string value.
+func S(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// N returns a number value with a canonical text form.
+func N(f float64) Value {
+	return Value{Kind: KindNumber, Str: formatNum(f), Num: f}
+}
+
+// Label returns a labeled null with the given identity.
+func Label(id int64) Value { return Value{Kind: KindLabel, ID: id} }
+
+func formatNum(f float64) string {
+	// 'f' keeps large integers readable ("1608000", not "1.608e+06");
+	// extreme magnitudes fall back to scientific notation.
+	if f != 0 && (f < 1e-4 && f > -1e-4 || f > 1e15 || f < -1e15) {
+		return strconv.FormatFloat(f, 'g', -1, 64)
+	}
+	return strconv.FormatFloat(f, 'f', -1, 64)
+}
+
+// Parse interprets raw text as a cell value: empty text is null, numeric text
+// becomes a number, and anything else is a string.
+func Parse(raw string) Value {
+	if raw == "" {
+		return Null
+	}
+	if f, err := strconv.ParseFloat(raw, 64); err == nil &&
+		!strings.EqualFold(raw, "nan") && !strings.EqualFold(raw, "inf") &&
+		!strings.EqualFold(raw, "+inf") && !strings.EqualFold(raw, "-inf") {
+		// Preserve the author's spelling so round-tripping is lossless.
+		v := Value{Kind: KindNumber, Str: raw, Num: f}
+		return v
+	}
+	return Value{Kind: KindString, Str: raw}
+}
+
+// IsNull reports whether v is the missing value ⊥. Labeled nulls are NOT
+// null: they act as unique constants until RemoveLabeledNulls reverts them.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// Equal reports syntactic equality. Numbers compare by numeric value so that
+// "1.0" and "1" from different generators match; strings compare exactly;
+// labels compare by identity; null equals only null.
+func (v Value) Equal(w Value) bool {
+	switch v.Kind {
+	case KindNull:
+		return w.Kind == KindNull
+	case KindLabel:
+		return w.Kind == KindLabel && v.ID == w.ID
+	case KindNumber:
+		if w.Kind == KindNumber {
+			return v.Num == w.Num
+		}
+		return w.Kind == KindString && v.Str == w.Str
+	default: // KindString
+		if w.Kind == KindString {
+			return v.Str == w.Str
+		}
+		return w.Kind == KindNumber && v.Str == w.Str
+	}
+}
+
+// Key returns a canonical form usable as a map key; distinct keys imply
+// unequal values and vice versa.
+func (v Value) Key() string {
+	switch v.Kind {
+	case KindNull:
+		return "\x00N"
+	case KindLabel:
+		return "\x00L" + strconv.FormatInt(v.ID, 10)
+	case KindNumber:
+		return "\x00#" + formatNum(v.Num)
+	default:
+		if f, err := strconv.ParseFloat(v.Str, 64); err == nil {
+			return "\x00#" + formatNum(f)
+		}
+		return "s" + v.Str
+	}
+}
+
+// Compare orders values deterministically: nulls first, then numbers by
+// value, then strings lexicographically, then labels by identity.
+func (v Value) Compare(w Value) int {
+	r := func(k Kind) int {
+		switch k {
+		case KindNull:
+			return 0
+		case KindNumber:
+			return 1
+		case KindString:
+			return 2
+		default:
+			return 3
+		}
+	}
+	if a, b := r(v.Kind), r(w.Kind); a != b {
+		return a - b
+	}
+	switch v.Kind {
+	case KindNull:
+		return 0
+	case KindNumber:
+		switch {
+		case v.Num < w.Num:
+			return -1
+		case v.Num > w.Num:
+			return 1
+		}
+		return 0
+	case KindLabel:
+		switch {
+		case v.ID < w.ID:
+			return -1
+		case v.ID > w.ID:
+			return 1
+		}
+		return 0
+	default:
+		return strings.Compare(v.Str, w.Str)
+	}
+}
+
+// String renders the value for display; nulls render as "—" like the paper's
+// figures, labels as ⟨L#id⟩.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "—"
+	case KindLabel:
+		return fmt.Sprintf("⟨L%d⟩", v.ID)
+	default:
+		return v.Str
+	}
+}
+
+// Text renders the value for CSV output: nulls become the empty string and
+// labels are rendered with a reserved prefix (they should normally be removed
+// before persisting).
+func (v Value) Text() string {
+	switch v.Kind {
+	case KindNull:
+		return ""
+	case KindLabel:
+		return fmt.Sprintf("\x00label:%d", v.ID)
+	default:
+		return v.Str
+	}
+}

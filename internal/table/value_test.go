@@ -1,0 +1,140 @@
+package table
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestParse(t *testing.T) {
+	tests := []struct {
+		raw  string
+		want Value
+	}{
+		{"", Null},
+		{"hello", S("hello")},
+		{"27", Value{Kind: KindNumber, Str: "27", Num: 27}},
+		{"-3.5", Value{Kind: KindNumber, Str: "-3.5", Num: -3.5}},
+		{"1e3", Value{Kind: KindNumber, Str: "1e3", Num: 1000}},
+		{"NaN", S("NaN")},
+		{"Inf", S("Inf")},
+		{"12 Main St", S("12 Main St")},
+	}
+	for _, tc := range tests {
+		if got := Parse(tc.raw); got != tc.want {
+			t.Errorf("Parse(%q) = %#v, want %#v", tc.raw, got, tc.want)
+		}
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !N(1).Equal(Parse("1.0")) {
+		t.Error("numbers with different spellings should be equal")
+	}
+	if !S("27").Equal(N(27)) {
+		t.Error("string '27' should equal number 27 (syntactic match)")
+	}
+	if Null.Equal(S("")) {
+		t.Error("null must not equal any string")
+	}
+	if !Null.Equal(Null) {
+		t.Error("null equals null")
+	}
+	if Label(1).Equal(Label(2)) {
+		t.Error("distinct labels must differ")
+	}
+	if !Label(7).Equal(Label(7)) {
+		t.Error("same label must be equal")
+	}
+	if Label(1).Equal(Null) || Null.Equal(Label(1)) {
+		t.Error("labels are non-null values")
+	}
+	if S("abc").Equal(S("abd")) {
+		t.Error("different strings must differ")
+	}
+}
+
+func TestValueIsNull(t *testing.T) {
+	if !Null.IsNull() {
+		t.Error("Null.IsNull() = false")
+	}
+	for _, v := range []Value{S(""), S("x"), N(0), Label(0)} {
+		if v.IsNull() {
+			t.Errorf("%#v should not be null", v)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if got := Null.String(); got != "—" {
+		t.Errorf("Null.String() = %q", got)
+	}
+	if got := N(2.5).String(); got != "2.5" {
+		t.Errorf("N(2.5).String() = %q", got)
+	}
+	if got := Label(3).String(); got != "⟨L3⟩" {
+		t.Errorf("Label(3).String() = %q", got)
+	}
+}
+
+// randomValue draws a value from a small domain so collisions are common —
+// exactly what the property tests need.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(5) {
+	case 0:
+		return Null
+	case 1:
+		return N(float64(r.Intn(6)))
+	case 2:
+		return S(string(rune('a' + r.Intn(6))))
+	case 3:
+		return S("shared")
+	default:
+		return N(float64(r.Intn(3)) + 0.5)
+	}
+}
+
+type valuePair struct{ A, B Value }
+
+// Generate implements quick.Generator for valuePair.
+func (valuePair) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(valuePair{randomValue(r), randomValue(r)})
+}
+
+func TestValueKeyAgreesWithEqual(t *testing.T) {
+	// Property: Equal(a, b) exactly when canonical keys match.
+	prop := func(p valuePair) bool {
+		return p.A.Equal(p.B) == (p.A.Key() == p.B.Key())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueCompareIsOrdering(t *testing.T) {
+	// Property: Compare is antisymmetric and consistent with Equal for
+	// same-kind values.
+	prop := func(p valuePair) bool {
+		ab, ba := p.A.Compare(p.B), p.B.Compare(p.A)
+		if (ab < 0) != (ba > 0) || (ab == 0) != (ba == 0) {
+			return false
+		}
+		if p.A.Kind == p.B.Kind && p.A.Equal(p.B) != (ab == 0) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueTextRoundTrip(t *testing.T) {
+	for _, v := range []Value{Null, S("x y"), N(42), N(-1.25)} {
+		got := Parse(v.Text())
+		if !got.Equal(v) {
+			t.Errorf("Parse(Text(%v)) = %v, want equal", v, got)
+		}
+	}
+}
