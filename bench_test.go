@@ -203,6 +203,56 @@ func BenchmarkGenTSingleSource(b *testing.B) {
 	}
 }
 
+// BenchmarkReclaimPerQuery is the per-query baseline: every source of TP-TR
+// Small through one-shot core.Reclaim, which rebuilds the discovery indexes
+// for each query.
+func BenchmarkReclaimPerQuery(b *testing.B) {
+	set := benchmarkSet(b)
+	cfg := core.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, src := range set.Small.Sources {
+			if _, err := core.Reclaim(set.Small.Lake, src, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkReclaimAll runs the same sources through one Reclaimer session's
+// batched API: the indexes are built once per session and shared by every
+// query, so the amortized per-query time must come in below
+// BenchmarkReclaimPerQuery.
+func BenchmarkReclaimAll(b *testing.B) {
+	set := benchmarkSet(b)
+	cfg := core.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		items := core.NewReclaimer(set.Small.Lake, cfg).ReclaimAll(set.Small.Sources, 0)
+		for _, item := range items {
+			if item.Err != nil {
+				b.Fatal(item.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkReclaimAllSequential isolates index reuse from batch parallelism:
+// the shared-index session with a single worker.
+func BenchmarkReclaimAllSequential(b *testing.B) {
+	set := benchmarkSet(b)
+	cfg := core.DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		items := core.NewReclaimer(set.Small.Lake, cfg).ReclaimAll(set.Small.Sources, 1)
+		for _, item := range items {
+			if item.Err != nil {
+				b.Fatal(item.Err)
+			}
+		}
+	}
+}
+
 // BenchmarkSetSimilarity times candidate retrieval alone.
 func BenchmarkSetSimilarity(b *testing.B) {
 	set := benchmarkSet(b)

@@ -1,6 +1,8 @@
 // Command experiments regenerates the paper's evaluation: every table and
 // figure of Section VI plus the appendix baseline and the design-choice
-// ablations, printed in the same rows/series the paper reports.
+// ablations, printed in the same rows/series the paper reports. Every
+// experiment over a corpus shares one Reclaimer session, so each benchmark
+// lake is indexed once no matter how many tables and figures query it.
 //
 // Usage:
 //
@@ -29,7 +31,7 @@ func main() {
 		wdc         = flag.Int("wdc", 300, "WDC-style corpus size")
 		maxRows     = flag.Int("max-source-rows", 120, "cap per Source Table")
 		seed        = flag.Int64("seed", 17, "generation seed")
-		parallel    = flag.Int("parallel", 1, "sources evaluated concurrently (keep 1 for runtime figures)")
+		parallel    = flag.Int("parallel", 1, "sources evaluated concurrently over the shared per-corpus indexes (keep 1 for runtime figures)")
 	)
 	flag.Parse()
 

@@ -2,10 +2,14 @@
 // lake (a directory of CSVs), printing the originating tables, the reclaimed
 // table, and the effectiveness report.
 //
+// With -index-dir, the discovery indexes are loaded from that directory when
+// present and built-and-saved there otherwise, so repeated invocations over
+// the same lake skip index construction (index once, query many).
+//
 // Usage:
 //
 //	gent -source source.csv -lake ./lake [-out reclaimed.csv] [-tau 0.2]
-//	     [-topk 0] [-max-candidates 15] [-key id,name]
+//	     [-topk 0] [-max-candidates 15] [-key id,name] [-index-dir ./lake.idx]
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"strings"
 
 	"gent/internal/core"
+	"gent/internal/index"
 	"gent/internal/lake"
 	"gent/internal/table"
 )
@@ -28,6 +33,7 @@ func main() {
 		topK       = flag.Int("topk", 0, "first-stage LSH retrieval size (0 = search the whole lake)")
 		maxCands   = flag.Int("max-candidates", 15, "candidate set cap")
 		keySpec    = flag.String("key", "", "comma-separated key columns (default: mined)")
+		indexDir   = flag.String("index-dir", "", "load persisted lake indexes from this directory, or build and save them there")
 		explain    = flag.Bool("explain", false, "print a per-tuple reclamation breakdown")
 		jsonOut    = flag.Bool("json", false, "print the result as JSON instead of text")
 		quiet      = flag.Bool("q", false, "print only the report line")
@@ -65,7 +71,24 @@ func main() {
 	cfg.Discovery.MaxCandidates = *maxCands
 	cfg.Discovery.FirstStageTopK = *topK
 
-	res, err := core.Reclaim(l, src, cfg)
+	session := core.NewReclaimer(l, cfg)
+	if *indexDir != "" {
+		if ix, err := index.LoadIndexSetDir(*indexDir); err == nil {
+			session.UseIndexes(ix)
+			if !*quiet {
+				fmt.Printf("indexes loaded from %s\n", *indexDir)
+			}
+		} else {
+			if err := session.BuildIndexes().SaveDir(*indexDir); err != nil {
+				fatal(err)
+			}
+			if !*quiet {
+				fmt.Printf("indexes built and saved to %s\n", *indexDir)
+			}
+		}
+	}
+
+	res, err := session.Reclaim(src)
 	if err != nil {
 		fatal(err)
 	}

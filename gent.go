@@ -15,6 +15,16 @@
 //	res, err := gent.Reclaim(lake, src, gent.DefaultConfig())
 //	if err != nil { ... }
 //	fmt.Println(res.Report.EIS, res.Reclaimed)
+//
+// Reclaim builds the discovery indexes fresh on every call. For the
+// build-once-query-many deployment the paper assumes — one lake serving many
+// Source Tables — open a session instead: a Reclaimer indexes the lake once
+// (lazily, or from indexes persisted with SaveIndexes/LoadIndexes) and
+// shares the indexes across queries, including concurrent batches:
+//
+//	r := gent.NewReclaimer(lake, gent.DefaultConfig())
+//	res, err := r.Reclaim(src)                  // indexes built here, once
+//	items := r.ReclaimAll(sources, workers)     // batched, bounded worker pool
 package gent
 
 import (
@@ -22,6 +32,7 @@ import (
 
 	"gent/internal/core"
 	"gent/internal/discovery"
+	"gent/internal/index"
 	"gent/internal/lake"
 	"gent/internal/matrix"
 	"gent/internal/metrics"
@@ -59,6 +70,13 @@ type (
 	Explanation = core.Explanation
 	// TupleStatus classifies one source tuple's reclamation outcome.
 	TupleStatus = core.TupleStatus
+	// Reclaimer is a reusable session over one lake: the discovery indexes
+	// are built once and shared across all of its queries.
+	Reclaimer = core.Reclaimer
+	// BatchItem is one source's outcome within a Reclaimer.ReclaimAll batch.
+	BatchItem = core.BatchItem
+	// IndexSet bundles a lake's persisted discovery indexes.
+	IndexSet = index.IndexSet
 )
 
 // Tuple statuses for Explanation entries.
@@ -114,10 +132,24 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 
 // Reclaim runs the full Gen-T pipeline: Table Discovery, Matrix Traversal
 // and Table Integration. The Source must have a key, or one minable within
-// Config.KeyMaxArity columns.
+// Config.KeyMaxArity columns. The discovery indexes are rebuilt on every
+// call; use a Reclaimer to amortize them over many queries.
 func Reclaim(l *Lake, src *Table, cfg Config) (*Result, error) {
 	return core.Reclaim(l, src, cfg)
 }
+
+// NewReclaimer opens a reusable reclamation session over a lake. Indexes are
+// built lazily on the first query and shared by every subsequent Reclaim and
+// ReclaimAll call; inject persisted ones with Reclaimer.UseIndexes.
+func NewReclaimer(l *Lake, cfg Config) *Reclaimer { return core.NewReclaimer(l, cfg) }
+
+// LoadIndexes reads a lake's persisted discovery indexes from dir (written
+// by SaveIndexes) for injection into a Reclaimer via UseIndexes.
+func LoadIndexes(dir string) (*IndexSet, error) { return index.LoadIndexSetDir(dir) }
+
+// SaveIndexes persists a session's discovery indexes under dir, building any
+// that are not built yet.
+func SaveIndexes(dir string, r *Reclaimer) error { return r.BuildIndexes().SaveDir(dir) }
 
 // MineKey searches for a minimal key of t up to maxArity columns, returning
 // key column indices or nil.

@@ -64,6 +64,59 @@ func withKey(t *Table) *Table {
 	return c
 }
 
+func TestPublicSessionAPI(t *testing.T) {
+	l := NewLake()
+	names := NewTable("names", "id", "name")
+	names.AddRow(S("e1"), S("Ada"))
+	names.AddRow(S("e2"), S("Grace"))
+	l.Add(names)
+	roles := NewTable("roles", "id", "role")
+	roles.AddRow(S("e1"), S("Engineer"))
+	roles.AddRow(S("e2"), S("Admiral"))
+	l.Add(roles)
+
+	src := NewTable("target", "id", "name", "role")
+	src.Key = []int{0}
+	src.AddRow(S("e1"), S("Ada"), S("Engineer"))
+	src.AddRow(S("e2"), S("Grace"), S("Admiral"))
+
+	// Session reclamation, then the same session persisted and reloaded.
+	r := NewReclaimer(l, DefaultConfig())
+	res, err := r.Reclaim(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.PerfectReclamation {
+		t.Errorf("session reclaim not perfect: %+v", res.Report)
+	}
+
+	items := r.ReclaimAll([]*Table{src, src}, 2)
+	if len(items) != 2 {
+		t.Fatalf("batch size %d", len(items))
+	}
+	for _, item := range items {
+		if item.Err != nil || !item.Result.Report.PerfectReclamation {
+			t.Errorf("batched reclaim failed: %+v", item)
+		}
+	}
+
+	dir := t.TempDir() + "/indexes"
+	if err := SaveIndexes(dir, r); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := LoadIndexes(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := NewReclaimer(l, DefaultConfig()).UseIndexes(ix).Reclaim(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Reclaimed.String() != res.Reclaimed.String() {
+		t.Error("persisted-index session diverged from in-memory session")
+	}
+}
+
 func TestPublicSaveLoad(t *testing.T) {
 	dir := t.TempDir()
 	tb := NewTable("x", "a", "b")

@@ -1,0 +1,3 @@
+module gent
+
+go 1.22

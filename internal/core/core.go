@@ -69,8 +69,21 @@ type Result struct {
 // can be mined.
 var ErrNoKey = errors.New("core: source table has no minable key")
 
-// Reclaim runs the full Gen-T pipeline for one Source Table over a lake.
+// Reclaim runs the full Gen-T pipeline for one Source Table over a lake,
+// building the discovery substrates fresh for this single call. Callers
+// issuing many queries over one lake should create a Reclaimer instead, so
+// indexing happens once.
 func Reclaim(l *lake.Lake, src *table.Table, cfg Config) (*Result, error) {
+	return reclaimPipeline(src, cfg, func(keyed *table.Table) []*discovery.Candidate {
+		return discovery.Discover(l, keyed, cfg.Discovery)
+	})
+}
+
+// reclaimPipeline runs Figure 2 with candidate retrieval delegated to
+// discover — a per-call fresh build (Reclaim) or a shared-substrate session
+// (Reclaimer). Everything downstream of discovery is identical between the
+// two paths.
+func reclaimPipeline(src *table.Table, cfg Config, discover func(*table.Table) []*discovery.Candidate) (*Result, error) {
 	if err := src.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid source: %w", err)
 	}
@@ -89,7 +102,7 @@ func Reclaim(l *lake.Lake, src *table.Table, cfg Config) (*Result, error) {
 
 	res := &Result{}
 	start := time.Now()
-	cands := discovery.Discover(l, src, cfg.Discovery)
+	cands := discover(src)
 	res.Timing.Discover = time.Since(start)
 	res.CandidateCount = len(cands)
 

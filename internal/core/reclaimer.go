@@ -1,0 +1,185 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"gent/internal/discovery"
+	"gent/internal/index"
+	"gent/internal/lake"
+	"gent/internal/table"
+)
+
+// Reclaimer is a reusable reclamation session over one lake. The one-shot
+// Reclaim rebuilds the inverted index and the MinHash-LSH on every call; a
+// Reclaimer builds each substrate at most once — lazily, on the first query
+// that needs it — and serves every subsequent query from the shared copy, so
+// N queries pay for indexing once instead of N times. Prebuilt or persisted
+// indexes (index.LoadIndexSetDir) can be injected with UseIndexes before the
+// first query.
+//
+// A Reclaimer is safe for concurrent use. It assumes the lake is not
+// mutated while a query is in flight. Between queries, removing tables is
+// safe — stale index entries are filtered against the live lake, so results
+// match a fresh build — but tables added after an index is built are not
+// visible to retrieval until a new session is created.
+type Reclaimer struct {
+	lake *lake.Lake
+	cfg  Config
+
+	invOnce sync.Once
+	lshOnce sync.Once
+	ix      index.IndexSet
+}
+
+// NewReclaimer creates a session over l with cfg as the default
+// configuration. No indexing happens until the first query (or BuildIndexes).
+func NewReclaimer(l *lake.Lake, cfg Config) *Reclaimer {
+	return &Reclaimer{lake: l, cfg: cfg}
+}
+
+// UseIndexes injects prebuilt or persisted substrates. Nil members of ix are
+// still built lazily. It must be called before the session's first query and
+// returns the receiver for chaining.
+func (r *Reclaimer) UseIndexes(ix *index.IndexSet) *Reclaimer {
+	if ix != nil {
+		r.ix.Inverted = ix.Inverted
+		r.ix.LSH = ix.LSH
+	}
+	return r
+}
+
+// Lake returns the session's lake.
+func (r *Reclaimer) Lake() *lake.Lake { return r.lake }
+
+// Config returns the session's default configuration.
+func (r *Reclaimer) Config() Config { return r.cfg }
+
+func (r *Reclaimer) inverted() *index.Inverted {
+	r.invOnce.Do(func() {
+		if r.ix.Inverted == nil {
+			r.ix.Inverted = index.BuildInverted(r.lake)
+		}
+	})
+	return r.ix.Inverted
+}
+
+func (r *Reclaimer) lsh() *index.MinHashLSH {
+	r.lshOnce.Do(func() {
+		if r.ix.LSH == nil {
+			r.ix.LSH = index.BuildMinHashLSH(r.lake)
+		}
+	})
+	return r.ix.LSH
+}
+
+// needsFirstStage reports whether opts engage the LSH retriever on this lake.
+func (r *Reclaimer) needsFirstStage(opts discovery.Options) bool {
+	return opts.FirstStageTopK > 0 && r.lake.Len() > opts.FirstStageTopK
+}
+
+// indexSet assembles the substrates one query needs, building missing ones.
+func (r *Reclaimer) indexSet(opts discovery.Options) *index.IndexSet {
+	s := &index.IndexSet{Inverted: r.inverted()}
+	if r.needsFirstStage(opts) {
+		s.LSH = r.lsh()
+	}
+	return s
+}
+
+// BuildIndexes eagerly builds both substrates and returns them, e.g. to
+// persist with IndexSet.SaveDir for later sessions over the same lake.
+func (r *Reclaimer) BuildIndexes() *index.IndexSet {
+	return &index.IndexSet{Inverted: r.inverted(), LSH: r.lsh()}
+}
+
+// Warm eagerly builds the substrates the session's default configuration
+// needs and returns the receiver. Callers that remove tables from the lake
+// between queries (the T2D leave-one-out studies) warm the session first so
+// the indexes see the full corpus.
+func (r *Reclaimer) Warm() *Reclaimer {
+	r.inverted()
+	if r.needsFirstStage(r.cfg.Discovery) {
+		r.lsh()
+	}
+	return r
+}
+
+// Candidates runs Table Discovery over the shared substrates — the
+// session-scoped analogue of discovery.Discover.
+func (r *Reclaimer) Candidates(src *table.Table, opts discovery.Options) []*discovery.Candidate {
+	return discovery.DiscoverWith(r.lake, r.indexSet(opts), src, opts)
+}
+
+// Reclaim runs the full Gen-T pipeline for one Source Table with the
+// session's default configuration.
+func (r *Reclaimer) Reclaim(src *table.Table) (*Result, error) {
+	return r.ReclaimWith(src, r.cfg)
+}
+
+// ReclaimWith is Reclaim under a per-call configuration — ablations and
+// parameter sweeps reuse the session's indexes, which depend only on the
+// lake, across configurations.
+func (r *Reclaimer) ReclaimWith(src *table.Table, cfg Config) (*Result, error) {
+	return reclaimPipeline(src, cfg, func(keyed *table.Table) []*discovery.Candidate {
+		return r.Candidates(keyed, cfg.Discovery)
+	})
+}
+
+// BatchItem is one source's outcome within a ReclaimAll batch.
+type BatchItem struct {
+	// Source is the input table, as passed in.
+	Source *table.Table
+	// Result is nil when Err is set.
+	Result *Result
+	Err    error
+}
+
+// ReclaimAll reclaims every source on a bounded worker pool, sharing the
+// session's substrates across all of them. workers <= 0 uses GOMAXPROCS.
+// Items come back in input order, each carrying its own result or error — a
+// source without a minable key fails alone, not the batch.
+func (r *Reclaimer) ReclaimAll(srcs []*table.Table, workers int) []BatchItem {
+	items := make([]BatchItem, len(srcs))
+	if len(srcs) == 0 {
+		return items
+	}
+	// Build the shared substrates before fanning out, so the pool starts on
+	// fully-parallel index construction instead of serializing behind the
+	// first query's lazy build.
+	r.Warm()
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(srcs) {
+		workers = len(srcs)
+	}
+	run := func(i int) {
+		res, err := r.Reclaim(srcs[i])
+		items[i] = BatchItem{Source: srcs[i], Result: res, Err: err}
+	}
+	if workers <= 1 {
+		for i := range srcs {
+			run(i)
+		}
+		return items
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				run(i)
+			}
+		}()
+	}
+	for i := range srcs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return items
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"gent/internal/benchmark"
+	"gent/internal/index"
+	"gent/internal/table"
+)
+
+func buildTPTR(t testing.TB) *benchmark.TPTR {
+	t.Helper()
+	o := benchmark.DefaultTPTROptions()
+	o.Scale.Base = 16
+	o.MaxSourceRows = 60
+	b, err := benchmark.BuildTPTR("reclaimer", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Sources) == 0 {
+		t.Fatal("benchmark has no sources")
+	}
+	return b
+}
+
+// assertSameResult asserts two pipeline outcomes agree on everything the
+// paper's metrics see: the reclaimed bytes, the report, and the provenance.
+func assertSameResult(t *testing.T, label string, fresh, session *Result) {
+	t.Helper()
+	if fresh.Reclaimed.String() != session.Reclaimed.String() {
+		t.Errorf("%s: reclaimed tables not byte-identical", label)
+	}
+	if !reflect.DeepEqual(fresh.Report, session.Report) {
+		t.Errorf("%s: reports differ:\nfresh   %+v\nsession %+v", label, fresh.Report, session.Report)
+	}
+	if fresh.CandidateCount != session.CandidateCount {
+		t.Errorf("%s: candidate counts differ: %d vs %d",
+			label, fresh.CandidateCount, session.CandidateCount)
+	}
+	if len(fresh.Originating) != len(session.Originating) {
+		t.Fatalf("%s: originating counts differ: %d vs %d",
+			label, len(fresh.Originating), len(session.Originating))
+	}
+	for i := range fresh.Originating {
+		if !reflect.DeepEqual(fresh.Originating[i].Sources, session.Originating[i].Sources) {
+			t.Errorf("%s: originating table %d provenance differs", label, i)
+		}
+	}
+}
+
+// TestReclaimerMatchesFreshReclaim asserts the session path — cached
+// in-memory indexes and indexes persisted then reloaded from disk — produces
+// results identical to the legacy per-call fresh build, on every source of a
+// TP-TR benchmark.
+func TestReclaimerMatchesFreshReclaim(t *testing.T) {
+	b := buildTPTR(t)
+	cfg := DefaultConfig()
+
+	cached := NewReclaimer(b.Lake, cfg)
+	dir := filepath.Join(t.TempDir(), "indexes")
+	if err := cached.BuildIndexes().SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := index.LoadIndexSetDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	persisted := NewReclaimer(b.Lake, cfg).UseIndexes(loaded)
+
+	for _, src := range b.Sources {
+		fresh, err := Reclaim(b.Lake, src, cfg)
+		if err != nil {
+			t.Fatalf("%s: fresh reclaim: %v", src.Name, err)
+		}
+		fromCache, err := cached.Reclaim(src)
+		if err != nil {
+			t.Fatalf("%s: cached reclaim: %v", src.Name, err)
+		}
+		assertSameResult(t, src.Name+"/cached", fresh, fromCache)
+		fromDisk, err := persisted.Reclaim(src)
+		if err != nil {
+			t.Fatalf("%s: persisted reclaim: %v", src.Name, err)
+		}
+		assertSameResult(t, src.Name+"/persisted", fresh, fromDisk)
+	}
+}
+
+// TestReclaimAllConcurrent runs the batched API with several workers against
+// the sequential baseline; run under -race this doubles as the concurrency
+// soundness check for the shared substrates.
+func TestReclaimAllConcurrent(t *testing.T) {
+	b := buildTPTR(t)
+	cfg := DefaultConfig()
+
+	batch := NewReclaimer(b.Lake, cfg).ReclaimAll(b.Sources, 4)
+	if len(batch) != len(b.Sources) {
+		t.Fatalf("got %d items for %d sources", len(batch), len(b.Sources))
+	}
+	for i, item := range batch {
+		if item.Source != b.Sources[i] {
+			t.Fatalf("item %d out of input order", i)
+		}
+		if item.Err != nil {
+			t.Fatalf("%s: %v", item.Source.Name, item.Err)
+		}
+		fresh, err := Reclaim(b.Lake, b.Sources[i], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameResult(t, item.Source.Name, fresh, item.Result)
+	}
+}
+
+// TestReclaimAllIsolatesFailures: one keyless, unminable source must fail
+// alone while the rest of the batch succeeds.
+func TestReclaimAllIsolatesFailures(t *testing.T) {
+	src, l := buildScenario()
+	bad := table.New("bad", "x")
+	bad.AddRow(table.S("dup"))
+	bad.AddRow(table.S("dup"))
+	items := NewReclaimer(l, DefaultConfig()).ReclaimAll([]*table.Table{src, bad}, 2)
+	if items[0].Err != nil || items[0].Result == nil {
+		t.Errorf("good source failed: %v", items[0].Err)
+	}
+	if items[1].Err == nil {
+		t.Error("keyless source did not fail")
+	}
+}
+
+// TestReclaimAllEmptyAndDefaults covers the zero-source batch and the
+// workers<=0 default.
+func TestReclaimAllEmptyAndDefaults(t *testing.T) {
+	src, l := buildScenario()
+	r := NewReclaimer(l, DefaultConfig())
+	if items := r.ReclaimAll(nil, 3); len(items) != 0 {
+		t.Error("empty batch must return no items")
+	}
+	items := r.ReclaimAll([]*table.Table{src}, 0)
+	if len(items) != 1 || items[0].Err != nil {
+		t.Fatalf("defaulted batch failed: %+v", items)
+	}
+	if !items[0].Result.Report.PerfectReclamation {
+		t.Error("scenario not reclaimed through the batch API")
+	}
+}

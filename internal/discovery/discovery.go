@@ -7,7 +7,9 @@
 package discovery
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 
 	"gent/internal/index"
 	"gent/internal/lake"
@@ -59,20 +61,96 @@ type Candidate struct {
 }
 
 // Discover runs the full Table Discovery phase and returns candidates ranked
-// by score, each guaranteed (when possible) to contain the Source key.
+// by score, each guaranteed (when possible) to contain the Source key. It
+// builds the retrieval substrates fresh for this one call; callers issuing
+// many queries over the same lake should build an index.IndexSet once (or
+// load a persisted one) and use DiscoverWith instead.
 func Discover(l *lake.Lake, src *table.Table, opts Options) []*Candidate {
 	pool := l
 	if opts.FirstStageTopK > 0 && l.Len() > opts.FirstStageTopK {
 		lsh := index.BuildMinHashLSH(l)
-		ranked := lsh.TopK(src, opts.FirstStageTopK)
-		pool = lake.New()
-		for _, r := range ranked {
-			pool.Add(l.Get(r.Table))
-		}
+		pool = firstStagePool(l, lsh, src, opts.FirstStageTopK)
 	}
 	ix := index.BuildInverted(pool)
 	cands := SetSimilarity(pool, ix, src, opts)
 	return Expand(cands, src, opts)
+}
+
+// DiscoverWith is Discover over prebuilt (possibly persisted) substrates:
+// ix.Inverted must cover the lake; ix.LSH is used for first-stage retrieval
+// when the options call for it (built fresh if nil). The substrates may be
+// stale supersets of the lake — postings and LSH entries for tables no
+// longer in the lake are ignored — so results match a fresh build over the
+// current lake exactly. Searches never mutate ix, so one IndexSet serves
+// concurrent callers.
+func DiscoverWith(l *lake.Lake, ix *index.IndexSet, src *table.Table, opts Options) []*Candidate {
+	inv := ix.Inverted
+	if inv == nil {
+		inv = index.BuildInverted(l)
+	}
+	pool := l
+	if opts.FirstStageTopK > 0 && l.Len() > opts.FirstStageTopK {
+		lsh := ix.LSH
+		if lsh == nil {
+			lsh = index.BuildMinHashLSH(l)
+		}
+		pool = firstStagePool(l, lsh, src, opts.FirstStageTopK)
+	}
+	cands := SetSimilarity(pool, inv, src, opts)
+	return Expand(cands, src, opts)
+}
+
+// firstStagePool restricts the search pool to the LSH retriever's top-k
+// tables. A ranked name can be stale — the LSH index may have been built (or
+// loaded from disk) before tables were removed from the lake — so nil lookups
+// are skipped rather than added.
+func firstStagePool(l *lake.Lake, lsh *index.MinHashLSH, src *table.Table, topK int) *lake.Lake {
+	ranked := lsh.TopK(src, topK)
+	pool := lake.New()
+	for _, r := range ranked {
+		if t := l.Get(r.Table); t != nil {
+			pool.Add(t)
+		}
+	}
+	return pool
+}
+
+// searchColumns probes the inverted index for every non-empty Source column
+// concurrently. The result aligns 1:1 with src.Cols; columns with no
+// distinct values stay nil (SearchSet itself never returns nil).
+func searchColumns(ix *index.Inverted, src *table.Table) [][]index.Overlap {
+	out := make([][]index.Overlap, len(src.Cols))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(src.Cols) {
+		workers = len(src.Cols)
+	}
+	if workers <= 1 {
+		for ci := range src.Cols {
+			if qset := src.ColumnSet(ci); len(qset) > 0 {
+				out[ci] = ix.SearchSet(qset)
+			}
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ci := range next {
+				if qset := src.ColumnSet(ci); len(qset) > 0 {
+					out[ci] = ix.SearchSet(qset)
+				}
+			}
+		}()
+	}
+	for ci := range src.Cols {
+		next <- ci
+	}
+	close(next)
+	wg.Wait()
+	return out
 }
 
 // colOverlap measures |a ∩ b| / |b| over canonical value sets.
@@ -104,6 +182,12 @@ type perColumnCandidate struct {
 // diversification, aligned-tuple verification, subsumed-candidate removal
 // and schema-matching renames. The returned candidates are ranked by their
 // averaged (diversified) overlap scores.
+//
+// ix may index a superset of pool — a shared whole-lake index while the LSH
+// first stage restricts pool, or a persisted index that has outlived table
+// removals. Overlaps for tables outside pool are skipped; containment only
+// depends on the query and the matched column, so results are identical to a
+// pool-only index.
 func SetSimilarity(pool *lake.Lake, ix *index.Inverted, src *table.Table, opts Options) []*Candidate {
 	type agg struct {
 		sum float64
@@ -112,19 +196,26 @@ func SetSimilarity(pool *lake.Lake, ix *index.Inverted, src *table.Table, opts O
 	scores := make(map[string]*agg)
 	queryCols := 0
 
+	// Per-column index probes are independent and dominate retrieval cost on
+	// wide sources, so they fan out over a worker pool; score accumulation
+	// below stays in column order to keep the ranking deterministic.
+	overlapsByCol := searchColumns(ix, src)
+
 	for ci := range src.Cols {
-		qset := src.ColumnSet(ci)
-		if len(qset) == 0 {
+		overlaps := overlapsByCol[ci]
+		if overlaps == nil {
 			continue
 		}
 		queryCols++
-		overlaps := ix.SearchSet(qset)
 		// Best qualifying column per table, in overlap order.
 		seen := make(map[string]bool)
 		ranked := make([]perColumnCandidate, 0, len(overlaps))
 		for _, o := range overlaps {
 			if seen[o.Ref.Table] || o.Containment < opts.Tau {
 				continue
+			}
+			if pool.Get(o.Ref.Table) == nil {
+				continue // indexed but not in the search pool
 			}
 			seen[o.Ref.Table] = true
 			ranked = append(ranked, perColumnCandidate{
@@ -175,6 +266,9 @@ func SetSimilarity(pool *lake.Lake, ix *index.Inverted, src *table.Table, opts O
 	cands := make([]*Candidate, 0, len(order))
 	for _, rt := range order {
 		t := pool.Get(rt.name)
+		if t == nil {
+			continue
+		}
 		renamed, matched := renameToSource(t, src, opts.Tau)
 		if len(matched) == 0 {
 			continue

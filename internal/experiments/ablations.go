@@ -23,13 +23,14 @@ type AblationRow struct {
 // AblationMatrixEncoding compares Gen-T with three-valued matrices against
 // the two-valued strawman of Section V-A2.
 func AblationMatrixEncoding(b *benchmark.TPTR, opts RunOptions) AblationRow {
+	session := sessionFor(b.Lake)
 	run := func(enc matrix.Encoding) metrics.Report {
 		cfg := core.DefaultConfig()
 		cfg.Discovery = opts.Discovery
 		cfg.Encoding = enc
 		reports := make([]metrics.Report, 0, len(b.Sources))
 		for _, src := range b.Sources {
-			res, err := core.Reclaim(b.Lake, src, cfg)
+			res, err := session.ReclaimWith(src, cfg)
 			if err != nil {
 				continue
 			}
@@ -47,13 +48,14 @@ func AblationMatrixEncoding(b *benchmark.TPTR, opts RunOptions) AblationRow {
 // AblationTraversal compares Gen-T against integrating every candidate
 // without Matrix Traversal pruning.
 func AblationTraversal(b *benchmark.TPTR, opts RunOptions) AblationRow {
+	session := sessionFor(b.Lake)
 	run := func(skip bool) metrics.Report {
 		cfg := core.DefaultConfig()
 		cfg.Discovery = opts.Discovery
 		cfg.SkipTraversal = skip
 		reports := make([]metrics.Report, 0, len(b.Sources))
 		for _, src := range b.Sources {
-			res, err := core.Reclaim(b.Lake, src, cfg)
+			res, err := session.ReclaimWith(src, cfg)
 			if err != nil {
 				continue
 			}
@@ -75,6 +77,7 @@ func AblationTraversal(b *benchmark.TPTR, opts RunOptions) AblationRow {
 // candidate cap.
 func AblationDiversify(b *benchmark.TPTR, opts RunOptions) AblationRow {
 	dupLake := lakeWithDuplicates(b)
+	session := core.NewReclaimer(dupLake, core.DefaultConfig())
 	run := func(diversify bool) metrics.Report {
 		cfg := core.DefaultConfig()
 		cfg.Discovery = opts.Discovery
@@ -86,7 +89,7 @@ func AblationDiversify(b *benchmark.TPTR, opts RunOptions) AblationRow {
 		cfg.Discovery.MaxCandidates = 10
 		reports := make([]metrics.Report, 0, len(b.Sources))
 		for _, src := range b.Sources {
-			res, err := core.Reclaim(dupLake, src, cfg)
+			res, err := session.ReclaimWith(src, cfg)
 			if err != nil {
 				continue
 			}
@@ -121,12 +124,13 @@ func lakeWithDuplicates(b *benchmark.TPTR) *lake.Lake {
 // AblationGuardedOps compares Algorithm 2's guarded κ/β integration against
 // unconditional full disjunction over the same originating tables.
 func AblationGuardedOps(b *benchmark.TPTR, opts RunOptions) AblationRow {
+	session := sessionFor(b.Lake)
 	cfg := core.DefaultConfig()
 	cfg.Discovery = opts.Discovery
 	withReports := make([]metrics.Report, 0, len(b.Sources))
 	withoutReports := make([]metrics.Report, 0, len(b.Sources))
 	for _, src := range b.Sources {
-		res, err := core.Reclaim(b.Lake, src, cfg)
+		res, err := session.ReclaimWith(src, cfg)
 		if err != nil {
 			continue
 		}

@@ -39,21 +39,24 @@ type EffectivenessResult struct {
 }
 
 // RunEffectiveness evaluates the given methods on every source of a TP-TR
-// benchmark, sharing one Set Similarity candidate set per source. With
-// opts.Parallel > 1, sources run concurrently; results stay in source order
-// either way.
+// benchmark, sharing one Set Similarity candidate set per source and one
+// Reclaimer session — hence one pair of discovery indexes — across the whole
+// corpus. With opts.Parallel > 1, sources run concurrently; results stay in
+// source order either way.
 func RunEffectiveness(name string, b *benchmark.TPTR, methods []Method, opts RunOptions) EffectivenessResult {
 	res := EffectivenessResult{Benchmark: name}
+	session := sessionFor(b.Lake)
 
 	outs := make([]map[Method]Outcome, len(b.Sources))
 	runSource := func(i int) {
 		src := b.Sources[i]
-		cands := SharedCandidates(b.Lake, src, opts.Discovery)
+		cands := sessionCandidates(session, src, opts.Discovery)
 		in := Input{
 			Src:        src,
 			Lake:       b.Lake,
 			Candidates: cands,
 			IntSet:     b.IntegratingTables(src.Name),
+			Session:    session,
 		}
 		byMethod := make(map[Method]Outcome, len(methods))
 		for _, m := range methods {

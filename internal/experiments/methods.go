@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"sync"
 	"time"
 
 	"gent/internal/baselines/alite"
@@ -75,6 +76,25 @@ type Input struct {
 	Lake       *lake.Lake
 	Candidates []*table.Table
 	IntSet     []*table.Table
+	// Session, when set, is the corpus's shared Reclaimer; Gen-T runs reuse
+	// its indexes instead of rebuilding them per query.
+	Session *core.Reclaimer
+}
+
+// sessions caches one Reclaimer per corpus lake, so every experiment and
+// every query over a corpus shares one pair of discovery substrates — the
+// paper's build-once-query-many deployment. Sessions survive for the life of
+// the experiments process, which is the intended trade: the index memory buys
+// back per-query indexing time.
+var sessions sync.Map // *lake.Lake -> *core.Reclaimer
+
+// sessionFor returns the corpus's shared session, creating it on first use.
+func sessionFor(l *lake.Lake) *core.Reclaimer {
+	if s, ok := sessions.Load(l); ok {
+		return s.(*core.Reclaimer)
+	}
+	s, _ := sessions.LoadOrStore(l, core.NewReclaimer(l, core.DefaultConfig()))
+	return s.(*core.Reclaimer)
 }
 
 // Outcome is one method's result on one input.
@@ -88,9 +108,15 @@ type Outcome struct {
 }
 
 // SharedCandidates runs Table Discovery once so every method sees the same
-// candidate set, as in the paper's setup.
+// candidate set, as in the paper's setup. The corpus's shared session serves
+// the retrieval, so the lake is indexed once across all sources and methods.
 func SharedCandidates(l *lake.Lake, src *table.Table, opts discovery.Options) []*table.Table {
-	cands := discovery.Discover(l, src, opts)
+	return sessionCandidates(sessionFor(l), src, opts)
+}
+
+// sessionCandidates is SharedCandidates over an explicit session.
+func sessionCandidates(s *core.Reclaimer, src *table.Table, opts discovery.Options) []*table.Table {
+	cands := s.Candidates(src, opts)
 	out := make([]*table.Table, len(cands))
 	for i, c := range cands {
 		out[i] = c.Table
@@ -109,7 +135,11 @@ func Run(m Method, in Input, opts RunOptions) Outcome {
 	case MethodGenT:
 		cfg := core.DefaultConfig()
 		cfg.Discovery = opts.Discovery
-		res, err := core.Reclaim(in.Lake, in.Src, cfg)
+		session := in.Session
+		if session == nil {
+			session = sessionFor(in.Lake)
+		}
+		res, err := session.ReclaimWith(in.Src, cfg)
 		if err != nil {
 			out = table.New("failed").PadNullColumns(in.Src.Cols)
 		} else {

@@ -1,0 +1,94 @@
+package index
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"gent/internal/lake"
+)
+
+// IndexSet bundles the discovery substrates over one lake: the exact
+// inverted index (the JOSIE role) and the MinHash-LSH first stage (the
+// Starmie role). Either member may be nil — the LSH index is only needed
+// when first-stage retrieval is on. Both structures are read-only after
+// construction and safe for concurrent search.
+type IndexSet struct {
+	Inverted *Inverted
+	LSH      *MinHashLSH
+}
+
+// BuildIndexSet builds both substrates over the lake, each with a parallel
+// per-table scan, and the two builds themselves running concurrently.
+func BuildIndexSet(l *lake.Lake) *IndexSet {
+	s := &IndexSet{}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		s.Inverted = BuildInverted(l)
+	}()
+	go func() {
+		defer wg.Done()
+		s.LSH = BuildMinHashLSH(l)
+	}()
+	wg.Wait()
+	return s
+}
+
+// On-disk layout of a persisted IndexSet: one file per substrate under the
+// set's directory.
+const (
+	invertedFileName = "inverted.gob"
+	minhashFileName  = "minhash.gob"
+)
+
+// SaveDir persists the set's non-nil members under dir (created if needed).
+func (s *IndexSet) SaveDir(dir string) error {
+	if s.Inverted == nil && s.LSH == nil {
+		return errors.New("index: empty index set")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("index: %w", err)
+	}
+	if s.Inverted != nil {
+		if err := s.Inverted.SaveFile(filepath.Join(dir, invertedFileName)); err != nil {
+			return err
+		}
+	}
+	if s.LSH != nil {
+		if err := s.LSH.SaveFile(filepath.Join(dir, minhashFileName)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadIndexSetDir reads whichever substrates are present under dir. It is an
+// error for neither to exist; a missing member loads as nil so callers can
+// lazily build it.
+func LoadIndexSetDir(dir string) (*IndexSet, error) {
+	s := &IndexSet{}
+	invPath := filepath.Join(dir, invertedFileName)
+	if _, err := os.Stat(invPath); err == nil {
+		inv, err := LoadInvertedFile(invPath)
+		if err != nil {
+			return nil, err
+		}
+		s.Inverted = inv
+	}
+	lshPath := filepath.Join(dir, minhashFileName)
+	if _, err := os.Stat(lshPath); err == nil {
+		lsh, err := LoadMinHashLSHFile(lshPath)
+		if err != nil {
+			return nil, err
+		}
+		s.LSH = lsh
+	}
+	if s.Inverted == nil && s.LSH == nil {
+		return nil, fmt.Errorf("index: no index files under %s", dir)
+	}
+	return s, nil
+}

@@ -6,7 +6,9 @@
 package index
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 
 	"gent/internal/lake"
 	"gent/internal/table"
@@ -27,23 +29,83 @@ type Inverted struct {
 	colSizes map[ColumnRef]int
 }
 
-// BuildInverted indexes every non-null value of every table column.
+// BuildInverted indexes every non-null value of every table column. Tables
+// are scanned concurrently on a bounded worker pool; the per-table partial
+// postings are merged in lake order, so the result is identical to a
+// sequential build.
 func BuildInverted(l *lake.Lake) *Inverted {
+	return buildInverted(l, runtime.GOMAXPROCS(0))
+}
+
+// tablePostings is one table's contribution to the index.
+type tablePostings struct {
+	postings map[string][]ColumnRef
+	colSizes map[ColumnRef]int
+}
+
+func scanTable(t *table.Table) tablePostings {
+	tp := tablePostings{
+		postings: make(map[string][]ColumnRef),
+		colSizes: make(map[ColumnRef]int),
+	}
+	for c := range t.Cols {
+		ref := ColumnRef{Table: t.Name, Col: c}
+		set := t.ColumnSet(c)
+		tp.colSizes[ref] = len(set)
+		for v := range set {
+			tp.postings[v] = append(tp.postings[v], ref)
+		}
+	}
+	return tp
+}
+
+func buildInverted(l *lake.Lake, workers int) *Inverted {
+	tables := l.Tables()
+	parts := make([]tablePostings, len(tables))
+	forEachTable(len(tables), workers, func(i int) { parts[i] = scanTable(tables[i]) })
+
 	ix := &Inverted{
 		postings: make(map[string][]ColumnRef),
 		colSizes: make(map[ColumnRef]int),
 	}
-	for _, t := range l.Tables() {
-		for c := range t.Cols {
-			ref := ColumnRef{Table: t.Name, Col: c}
-			set := t.ColumnSet(c)
-			ix.colSizes[ref] = len(set)
-			for v := range set {
-				ix.postings[v] = append(ix.postings[v], ref)
-			}
+	for _, tp := range parts {
+		for v, refs := range tp.postings {
+			ix.postings[v] = append(ix.postings[v], refs...)
+		}
+		for ref, n := range tp.colSizes {
+			ix.colSizes[ref] = n
 		}
 	}
 	return ix
+}
+
+// forEachTable runs fn(i) for i in [0, n) on up to workers goroutines.
+func forEachTable(n, workers int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 }
 
 // Overlap holds one column's exact overlap with a query value set.

@@ -3,6 +3,7 @@ package index
 import (
 	"hash/fnv"
 	"math"
+	"runtime"
 	"sort"
 
 	"gent/internal/lake"
@@ -68,21 +69,46 @@ type MinHashLSH struct {
 	tables  []string
 }
 
-// BuildMinHashLSH sketches and buckets every column of the lake.
+// BuildMinHashLSH sketches and buckets every column of the lake. Sketching —
+// the dominant cost — fans out per table on a bounded worker pool; bucket
+// merging stays in lake order so the index is identical to a sequential
+// build.
 func BuildMinHashLSH(l *lake.Lake) *MinHashLSH {
+	return buildMinHashLSH(l, runtime.GOMAXPROCS(0))
+}
+
+// tableSketches is one table's sketched columns, in column order.
+type tableSketches struct {
+	refs []ColumnRef
+	sigs []signature
+}
+
+func sketchTable(t *table.Table) tableSketches {
+	var ts tableSketches
+	for c := range t.Cols {
+		set := t.ColumnSet(c)
+		if len(set) == 0 {
+			continue
+		}
+		ts.refs = append(ts.refs, ColumnRef{Table: t.Name, Col: c})
+		ts.sigs = append(ts.sigs, sketch(set))
+	}
+	return ts
+}
+
+func buildMinHashLSH(l *lake.Lake, workers int) *MinHashLSH {
+	tables := l.Tables()
+	parts := make([]tableSketches, len(tables))
+	forEachTable(len(tables), workers, func(i int) { parts[i] = sketchTable(tables[i]) })
+
 	ix := &MinHashLSH{
 		sigs:    make(map[ColumnRef]signature),
 		buckets: make(map[uint64][]ColumnRef),
 		tables:  l.Names(),
 	}
-	for _, t := range l.Tables() {
-		for c := range t.Cols {
-			set := t.ColumnSet(c)
-			if len(set) == 0 {
-				continue
-			}
-			ref := ColumnRef{Table: t.Name, Col: c}
-			sig := sketch(set)
+	for _, ts := range parts {
+		for i, ref := range ts.refs {
+			sig := ts.sigs[i]
 			ix.sigs[ref] = sig
 			for _, bk := range bandKeys(sig) {
 				ix.buckets[bk] = append(ix.buckets[bk], ref)
