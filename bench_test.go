@@ -280,6 +280,46 @@ func BenchmarkMatrixTraversal(b *testing.B) {
 	}
 }
 
+// BenchmarkTraverse compares the incremental, parallel traversal engine
+// against the retained materialize-and-rescan baseline (TraverseReference)
+// on the bench corpora's discovery candidate sets. "incremental" is the
+// engine as the pipeline runs it; "incremental-serial" pins the delta
+// scorer's win with round parallelism turned off; "reference" is the
+// pre-engine implementation. The picks are identical across all three — see
+// the equivalence tests in internal/matrix — so only the time differs.
+func BenchmarkTraverse(b *testing.B) {
+	set := benchmarkSet(b)
+	run := func(name string, src *table.Table, tables []*table.Table) {
+		b.Run(name+"/incremental", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				matrix.Traverse(src, tables, matrix.ThreeValued)
+			}
+		})
+		b.Run(name+"/incremental-serial", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				matrix.TraverseWith(src, tables, matrix.ThreeValued, matrix.TraverseOptions{Workers: 1})
+			}
+		})
+		b.Run(name+"/reference", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				matrix.TraverseReference(src, tables, matrix.ThreeValued)
+			}
+		})
+	}
+	for _, corpus := range []struct {
+		name string
+		b    *benchmark.TPTR
+	}{{"small", set.Small}, {"med", set.Med}} {
+		src := corpus.b.Sources[0]
+		cands := discovery.Discover(corpus.b.Lake, src, discovery.DefaultOptions())
+		tables := make([]*table.Table, len(cands))
+		for i, c := range cands {
+			tables[i] = c.Table
+		}
+		run(corpus.name, src, tables)
+	}
+}
+
 // BenchmarkFullDisjunction times ALITE's core operation on the integrating
 // set of one source — the cost Gen-T's pruning avoids.
 func BenchmarkFullDisjunction(b *testing.B) {

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -73,12 +74,26 @@ func main() {
 
 	session := core.NewReclaimer(l, cfg)
 	if *indexDir != "" {
-		if ix, err := index.LoadIndexSetDir(*indexDir); err == nil {
+		ix, err := index.LoadIndexSetDir(*indexDir)
+		switch {
+		case err == nil && ix.Inverted != nil && ix.Inverted.Covers(l) &&
+			(ix.LSH == nil || ix.LSH.Covers(l)):
 			session.UseIndexes(ix)
 			if !*quiet {
 				fmt.Printf("indexes loaded from %s\n", *indexDir)
 			}
-		} else {
+		default:
+			// A persisted index that fails to load, or that predates tables
+			// now in the lake (it can filter removed tables, but a missing
+			// table would silently never be retrieved), is rebuilt in place.
+			// A directory with no index files at all is just a fresh build.
+			if err != nil {
+				if !errors.Is(err, index.ErrNoIndexFiles) {
+					fmt.Fprintf(os.Stderr, "warning: indexes at %s unusable (%v); rebuilding\n", *indexDir, err)
+				}
+			} else {
+				fmt.Fprintf(os.Stderr, "warning: indexes at %s do not cover the lake; rebuilding\n", *indexDir)
+			}
 			if err := session.BuildIndexes().SaveDir(*indexDir); err != nil {
 				fatal(err)
 			}

@@ -29,6 +29,10 @@ type Config struct {
 	// SkipTraversal integrates every candidate without Matrix Traversal —
 	// the "no pruning" ablation.
 	SkipTraversal bool
+	// TraverseWorkers bounds the Matrix Traversal engine's scoring pool;
+	// <= 0 uses GOMAXPROCS. Within a ReclaimAll batch that already saturates
+	// the CPU with source-level parallelism, 1 avoids oversubscription.
+	TraverseWorkers int
 }
 
 // DefaultConfig mirrors the paper's Gen-T configuration.
@@ -115,7 +119,8 @@ func reclaimPipeline(src *table.Table, cfg Config, discover func(*table.Table) [
 		for i, c := range cands {
 			tables[i] = c.Table
 		}
-		for _, idx := range matrix.Traverse(src, tables, cfg.Encoding) {
+		topts := matrix.TraverseOptions{Workers: cfg.TraverseWorkers}
+		for _, idx := range matrix.TraverseWith(src, tables, cfg.Encoding, topts) {
 			picked = append(picked, cands[idx])
 		}
 	}

@@ -151,3 +151,38 @@ func TestTwoValuedAblationDoesNotBeatThreeValued(t *testing.T) {
 			two.Report.EIS, three.Report.EIS)
 	}
 }
+
+func TestTraverseWorkersEquivalent(t *testing.T) {
+	// The traversal engine's worker count is a throughput knob, not a
+	// semantic one: whatever the pool size, the pipeline must select the
+	// same originating tables in the same order and reclaim the same table.
+	src, l := buildScenario()
+	var want *Result
+	for _, workers := range []int{1, 2, 8} {
+		cfg := DefaultConfig()
+		cfg.TraverseWorkers = workers
+		res, err := Reclaim(l, src, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if want == nil {
+			want = res
+			continue
+		}
+		if len(res.Originating) != len(want.Originating) {
+			t.Fatalf("workers=%d picked %d tables, want %d", workers, len(res.Originating), len(want.Originating))
+		}
+		for i := range res.Originating {
+			if res.Originating[i].Table.Name != want.Originating[i].Table.Name {
+				t.Fatalf("workers=%d pick %d = %s, want %s",
+					workers, i, res.Originating[i].Table.Name, want.Originating[i].Table.Name)
+			}
+		}
+		if !table.EqualRows(res.Reclaimed, want.Reclaimed) {
+			t.Errorf("workers=%d reclaimed a different table", workers)
+		}
+		if res.Report.EIS != want.Report.EIS {
+			t.Errorf("workers=%d EIS %v != %v", workers, res.Report.EIS, want.Report.EIS)
+		}
+	}
+}

@@ -87,19 +87,34 @@ func (r *Reclaimer) indexSet(opts discovery.Options) *index.IndexSet {
 	return s
 }
 
-// BuildIndexes eagerly builds both substrates and returns them, e.g. to
-// persist with IndexSet.SaveDir for later sessions over the same lake.
+// BuildIndexes eagerly builds both substrates — concurrently, their lazy
+// guards are independent — and returns them, e.g. to persist with
+// IndexSet.SaveDir for later sessions over the same lake.
 func (r *Reclaimer) BuildIndexes() *index.IndexSet {
-	return &index.IndexSet{Inverted: r.inverted(), LSH: r.lsh()}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r.inverted()
+	}()
+	r.lsh()
+	wg.Wait()
+	return &index.IndexSet{Inverted: r.ix.Inverted, LSH: r.ix.LSH}
 }
 
 // Warm eagerly builds the substrates the session's default configuration
-// needs and returns the receiver. Callers that remove tables from the lake
-// between queries (the T2D leave-one-out studies) warm the session first so
-// the indexes see the full corpus.
-func (r *Reclaimer) Warm() *Reclaimer {
+// needs and returns the receiver.
+func (r *Reclaimer) Warm() *Reclaimer { return r.WarmFor(r.cfg.Discovery) }
+
+// WarmFor eagerly builds the substrates that queries with the given
+// discovery options will need. Callers that remove tables from the lake
+// between queries (the T2D leave-one-out studies) must warm with the
+// options they will actually query with: a substrate built lazily
+// mid-iteration would capture the temporarily-shrunken corpus, and stale-
+// entry filtering can drop removed tables but never restore missing ones.
+func (r *Reclaimer) WarmFor(opts discovery.Options) *Reclaimer {
 	r.inverted()
-	if r.needsFirstStage(r.cfg.Discovery) {
+	if r.needsFirstStage(opts) {
 		r.lsh()
 	}
 	return r
@@ -124,6 +139,20 @@ func (r *Reclaimer) ReclaimWith(src *table.Table, cfg Config) (*Result, error) {
 	return reclaimPipeline(src, cfg, func(keyed *table.Table) []*discovery.Candidate {
 		return r.Candidates(keyed, cfg.Discovery)
 	})
+}
+
+// SplitTraverseWorkers sizes each source's Matrix Traversal pool under an
+// outer source-level fan-out of the given width, so nested parallelism does
+// not oversubscribe: outer × returned ≈ GOMAXPROCS, floor 1.
+func SplitTraverseWorkers(outerWorkers int) int {
+	if outerWorkers < 1 {
+		outerWorkers = 1
+	}
+	w := runtime.GOMAXPROCS(0) / outerWorkers
+	if w < 1 {
+		return 1
+	}
+	return w
 }
 
 // BatchItem is one source's outcome within a ReclaimAll batch.
@@ -155,8 +184,16 @@ func (r *Reclaimer) ReclaimAll(srcs []*table.Table, workers int) []BatchItem {
 	if workers > len(srcs) {
 		workers = len(srcs)
 	}
+	// Source-level fan-out already saturates the CPU, so unless the caller
+	// asked for a specific traversal pool, split the cores between the two
+	// levels instead of giving every source a full GOMAXPROCS engine
+	// (workers² goroutines otherwise).
+	cfg := r.cfg
+	if cfg.TraverseWorkers <= 0 && workers > 1 {
+		cfg.TraverseWorkers = SplitTraverseWorkers(workers)
+	}
 	run := func(i int) {
-		res, err := r.Reclaim(srcs[i])
+		res, err := r.ReclaimWith(srcs[i], cfg)
 		items[i] = BatchItem{Source: srcs[i], Result: res, Err: err}
 	}
 	if workers <= 1 {

@@ -27,6 +27,7 @@ func AblationMatrixEncoding(b *benchmark.TPTR, opts RunOptions) AblationRow {
 	run := func(enc matrix.Encoding) metrics.Report {
 		cfg := core.DefaultConfig()
 		cfg.Discovery = opts.Discovery
+		cfg.TraverseWorkers = opts.TraverseWorkers
 		cfg.Encoding = enc
 		reports := make([]metrics.Report, 0, len(b.Sources))
 		for _, src := range b.Sources {
@@ -52,6 +53,7 @@ func AblationTraversal(b *benchmark.TPTR, opts RunOptions) AblationRow {
 	run := func(skip bool) metrics.Report {
 		cfg := core.DefaultConfig()
 		cfg.Discovery = opts.Discovery
+		cfg.TraverseWorkers = opts.TraverseWorkers
 		cfg.SkipTraversal = skip
 		reports := make([]metrics.Report, 0, len(b.Sources))
 		for _, src := range b.Sources {
@@ -81,6 +83,7 @@ func AblationDiversify(b *benchmark.TPTR, opts RunOptions) AblationRow {
 	run := func(diversify bool) metrics.Report {
 		cfg := core.DefaultConfig()
 		cfg.Discovery = opts.Discovery
+		cfg.TraverseWorkers = opts.TraverseWorkers
 		// Diversification and subsumed-candidate removal are Algorithm 3's
 		// two redundancy controls; the ablation removes both.
 		cfg.Discovery.Diversify = diversify
@@ -127,6 +130,7 @@ func AblationGuardedOps(b *benchmark.TPTR, opts RunOptions) AblationRow {
 	session := sessionFor(b.Lake)
 	cfg := core.DefaultConfig()
 	cfg.Discovery = opts.Discovery
+	cfg.TraverseWorkers = opts.TraverseWorkers
 	withReports := make([]metrics.Report, 0, len(b.Sources))
 	withoutReports := make([]metrics.Report, 0, len(b.Sources))
 	for _, src := range b.Sources {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"gent/internal/benchmark"
+	"gent/internal/core"
 	"gent/internal/lake"
 	"gent/internal/metrics"
 )
@@ -66,6 +67,19 @@ func RunEffectiveness(name string, b *benchmark.TPTR, methods []Method, opts Run
 	}
 
 	if workers := opts.Parallel; workers > 1 {
+		// Source-level fan-out already saturates the CPU: unless the caller
+		// pinned a traversal pool, split the cores between the two levels so
+		// concurrent sources do not each spin a GOMAXPROCS traversal engine.
+		if opts.TraverseWorkers <= 0 {
+			eff := workers
+			if eff > len(b.Sources) {
+				eff = len(b.Sources)
+			}
+			if eff < 1 {
+				eff = 1
+			}
+			opts.TraverseWorkers = core.SplitTraverseWorkers(eff)
+		}
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, workers)
 		for i := range b.Sources {

@@ -54,6 +54,10 @@ type RunOptions struct {
 	// meaningful; wall-clock totals do not, so keep it at 1 when measuring
 	// Figure 8.
 	Parallel int
+	// TraverseWorkers bounds Gen-T's Matrix Traversal engine per source
+	// (core.Config.TraverseWorkers); <= 0 uses GOMAXPROCS. Set to 1 when
+	// Parallel already saturates the CPU.
+	TraverseWorkers int
 }
 
 // DefaultRunOptions sizes the budgets for the scaled-down benchmarks. The
@@ -135,6 +139,7 @@ func Run(m Method, in Input, opts RunOptions) Outcome {
 	case MethodGenT:
 		cfg := core.DefaultConfig()
 		cfg.Discovery = opts.Discovery
+		cfg.TraverseWorkers = opts.TraverseWorkers
 		session := in.Session
 		if session == nil {
 			session = sessionFor(in.Lake)

@@ -16,10 +16,11 @@ func Table4(corpus *benchmark.T2D, opts RunOptions) EffectivenessResult {
 	res := EffectivenessResult{Benchmark: "WDC Sample+T2D Gold"}
 	perMethod := make(map[Method][]Outcome)
 
-	// Warm the shared session while the corpus is whole: each iteration
-	// removes its source from the lake, and discovery filters the (now
-	// stale) index entries of the removed table against the live lake.
-	session := sessionFor(corpus.Lake).Warm()
+	// Warm the shared session, for the substrates this run's options engage,
+	// while the corpus is whole: each iteration removes its source from the
+	// lake, and discovery filters the (now stale) index entries of the
+	// removed table against the live lake.
+	session := sessionFor(corpus.Lake).WarmFor(opts.Discovery)
 
 	for _, name := range corpus.Reclaimable {
 		src := corpus.Lake.Get(name).Clone()
@@ -73,9 +74,11 @@ func T2DSelfReclamation(corpus *benchmark.T2D, opts RunOptions) T2DSelfResult {
 	var out T2DSelfResult
 	cfg := core.DefaultConfig()
 	cfg.Discovery = opts.Discovery
-	// One warm session serves all |corpus| leave-one-out queries; the removed
-	// source's stale index entries are filtered per query.
-	session := sessionFor(corpus.Lake).Warm()
+	cfg.TraverseWorkers = opts.TraverseWorkers
+	// One warm session (for this run's options) serves all |corpus|
+	// leave-one-out queries; the removed source's stale index entries are
+	// filtered per query.
+	session := sessionFor(corpus.Lake).WarmFor(opts.Discovery)
 	for _, name := range corpus.Lake.Names() {
 		src := corpus.Lake.Get(name).Clone()
 		key := table.MineKey(src, 2)

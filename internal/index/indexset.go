@@ -88,7 +88,11 @@ func LoadIndexSetDir(dir string) (*IndexSet, error) {
 		s.LSH = lsh
 	}
 	if s.Inverted == nil && s.LSH == nil {
-		return nil, fmt.Errorf("index: no index files under %s", dir)
+		return nil, fmt.Errorf("%w under %s", ErrNoIndexFiles, dir)
 	}
 	return s, nil
 }
+
+// ErrNoIndexFiles reports that a directory holds no persisted substrates at
+// all — a fresh location, as opposed to a corrupt or unreadable one.
+var ErrNoIndexFiles = errors.New("index: no index files")

@@ -155,3 +155,24 @@ func (ix *Inverted) SearchColumn(t *table.Table, col int) []Overlap {
 
 // ColumnSize returns the distinct-value count of an indexed column.
 func (ix *Inverted) ColumnSize(ref ColumnRef) int { return ix.colSizes[ref] }
+
+// Covers reports whether every table of the lake appears in the index with
+// its current column count. A persisted index may serve a lake it covers —
+// stale entries for removed tables are filtered against the live lake at
+// query time — but a table missing from the index (or indexed under an old
+// schema) would silently never be retrieved correctly. Value-level edits to
+// an already-indexed column are not detectable here; rebuild the index after
+// editing table contents.
+func (ix *Inverted) Covers(l *lake.Lake) bool {
+	for _, t := range l.Tables() {
+		for c := range t.Cols {
+			if _, ok := ix.colSizes[ColumnRef{Table: t.Name, Col: c}]; !ok {
+				return false
+			}
+		}
+		if _, ok := ix.colSizes[ColumnRef{Table: t.Name, Col: len(t.Cols)}]; ok {
+			return false // indexed with more columns than the table now has
+		}
+	}
+	return true
+}

@@ -194,3 +194,21 @@ func (ix *MinHashLSH) TopK(query *table.Table, k int) []Ranked {
 	}
 	return out
 }
+
+// Covers reports whether every table of the lake was present when this
+// index was built. Stale entries for since-removed tables are tolerated
+// (they are filtered against the live lake at query time), but a lake table
+// absent from the sketches would silently never surface in first-stage
+// retrieval.
+func (ix *MinHashLSH) Covers(l *lake.Lake) bool {
+	have := make(map[string]bool, len(ix.tables))
+	for _, name := range ix.tables {
+		have[name] = true
+	}
+	for _, t := range l.Tables() {
+		if !have[t.Name] {
+			return false
+		}
+	}
+	return true
+}

@@ -8,10 +8,13 @@ import (
 // against their aligned (labeled) Source tuples — the per-pair guard of
 // Figure 5's integration steps.
 type tupleScorer struct {
-	in *Integrator
 	// srcColOf maps a t column index to the labeled source column index.
 	srcColOf []int
 	keyIdx   []int
+	// isKey flags t's key columns, so e() does not rebuild the set per row.
+	isKey []bool
+	// srcByKey is the Integrator's shared labeled-row index — built once in
+	// New, not per scorer (Reclaim creates a scorer on every union step).
 	srcByKey map[string]table.Row
 	nonKey   int
 }
@@ -19,9 +22,8 @@ type tupleScorer struct {
 func (in *Integrator) scorer(t *table.Table) *tupleScorer {
 	src := in.labeledSrc
 	s := &tupleScorer{
-		in:       in,
 		srcColOf: make([]int, len(t.Cols)),
-		srcByKey: make(map[string]table.Row, len(src.Rows)),
+		srcByKey: in.labeledByKey,
 		nonKey:   len(src.Cols) - len(src.Key),
 	}
 	for i, name := range t.Cols {
@@ -34,10 +36,9 @@ func (in *Integrator) scorer(t *table.Table) *tupleScorer {
 		}
 		s.keyIdx = append(s.keyIdx, ci)
 	}
-	for _, r := range src.Rows {
-		if k := src.RowKey(r); k != "" {
-			s.srcByKey[k] = r
-		}
+	s.isKey = make([]bool, len(t.Cols))
+	for _, k := range s.keyIdx {
+		s.isKey[k] = true
 	}
 	return s
 }
@@ -58,13 +59,9 @@ func (s *tupleScorer) e(r table.Row) float64 {
 	if !ok {
 		return -1
 	}
-	isKey := make(map[int]bool, len(s.keyIdx))
-	for _, k := range s.keyIdx {
-		isKey[k] = true
-	}
 	alpha, delta := 0, 0
 	for i, v := range r {
-		if isKey[i] || s.srcColOf[i] < 0 {
+		if s.isKey[i] || s.srcColOf[i] < 0 {
 			continue
 		}
 		sv := srow[s.srcColOf[i]]

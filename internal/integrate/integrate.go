@@ -26,25 +26,40 @@ type Integrator struct {
 	labels     map[string]int64
 	labelOf    map[int64]bool
 	nextID     int64
-	srcKeys    map[string]bool
+	// srcByKey indexes the Source's rows by canonical key. It is built once
+	// here and shared by every labeling pass and key-membership check —
+	// Reclaim calls labelSourceNulls on every union step, which used to
+	// rebuild this map each time.
+	srcByKey map[string]table.Row
+	// labeledByKey is srcByKey over labeledSrc, for the tuple scorer's
+	// label-aware comparisons (guards.go); likewise built once.
+	labeledByKey map[string]table.Row
 }
 
 // New prepares an Integrator for the given Source Table (which must have a
 // key).
 func New(src *table.Table) *Integrator {
 	in := &Integrator{
-		src:     src,
-		labels:  make(map[string]int64),
-		labelOf: make(map[int64]bool),
-		srcKeys: make(map[string]bool, len(src.Rows)),
-	}
-	for _, r := range src.Rows {
-		if k := src.RowKey(r); k != "" {
-			in.srcKeys[k] = true
-		}
+		src:      src,
+		labels:   make(map[string]int64),
+		labelOf:  make(map[int64]bool),
+		srcByKey: rowsByKey(src),
 	}
 	in.labeledSrc = in.labelSourceNulls(src)
+	in.labeledByKey = rowsByKey(in.labeledSrc)
 	return in
+}
+
+// rowsByKey indexes a keyed table's rows by canonical key, skipping rows
+// whose key contains a null.
+func rowsByKey(t *table.Table) map[string]table.Row {
+	byKey := make(map[string]table.Row, len(t.Rows))
+	for _, r := range t.Rows {
+		if k := t.RowKey(r); k != "" {
+			byKey[k] = r
+		}
+	}
+	return byKey
 }
 
 // label returns the stable label for a (source key, column name) slot: the
@@ -62,27 +77,50 @@ func (in *Integrator) label(rowKey, col string) table.Value {
 	return table.Label(id)
 }
 
-// ProjectSelect applies Algorithm 2 line 3 to one table: project onto the
-// Source's columns and, when the table carries the Source's key columns,
-// keep only rows whose key values appear in the Source. Tables without the
-// key keep all their (projected) rows — full disjunction can still combine
-// them through other shared columns. It returns nil when nothing of the
-// Source's schema remains.
+// ProjectSelect applies Algorithm 2 line 3 to one originating table using
+// the Integrator's precomputed source-key index: project onto the Source's
+// columns and keep only rows whose key values appear in the Source. Tables
+// that do not carry the Source's key columns return nil — their rows can
+// never align with a Source tuple, and Expand guarantees Gen-T's originating
+// tables carry the key. It also returns nil when nothing of the Source's
+// schema or key set remains.
+func (in *Integrator) ProjectSelect(t *table.Table) *table.Table {
+	return projectSelectKeyed(in.src, in.srcByKey, t)
+}
+
+// ProjectSelect is the one-shot form of Integrator.ProjectSelect for callers
+// without an Integrator; it rebuilds the source-key index on every call.
+// Unlike the integrator path — Gen-T's Reclaim, which drops key-less tables —
+// it keeps key-less tables (projected and deduplicated), because its
+// full-disjunction consumers (ALITE-PS) can still combine them through other
+// shared columns.
 func ProjectSelect(src, t *table.Table) *table.Table {
 	p := t.Project(src.Cols...)
 	if len(p.Cols) == 0 || len(p.Rows) == 0 {
 		return nil
 	}
-	p.Key = nil
 	if !p.HasCols(src.KeyCols()...) {
+		p.Key = nil
 		return p.DropDuplicates()
 	}
-	srcKeys := make(map[string]bool, len(src.Rows))
-	for _, r := range src.Rows {
-		if k := src.RowKey(r); k != "" {
-			srcKeys[k] = true
-		}
+	return selectKeyed(src, rowsByKey(src), p)
+}
+
+// projectSelectKeyed is the shared kernel: projection onto the Source's
+// columns, then key-membership selection against a prebuilt source-key
+// index. Key-less tables yield nil.
+func projectSelectKeyed(src *table.Table, srcByKey map[string]table.Row, t *table.Table) *table.Table {
+	p := t.Project(src.Cols...)
+	if len(p.Cols) == 0 || len(p.Rows) == 0 || !p.HasCols(src.KeyCols()...) {
+		return nil
 	}
+	return selectKeyed(src, srcByKey, p)
+}
+
+// selectKeyed keeps the rows of an already-projected table whose key values
+// appear in the source-key index.
+func selectKeyed(src *table.Table, srcByKey map[string]table.Row, p *table.Table) *table.Table {
+	p.Key = nil
 	keyIdx := make([]int, len(src.Key))
 	for i, k := range src.Key {
 		keyIdx[i] = p.ColIndex(src.Cols[k])
@@ -90,7 +128,10 @@ func ProjectSelect(src, t *table.Table) *table.Table {
 	sel := table.New(p.Name, p.Cols...)
 	for _, r := range p.Rows {
 		key, ok := rowKeyAt(r, keyIdx)
-		if ok && srcKeys[key] {
+		if !ok {
+			continue
+		}
+		if _, hit := srcByKey[key]; hit {
 			sel.Rows = append(sel.Rows, r)
 		}
 	}
@@ -108,11 +149,10 @@ func (in *Integrator) Reclaim(origs []*table.Table) *table.Table {
 	// ProjectSelect (line 3): keep only Source columns and rows whose key
 	// values appear in the Source. Gen-T's originating tables carry the
 	// Source key (Expand guarantees it), so key-less leftovers — whose
-	// tuples could never align — are dropped here.
+	// tuples could never align — come back nil and are dropped here.
 	kept := make([]*table.Table, 0, len(origs))
 	for _, t := range origs {
-		sel := ProjectSelect(src, t)
-		if sel != nil && sel.HasCols(src.KeyCols()...) {
+		if sel := in.ProjectSelect(t); sel != nil {
 			kept = append(kept, sel)
 		}
 	}
@@ -173,12 +213,6 @@ func (in *Integrator) score(t *table.Table) float64 {
 // Source is also null (same key, same column) with that slot's unique label.
 func (in *Integrator) labelSourceNulls(t *table.Table) *table.Table {
 	src := in.src
-	srcByKey := make(map[string]table.Row, len(src.Rows))
-	for _, r := range src.Rows {
-		if k := src.RowKey(r); k != "" {
-			srcByKey[k] = r
-		}
-	}
 	keyIdx := make([]int, 0, len(src.Key))
 	for _, k := range src.Key {
 		ci := t.ColIndex(src.Cols[k])
@@ -199,7 +233,7 @@ func (in *Integrator) labelSourceNulls(t *table.Table) *table.Table {
 			out.Rows = append(out.Rows, r.Clone())
 			continue
 		}
-		srow, ok := srcByKey[key]
+		srow, ok := in.srcByKey[key]
 		if !ok {
 			out.Rows = append(out.Rows, r.Clone())
 			continue

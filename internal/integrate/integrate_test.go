@@ -204,3 +204,50 @@ func TestLabelStability(t *testing.T) {
 		t.Error("different slots must get different labels")
 	}
 }
+
+func TestIntegratorProjectSelect(t *testing.T) {
+	src := source()
+	in := New(src)
+
+	// Keyed tables: the integrator path must agree with the package-level
+	// one-shot form row for row.
+	withExtra := candB()
+	withExtra.Cols = append(withExtra.Cols, "Irrelevant")
+	for i := range withExtra.Rows {
+		withExtra.Rows[i] = append(withExtra.Rows[i], table.S("x"))
+	}
+	withExtra.AddRow(table.S("foreign"), table.S("Nobody"), table.N(1), table.S("x"))
+	got := in.ProjectSelect(withExtra)
+	want := ProjectSelect(src, withExtra)
+	if got == nil || !table.EqualRows(got, want) {
+		t.Fatalf("integrator ProjectSelect = %s, package-level = %s", got, want)
+	}
+	if got.HasCols("Irrelevant") {
+		t.Error("non-source column survived projection")
+	}
+	for _, r := range got.Rows {
+		if r[0].Equal(table.S("foreign")) {
+			t.Errorf("foreign key survived selection:\n%s", got)
+		}
+	}
+
+	// Key-less tables: the integrator path drops them (Reclaim's behavior),
+	// while the package-level form keeps them for full-disjunction consumers.
+	nokey := table.New("nk", "Name", "Education")
+	nokey.AddRow(table.S("Smith"), table.S("Bachelors"))
+	nokey.AddRow(table.S("Smith"), table.S("Bachelors"))
+	if sel := in.ProjectSelect(nokey); sel != nil {
+		t.Errorf("integrator kept a key-less table:\n%s", sel)
+	}
+	kept := ProjectSelect(src, nokey)
+	if kept == nil || len(kept.Rows) != 1 {
+		t.Errorf("package-level ProjectSelect must keep the key-less table deduplicated, got %s", kept)
+	}
+
+	// Nothing of the source's schema: both return nil.
+	junk := table.New("junk", "x")
+	junk.AddRow(table.S("a"))
+	if in.ProjectSelect(junk) != nil || ProjectSelect(src, junk) != nil {
+		t.Error("schema-disjoint table must project to nil")
+	}
+}

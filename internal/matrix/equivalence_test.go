@@ -1,0 +1,200 @@
+package matrix
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gent/internal/table"
+)
+
+// randomCorpus builds a random source (keyed on column 0) plus a candidate
+// set covering the regimes traversal must handle: noisy projections,
+// duplicate rows, foreign and null keys, candidates missing columns or the
+// key entirely, and exact duplicates of other candidates.
+func randomCorpus(rng *rand.Rand) (*table.Table, []*table.Table) {
+	nCols := 3 + rng.Intn(4)
+	cols := make([]string, nCols)
+	for i := range cols {
+		cols[i] = fmt.Sprintf("c%d", i)
+	}
+	src := table.New("S", cols...)
+	src.Key = []int{0}
+	nRows := 4 + rng.Intn(9)
+	for r := 0; r < nRows; r++ {
+		row := make([]table.Value, nCols)
+		row[0] = table.S(fmt.Sprintf("k%d", r))
+		for c := 1; c < nCols; c++ {
+			if rng.Intn(6) == 0 {
+				row[c] = table.Null
+			} else {
+				row[c] = table.S(fmt.Sprintf("v%d_%d", r, c))
+			}
+		}
+		src.AddRow(row...)
+	}
+
+	nCands := 3 + rng.Intn(8)
+	cands := make([]*table.Table, 0, nCands)
+	for i := 0; i < nCands; i++ {
+		if len(cands) > 0 && rng.Intn(6) == 0 {
+			// Exact duplicate of an earlier candidate: must never be re-picked.
+			cands = append(cands, cands[rng.Intn(len(cands))].Clone())
+			continue
+		}
+		// Random column subset; drop the key sometimes to cover the
+		// cannot-align path.
+		keep := []int{}
+		for c := 0; c < nCols; c++ {
+			if c == 0 && rng.Intn(8) == 0 {
+				continue
+			}
+			if c == 0 || rng.Intn(4) != 0 {
+				keep = append(keep, c)
+			}
+		}
+		names := make([]string, len(keep))
+		for j, c := range keep {
+			names[j] = cols[c]
+		}
+		cand := table.New(fmt.Sprintf("T%d", i), names...)
+		for r := 0; r < nRows; r++ {
+			if rng.Intn(4) == 0 {
+				continue
+			}
+			copies := 1 + rng.Intn(2)
+			for d := 0; d < copies; d++ {
+				row := make([]table.Value, len(keep))
+				for j, c := range keep {
+					switch {
+					case c == 0 && rng.Intn(10) == 0:
+						row[j] = table.S("foreign") // key not in the source
+					case c == 0 && rng.Intn(12) == 0:
+						row[j] = table.Null
+					case c == 0:
+						row[j] = src.Rows[r][0]
+					case rng.Intn(4) == 0:
+						row[j] = table.Null
+					case rng.Intn(4) == 0:
+						row[j] = table.S("wrong")
+					default:
+						row[j] = src.Rows[r][c]
+					}
+				}
+				cand.Rows = append(cand.Rows, row)
+			}
+		}
+		cands = append(cands, cand)
+	}
+	return src, cands
+}
+
+// TestTraverseMatchesReference is the engine's equivalence oracle: on random
+// corpora, under both encodings and with both a serial and a parallel pool,
+// the incremental engine must return the exact pick sequence of the retained
+// materialize-and-rescan reference, and the pick sequence's folded EIS must
+// agree bit-for-bit.
+func TestTraverseMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		src, cands := randomCorpus(rng)
+		for _, enc := range []Encoding{ThreeValued, TwoValued} {
+			want := TraverseReference(src, cands, enc)
+			for _, workers := range []int{1, 4} {
+				got := TraverseWith(src, cands, enc, TraverseOptions{Workers: workers})
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d enc %d workers %d: picks = %v, reference = %v",
+						trial, enc, workers, got, want)
+				}
+			}
+			if len(want) == 0 {
+				continue
+			}
+			shape := NewShape(src)
+			combined := FromTable(shape, cands[want[0]], enc)
+			for _, i := range want[1:] {
+				combined = Combine(combined, FromTable(shape, cands[i], enc))
+			}
+			if eis := combined.EIS(); eis < 0 || eis > 1 {
+				t.Fatalf("trial %d enc %d: folded EIS out of range: %v", trial, enc, eis)
+			}
+		}
+	}
+}
+
+// TestDeltaScorerMatchesMaterialized pins the engine's core invariant: for
+// any engine state, scoreCand is bit-identical to materializing
+// Combine(combined, m) and evaluating EIS.
+func TestDeltaScorerMatchesMaterialized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 60; trial++ {
+		src, cands := randomCorpus(rng)
+		for _, enc := range []Encoding{ThreeValued, TwoValued} {
+			// Twin states: the engine, and the materialized Matrix fold it
+			// must stay bit-equal to.
+			shape := NewShape(src)
+			mats := make([]*Matrix, len(cands))
+			for i, c := range cands {
+				mats[i] = FromTable(shape, c, enc)
+			}
+			e := newEngine(src, cands, enc, 1)
+			e.reset(&e.cands[0])
+			combined := mats[0]
+			// Advance both by absorbing a random prefix of candidates.
+			for i := 1; i < len(cands) && rng.Intn(2) == 0; i++ {
+				e.absorb(&e.cands[i])
+				combined = Combine(combined, mats[i])
+			}
+			scratch := make([]float64, len(e.keyOf))
+			copy(scratch, e.contrib)
+			for i := range cands {
+				want := Combine(combined, mats[i]).EIS()
+				if got := e.scoreCand(&e.cands[i], scratch); got != want {
+					t.Fatalf("trial %d enc %d cand %d: delta score %v != materialized EIS %v",
+						trial, enc, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCachedADMatchesRescan: every tuple's cached α−δ — whether built by
+// FromTable, or, or normalize — must equal a fresh scan of its codes.
+func TestCachedADMatchesRescan(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		src, cands := randomCorpus(rng)
+		shape := NewShape(src)
+		var combined *Matrix
+		for _, c := range cands {
+			m := FromTable(shape, c, ThreeValued)
+			if combined == nil {
+				combined = m
+			} else {
+				combined = Combine(combined, m)
+			}
+			for _, check := range []*Matrix{m, combined} {
+				for k, list := range check.rows {
+					for _, tp := range list {
+						ad := 0
+						for j, code := range tp.code {
+							if shape.isKey[j] {
+								continue
+							}
+							switch code {
+							case 1:
+								ad++
+							case -1:
+								ad--
+							}
+						}
+						if tp.ad != ad {
+							t.Fatalf("trial %d key %q: cached α−δ %d != rescan %d", trial, k, tp.ad, ad)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -5,10 +5,17 @@
 // greedily selects the subset of candidates — the originating tables — whose
 // simulated integration maximizes the EIS score, all without performing a
 // single real table integration.
+//
+// Traversal runs on an incremental, parallel engine (see traverse.go): each
+// greedy round scores all remaining candidates concurrently, and a candidate
+// is scored by recomputing only the source keys it touches against the
+// current combined matrix — losing candidates never materialize a merged
+// matrix. The engine is pick-for-pick identical to the retained
+// materialize-and-rescan reference implementation (TraverseReference).
 package matrix
 
 import (
-	"sort"
+	"strings"
 
 	"gent/internal/table"
 )
@@ -27,33 +34,52 @@ const (
 
 // Shape carries the Source Table facts every matrix shares.
 type Shape struct {
-	Src    *table.Table
-	keyIdx map[int]bool
+	Src *table.Table
+	// isKey flags the Source's key columns, column-aligned with Src.Cols.
+	isKey  []bool
 	nonKey int
 	// keys lists each source row's canonical key, row-aligned with Src.Rows.
 	keys []string
+	// srcByKey maps each canonical key to its source row index — built once
+	// per shape so FromTable does not rebuild it per candidate.
+	srcByKey map[string]int
 }
 
 // NewShape prepares the matrix shape for a Source Table, which must have a
 // key.
 func NewShape(src *table.Table) *Shape {
-	s := &Shape{Src: src, keyIdx: make(map[int]bool, len(src.Key))}
+	s := &Shape{Src: src, isKey: make([]bool, len(src.Cols))}
 	for _, k := range src.Key {
-		s.keyIdx[k] = true
+		s.isKey[k] = true
 	}
 	s.nonKey = len(src.Cols) - len(src.Key)
 	s.keys = make([]string, len(src.Rows))
+	s.srcByKey = make(map[string]int, len(src.Rows))
 	for i, r := range src.Rows {
 		s.keys[i] = src.RowKey(r)
+		if s.keys[i] != "" {
+			s.srcByKey[s.keys[i]] = i
+		}
 	}
 	return s
 }
 
+// tuple is one aligned coded tuple: the per-column codes of Equation 4 plus
+// the cached α−δ count over non-key columns, computed once when the tuple is
+// built so EIS evaluation never rescans the int8 codes. Tuples are immutable
+// after construction, which is what lets combined matrices share them and
+// the engine score candidates concurrently.
+type tuple struct {
+	code []int8
+	// ad is α−δ: matches minus contradictions over non-key columns.
+	ad int
+}
+
 // Matrix is the dictionary encoding of Section V-A3: each source key maps to
-// the list of aligned coded tuples (one int8 per source column).
+// the list of aligned coded tuples.
 type Matrix struct {
 	shape *Shape
-	rows  map[string][][]int8
+	rows  map[string][]tuple
 }
 
 // FromTable aligns a candidate table (already renamed to the Source schema
@@ -61,7 +87,7 @@ type Matrix struct {
 // Candidate rows whose key does not appear in the Source are ignored — they
 // can contribute nothing to reclamation.
 func FromTable(shape *Shape, cand *table.Table, enc Encoding) *Matrix {
-	m := &Matrix{shape: shape, rows: make(map[string][][]int8)}
+	m := &Matrix{shape: shape, rows: make(map[string][]tuple)}
 	src := shape.Src
 
 	// Column mapping: source column index -> candidate column index (-1 when
@@ -77,24 +103,18 @@ func FromTable(shape *Shape, cand *table.Table, enc Encoding) *Matrix {
 			return m // cannot align without the key
 		}
 	}
-	srcByKey := make(map[string]int, len(src.Rows))
-	for i, k := range shape.keys {
-		if k != "" {
-			srcByKey[k] = i
-		}
-	}
-
 	for _, r := range cand.Rows {
 		key, ok := candKey(r, keyMap)
 		if !ok {
 			continue
 		}
-		si, ok := srcByKey[key]
+		si, ok := shape.srcByKey[key]
 		if !ok {
 			continue
 		}
 		srow := src.Rows[si]
 		code := make([]int8, len(src.Cols))
+		ad := 0
 		for j := range src.Cols {
 			var cv table.Value
 			if colMap[j] >= 0 {
@@ -105,6 +125,9 @@ func FromTable(shape *Shape, cand *table.Table, enc Encoding) *Matrix {
 			switch {
 			case srow[j].Equal(cv):
 				code[j] = 1
+				if !shape.isKey[j] {
+					ad++
+				}
 			case !srow[j].IsNull() && cv.IsNull():
 				code[j] = 0
 			default:
@@ -112,35 +135,39 @@ func FromTable(shape *Shape, cand *table.Table, enc Encoding) *Matrix {
 				// the Source has a (correct) null.
 				if enc == ThreeValued {
 					code[j] = -1
+					if !shape.isKey[j] {
+						ad--
+					}
 				} else {
 					code[j] = 0
 				}
 			}
 		}
-		m.rows[key] = appendCoded(m.rows[key], code)
+		m.rows[key] = appendCoded(m.rows[key], tuple{code: code, ad: ad})
 	}
 	return m
 }
 
 func candKey(r table.Row, keyMap []int) (string, bool) {
-	key := ""
+	var b strings.Builder
 	for _, ci := range keyMap {
 		if r[ci].IsNull() {
 			return "", false
 		}
-		key += r[ci].Key() + "\x01"
+		b.WriteString(r[ci].Key())
+		b.WriteByte('\x01')
 	}
-	return key, true
+	return b.String(), true
 }
 
 // appendCoded adds a coded tuple, skipping exact duplicates.
-func appendCoded(list [][]int8, code []int8) [][]int8 {
+func appendCoded(list []tuple, t tuple) []tuple {
 	for _, have := range list {
-		if equalCodes(have, code) {
+		if equalCodes(have.code, t.code) {
 			return list
 		}
 	}
-	return append(list, code)
+	return append(list, t)
 }
 
 func equalCodes(a, b []int8) bool {
@@ -164,17 +191,53 @@ func conflicts(a, b []int8) bool {
 }
 
 // or merges two coded tuples element-wise with max (logical OR on truth
-// values).
-func or(a, b []int8) []int8 {
-	out := make([]int8, len(a))
-	for i := range a {
-		if a[i] > b[i] {
-			out[i] = a[i]
-		} else {
-			out[i] = b[i]
+// values), computing the merged tuple's α−δ in the same scan.
+func or(a, b tuple, isKey []bool) tuple {
+	code := make([]int8, len(a.code))
+	ad := 0
+	for i := range a.code {
+		v := a.code[i]
+		if b.code[i] > v {
+			v = b.code[i]
+		}
+		code[i] = v
+		if !isKey[i] {
+			switch v {
+			case 1:
+				ad++
+			case -1:
+				ad--
+			}
 		}
 	}
-	return out
+	return tuple{code: code, ad: ad}
+}
+
+// combineKey merges one candidate's aligned tuples for a single source key
+// into a copy of the accumulator's list, per Equation 5: each incoming tuple
+// joins the first non-conflicting partner (greedy pairing), conflicting
+// tuples stay separate, and one normalization pass re-merges to fixpoint.
+// This is the per-key kernel shared by Combine and the engine's delta
+// scorer, so the two can never diverge.
+func combineKey(alist, blist []tuple, isKey []bool) []tuple {
+	cur := make([]tuple, len(alist), len(alist)+len(blist))
+	copy(cur, alist)
+	for _, bt := range blist {
+		merged := false
+		for i, at := range cur {
+			if !conflicts(at.code, bt.code) {
+				cur[i] = or(at, bt, isKey)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			cur = append(cur, bt)
+		}
+	}
+	// Merging can create duplicates or newly-mergeable pairs; one
+	// normalization pass keeps lists small.
+	return normalize(cur, isKey)
 }
 
 // Combine simulates the outer union + subsumption + complementation of two
@@ -185,36 +248,22 @@ func or(a, b []int8) []int8 {
 // the result never decreases relative to either input, which is what the
 // greedy traversal's soundness rests on.
 func Combine(a, b *Matrix) *Matrix {
-	out := &Matrix{shape: a.shape, rows: make(map[string][][]int8, len(a.rows))}
+	out := &Matrix{shape: a.shape, rows: make(map[string][]tuple, len(a.rows)+len(b.rows))}
 	for k, list := range a.rows {
-		cp := make([][]int8, len(list))
-		copy(cp, list)
-		out.rows[k] = cp
+		if _, touched := b.rows[k]; !touched {
+			// Tuples and settled lists are immutable, so untouched keys are
+			// shared rather than copied.
+			out.rows[k] = list
+		}
 	}
 	for k, blist := range b.rows {
-		cur := out.rows[k]
-		for _, bt := range blist {
-			merged := false
-			for i, at := range cur {
-				if !conflicts(at, bt) {
-					cur[i] = or(at, bt)
-					merged = true
-					break
-				}
-			}
-			if !merged {
-				cur = append(cur, bt)
-			}
-		}
-		// Merging can create duplicates or newly-mergeable pairs; one
-		// normalization pass keeps lists small.
-		out.rows[k] = normalize(cur)
+		out.rows[k] = combineKey(a.rows[k], blist, a.shape.isKey)
 	}
 	return out
 }
 
 // normalize deduplicates and re-merges non-conflicting tuples to fixpoint.
-func normalize(list [][]int8) [][]int8 {
+func normalize(list []tuple, isKey []bool) []tuple {
 	if len(list) <= 1 {
 		return list
 	}
@@ -223,8 +272,8 @@ func normalize(list [][]int8) [][]int8 {
 	scan:
 		for i := 0; i < len(list); i++ {
 			for j := i + 1; j < len(list); j++ {
-				if !conflicts(list[i], list[j]) {
-					list[i] = or(list[i], list[j])
+				if !conflicts(list[i].code, list[j].code) {
+					list[i] = or(list[i], list[j], isKey)
 					list = append(list[:j], list[j+1:]...)
 					merged = true
 					break scan
@@ -238,6 +287,26 @@ func normalize(list [][]int8) [][]int8 {
 	return list
 }
 
+// contribution is one source row's term of Equation 3: 0.5·(1+E) for the
+// best aligned tuple, using the tuples' cached α−δ counts; 0 when nothing
+// aligned.
+func (s *Shape) contribution(list []tuple) float64 {
+	if len(list) == 0 {
+		return 0
+	}
+	best := -1.0
+	for _, t := range list {
+		e := 1.0
+		if s.nonKey > 0 {
+			e = float64(t.ad) / float64(s.nonKey)
+		}
+		if e > best {
+			best = e
+		}
+	}
+	return 0.5 * (1 + best)
+}
+
 // EIS evaluates the simulated integration exactly as evaluateSimilarity()
 // does: per source row, the best aligned tuple's error-aware similarity with
 // 1s as α and -1s as δ, averaged into Equation 3.
@@ -248,89 +317,7 @@ func (m *Matrix) EIS() float64 {
 	}
 	sum := 0.0
 	for i := range src.Rows {
-		list := m.rows[m.shape.keys[i]]
-		if len(list) == 0 {
-			continue
-		}
-		best := -1.0
-		for _, code := range list {
-			var alpha, delta int
-			for j := range code {
-				if m.shape.keyIdx[j] {
-					continue
-				}
-				switch code[j] {
-				case 1:
-					alpha++
-				case -1:
-					delta++
-				}
-			}
-			e := 1.0
-			if m.shape.nonKey > 0 {
-				e = float64(alpha-delta) / float64(m.shape.nonKey)
-			}
-			if e > best {
-				best = e
-			}
-		}
-		sum += 0.5 * (1 + best)
+		sum += m.shape.contribution(m.rows[m.shape.keys[i]])
 	}
 	return sum / float64(len(src.Rows))
-}
-
-// Traverse implements Algorithm 1: given candidate tables (renamed, keyed),
-// greedily pick the subset whose simulated integration maximizes EIS,
-// stopping when adding any remaining candidate no longer improves it. It
-// returns the indices of the originating tables, in pick order.
-func Traverse(src *table.Table, cands []*table.Table, enc Encoding) []int {
-	shape := NewShape(src)
-	mats := make([]*Matrix, len(cands))
-	for i, c := range cands {
-		mats[i] = FromTable(shape, c, enc)
-	}
-
-	remaining := make(map[int]bool, len(cands))
-	for i := range cands {
-		remaining[i] = true
-	}
-
-	// GetStartTable: the candidate with the best standalone score.
-	start, startScore := -1, -1.0
-	for i := range cands {
-		if s := mats[i].EIS(); s > startScore {
-			start, startScore = i, s
-		}
-	}
-	if start < 0 {
-		return nil
-	}
-	picked := []int{start}
-	delete(remaining, start)
-	combined := mats[start]
-	mostCorrect := startScore
-
-	for len(remaining) > 0 {
-		next, nextScore := -1, mostCorrect
-		var nextCombined *Matrix
-		// Deterministic iteration order.
-		order := make([]int, 0, len(remaining))
-		for i := range remaining {
-			order = append(order, i)
-		}
-		sort.Ints(order)
-		for _, i := range order {
-			mc := Combine(combined, mats[i])
-			if s := mc.EIS(); s > nextScore {
-				next, nextScore, nextCombined = i, s, mc
-			}
-		}
-		if next < 0 {
-			break // integration found no more of S's values: converged
-		}
-		picked = append(picked, next)
-		delete(remaining, next)
-		combined, mostCorrect = nextCombined, nextScore
-	}
-	return picked
 }

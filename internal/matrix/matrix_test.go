@@ -44,6 +44,24 @@ func candC() *table.Table {
 	return c
 }
 
+// mkTuple builds a tuple from raw codes, computing the cached α−δ the way
+// FromTable would.
+func mkTuple(isKey []bool, code ...int8) tuple {
+	ad := 0
+	for i, c := range code {
+		if isKey[i] {
+			continue
+		}
+		switch c {
+		case 1:
+			ad++
+		case -1:
+			ad--
+		}
+	}
+	return tuple{code: code, ad: ad}
+}
+
 func TestFromTableEncoding(t *testing.T) {
 	shape := NewShape(source())
 	m := FromTable(shape, candC(), ThreeValued)
@@ -54,18 +72,22 @@ func TestFromTableEncoding(t *testing.T) {
 		t.Fatalf("want 1 aligned tuple, got %d", len(code))
 	}
 	want := []int8{1, 1, 0, -1, 0}
-	if !equalCodes(code[0], want) {
-		t.Errorf("code = %v, want %v", code[0], want)
+	if !equalCodes(code[0].code, want) {
+		t.Errorf("code = %v, want %v", code[0].code, want)
+	}
+	// The cached α−δ must equal a rescan: Name +1, Gender −1 → 0.
+	if code[0].ad != 0 {
+		t.Errorf("cached α−δ = %d, want 0", code[0].ad)
 	}
 	// Row id1: Gender matches (Male = Male) → +1.
 	code1 := m.rows[shape.keys[1]]
-	if code1[0][3] != 1 {
-		t.Errorf("matching gender coded %d, want 1", code1[0][3])
+	if code1[0].code[3] != 1 {
+		t.Errorf("matching gender coded %d, want 1", code1[0].code[3])
 	}
 	// Row id2: Female vs Male → -1.
 	code2 := m.rows[shape.keys[2]]
-	if code2[0][3] != -1 {
-		t.Errorf("contradicting gender coded %d, want -1", code2[0][3])
+	if code2[0].code[3] != -1 {
+		t.Errorf("contradicting gender coded %d, want -1", code2[0].code[3])
 	}
 }
 
@@ -73,8 +95,8 @@ func TestFromTableTwoValuedCollapses(t *testing.T) {
 	shape := NewShape(source())
 	m := FromTable(shape, candC(), TwoValued)
 	code := m.rows[shape.keys[2]]
-	if code[0][3] != 0 {
-		t.Errorf("two-valued contradiction coded %d, want 0", code[0][3])
+	if code[0].code[3] != 0 {
+		t.Errorf("two-valued contradiction coded %d, want 0", code[0].code[3])
 	}
 }
 
@@ -100,18 +122,22 @@ func TestFromTableWithoutKeyColumn(t *testing.T) {
 }
 
 func TestConflictsAndOr(t *testing.T) {
-	a := []int8{1, 0, -1}
-	b := []int8{1, 1, 0}
-	if conflicts(a, b) {
+	noKey := []bool{false, false, false}
+	a := mkTuple(noKey, 1, 0, -1)
+	b := mkTuple(noKey, 1, 1, 0)
+	if conflicts(a.code, b.code) {
 		t.Error("no position has differing non-zeros")
 	}
-	c := []int8{1, 0, 1}
-	if !conflicts(a, c) {
+	c := mkTuple(noKey, 1, 0, 1)
+	if !conflicts(a.code, c.code) {
 		t.Error("1 vs -1 at the same position must conflict")
 	}
-	got := or(a, b)
-	if !equalCodes(got, []int8{1, 1, 0}) {
-		t.Errorf("or = %v", got)
+	got := or(a, b, noKey)
+	if !equalCodes(got.code, []int8{1, 1, 0}) {
+		t.Errorf("or = %v", got.code)
+	}
+	if got.ad != 2 {
+		t.Errorf("or cached α−δ = %d, want 2", got.ad)
 	}
 }
 
@@ -129,14 +155,14 @@ func TestCombineKeepsConflictsSeparate(t *testing.T) {
 	}
 	// id1: C's Male is correct → merges into one tuple with Gender=1.
 	list1 := abc.rows[shape.keys[1]]
-	if len(list1) != 1 || list1[0][3] != 1 {
+	if len(list1) != 1 || list1[0].code[3] != 1 {
 		t.Errorf("id1 = %v, want single tuple with Gender 1", list1)
 	}
 	// id2: OR(A,B) has Gender=0 (value missing) and C has -1; per Equation 5
 	// only differing non-zeros conflict, so they merge with max(0,-1)=0 —
 	// matching Figure 5's combined matrix, where Wang's Gender stays 0.
 	list2 := abc.rows[shape.keys[2]]
-	if len(list2) != 1 || list2[0][3] != 0 {
+	if len(list2) != 1 || list2[0].code[3] != 0 {
 		t.Errorf("id2 = %v, want single tuple with Gender 0", list2)
 	}
 }
@@ -228,13 +254,18 @@ func TestThreeValuedBeatsTwoValuedOnErroneousData(t *testing.T) {
 }
 
 func TestNormalizeMergesAndDedupes(t *testing.T) {
-	list := [][]int8{{1, 0, 0}, {0, 1, 0}, {1, 1, 0}}
-	got := normalize(list)
-	if len(got) != 1 || !equalCodes(got[0], []int8{1, 1, 0}) {
+	noKey := []bool{false, false, false}
+	list := []tuple{mkTuple(noKey, 1, 0, 0), mkTuple(noKey, 0, 1, 0), mkTuple(noKey, 1, 1, 0)}
+	got := normalize(list, noKey)
+	if len(got) != 1 || !equalCodes(got[0].code, []int8{1, 1, 0}) {
 		t.Errorf("normalize = %v", got)
 	}
-	conflicting := [][]int8{{1, -1}, {1, 1}}
-	if got := normalize(conflicting); len(got) != 2 {
+	if got[0].ad != 2 {
+		t.Errorf("normalized cached α−δ = %d, want 2", got[0].ad)
+	}
+	noKey2 := []bool{false, false}
+	conflicting := []tuple{mkTuple(noKey2, 1, -1), mkTuple(noKey2, 1, 1)}
+	if got := normalize(conflicting, noKey2); len(got) != 2 {
 		t.Errorf("conflicting tuples merged: %v", got)
 	}
 }

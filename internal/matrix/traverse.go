@@ -1,0 +1,342 @@
+package matrix
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"gent/internal/table"
+)
+
+// TraverseOptions tunes the traversal engine.
+type TraverseOptions struct {
+	// Workers bounds the engine's scoring pool: candidate encoding and each
+	// greedy round's candidate scoring fan out over this many goroutines.
+	// <= 0 uses GOMAXPROCS.
+	Workers int
+}
+
+// Traverse implements Algorithm 1: given candidate tables (renamed, keyed),
+// greedily pick the subset whose simulated integration maximizes EIS,
+// stopping when adding any remaining candidate no longer improves it. It
+// returns the indices of the originating tables, in pick order.
+func Traverse(src *table.Table, cands []*table.Table, enc Encoding) []int {
+	return TraverseWith(src, cands, enc, TraverseOptions{})
+}
+
+// TraverseWith is Traverse on an explicitly-configured engine. Whatever the
+// worker count, the pick sequence is identical to TraverseReference's: every
+// candidate's score is the bit-exact EIS its materialized combination would
+// have, and the round winner is resolved by a deterministic scan in
+// candidate-index order.
+func TraverseWith(src *table.Table, cands []*table.Table, enc Encoding, opts TraverseOptions) []int {
+	return newEngine(src, cands, enc, opts.Workers).traverse()
+}
+
+// candidate is one candidate matrix re-indexed for the engine: aligned-tuple
+// lists addressed by dense source-key id instead of key string, so scoring
+// never hashes a key.
+type candidate struct {
+	// lists[id] holds the candidate's aligned tuples for source key id; nil
+	// when the candidate does not touch that key.
+	lists [][]tuple
+	// touched lists the key ids with aligned tuples, in ascending order.
+	touched []int
+}
+
+// engine is the incremental, parallel traversal state for one source: the
+// combined integration so far as per-key tuple lists, plus each key's cached
+// Equation 3 contribution under it. A candidate is scored by re-running the
+// per-key Equation 5 kernel on only the keys it touches — against throwaway
+// lists, into a per-worker scratch of contributions — and summing scratch in
+// source-row order. That reproduces, float-add for float-add, the EIS of the
+// materialized Combine without building it; losers allocate no matrix, and
+// only the round winner's touched keys are folded into the engine.
+type engine struct {
+	shape   *Shape
+	workers int
+
+	// rowKey maps each source row to its dense key id, -1 when the row's key
+	// contains a null (such rows align with nothing).
+	rowKey []int
+	// keyOf maps a dense key id back to the key string, in first-row order.
+	keyOf []string
+
+	cands []candidate
+
+	// combined[id] is the current integration's tuple list for key id.
+	combined [][]tuple
+	// contrib[id] caches contribution(combined[id]).
+	contrib []float64
+}
+
+func newEngine(src *table.Table, cands []*table.Table, enc Encoding, workers int) *engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// No pool (or scratch mirror) can ever be wider than the candidate set.
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	e := &engine{shape: NewShape(src), workers: workers}
+
+	keyIDs := make(map[string]int, len(e.shape.keys))
+	e.rowKey = make([]int, len(e.shape.keys))
+	for i, k := range e.shape.keys {
+		if k == "" {
+			e.rowKey[i] = -1
+			continue
+		}
+		id, ok := keyIDs[k]
+		if !ok {
+			id = len(e.keyOf)
+			keyIDs[k] = id
+			e.keyOf = append(e.keyOf, k)
+		}
+		e.rowKey[i] = id
+	}
+
+	// Encode every candidate concurrently, then re-index by key id.
+	mats := make([]*Matrix, len(cands))
+	e.forEach(len(cands), func(_, i int) {
+		mats[i] = FromTable(e.shape, cands[i], enc)
+	})
+	e.cands = make([]candidate, len(cands))
+	for i, m := range mats {
+		c := candidate{lists: make([][]tuple, len(e.keyOf))}
+		for id, k := range e.keyOf {
+			if list, ok := m.rows[k]; ok {
+				c.lists[id] = list
+				c.touched = append(c.touched, id)
+			}
+		}
+		e.cands[i] = c
+	}
+	return e
+}
+
+// forEach runs f(worker, 0..n-1) on the engine's bounded worker pool. Each
+// index is processed exactly once; f must write only to its own index's
+// slots (plus the worker's own scratch).
+func (e *engine) forEach(n int, f func(worker, i int)) {
+	w := e.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			f(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < w; p++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(worker, i)
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+func (e *engine) traverse() []int {
+	n := len(e.cands)
+	if n == 0 {
+		return nil
+	}
+
+	// GetStartTable: the candidate with the best standalone score, scored
+	// concurrently (standalone EIS reads only cached α−δ counts).
+	scores := make([]float64, n)
+	e.forEach(n, func(_, i int) { scores[i] = e.standalone(&e.cands[i]) })
+	start, startScore := -1, -1.0
+	for i, s := range scores {
+		if s > startScore {
+			start, startScore = i, s
+		}
+	}
+	if start < 0 {
+		return nil
+	}
+	picked := []int{start}
+	// remaining stays sorted: built in index order, removals preserve order,
+	// so the winner scan below matches the reference's deterministic order.
+	remaining := make([]int, 0, n-1)
+	for i := 0; i < n; i++ {
+		if i != start {
+			remaining = append(remaining, i)
+		}
+	}
+	e.reset(&e.cands[start])
+	mostCorrect := startScore
+
+	// Per-worker scratch mirrors the contribution cache; scoreCand restores
+	// its touched slots after each candidate, and absorb refreshes only the
+	// winner's touched slots, so the mirrors stay exact without per-round
+	// full copies.
+	scratch := make([][]float64, e.workers)
+	for p := range scratch {
+		scratch[p] = make([]float64, len(e.keyOf))
+		copy(scratch[p], e.contrib)
+	}
+	for len(remaining) > 0 {
+		e.forEach(len(remaining), func(worker, j int) {
+			scores[remaining[j]] = e.scoreCand(&e.cands[remaining[j]], scratch[worker])
+		})
+		next, nextScore := -1, mostCorrect
+		for _, i := range remaining {
+			if scores[i] > nextScore {
+				next, nextScore = i, scores[i]
+			}
+		}
+		if next < 0 {
+			break // integration found no more of S's values: converged
+		}
+		picked = append(picked, next)
+		for j, i := range remaining {
+			if i == next {
+				remaining = append(remaining[:j], remaining[j+1:]...)
+				break
+			}
+		}
+		e.absorb(&e.cands[next])
+		for _, id := range e.cands[next].touched {
+			for p := range scratch {
+				scratch[p][id] = e.contrib[id]
+			}
+		}
+		mostCorrect = nextScore
+	}
+	return picked
+}
+
+// standalone is the candidate's own EIS: its raw (unnormalized, uncombined)
+// aligned-tuple lists evaluated per source row, exactly as Matrix.EIS does.
+func (e *engine) standalone(c *candidate) float64 {
+	n := len(e.rowKey)
+	if n == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, id := range e.rowKey {
+		if id >= 0 {
+			sum += e.shape.contribution(c.lists[id])
+		}
+	}
+	return sum / float64(n)
+}
+
+// reset starts the engine from the start candidate's raw lists (the
+// reference's `combined := mats[start]`), caching per-key contributions.
+func (e *engine) reset(c *candidate) {
+	e.combined = make([][]tuple, len(e.keyOf))
+	copy(e.combined, c.lists)
+	e.contrib = make([]float64, len(e.keyOf))
+	for id, list := range e.combined {
+		e.contrib[id] = e.shape.contribution(list)
+	}
+}
+
+// absorb folds the round winner into the engine — the round's only
+// materialization — refreshing just the keys the winner touches.
+func (e *engine) absorb(c *candidate) {
+	for _, id := range c.touched {
+		e.combined[id] = combineKey(e.combined[id], c.lists[id], e.shape.isKey)
+		e.contrib[id] = e.shape.contribution(e.combined[id])
+	}
+}
+
+// scoreCand is the delta scorer: EIS(Combine(combined, c)) computed without
+// building the combined matrix. Touched keys re-run the per-key Equation 5
+// kernel into the worker's scratch; untouched keys keep their cached
+// contribution already sitting there. The row-order summation reproduces
+// EIS's float arithmetic bit-for-bit. scratch must equal the engine's
+// contribution cache on entry, and is restored before returning.
+func (e *engine) scoreCand(c *candidate, scratch []float64) float64 {
+	n := len(e.rowKey)
+	if n == 0 {
+		return 1
+	}
+	for _, id := range c.touched {
+		scratch[id] = e.shape.contribution(combineKey(e.combined[id], c.lists[id], e.shape.isKey))
+	}
+	sum := 0.0
+	for _, id := range e.rowKey {
+		if id >= 0 {
+			sum += scratch[id]
+		}
+	}
+	for _, id := range c.touched {
+		scratch[id] = e.contrib[id]
+	}
+	return sum / float64(n)
+}
+
+// TraverseReference is the pre-engine Algorithm 1: every round materializes
+// Combine(combined, mats[i]) and rescans it with EIS for every remaining
+// candidate, sequentially. It is retained as the equivalence oracle for the
+// engine (see equivalence tests) and as the baseline BenchmarkTraverse
+// measures the engine against. Pick sequences are identical by construction.
+func TraverseReference(src *table.Table, cands []*table.Table, enc Encoding) []int {
+	shape := NewShape(src)
+	mats := make([]*Matrix, len(cands))
+	for i, c := range cands {
+		mats[i] = FromTable(shape, c, enc)
+	}
+
+	remaining := make(map[int]bool, len(cands))
+	for i := range cands {
+		remaining[i] = true
+	}
+
+	// GetStartTable: the candidate with the best standalone score.
+	start, startScore := -1, -1.0
+	for i := range cands {
+		if s := mats[i].EIS(); s > startScore {
+			start, startScore = i, s
+		}
+	}
+	if start < 0 {
+		return nil
+	}
+	picked := []int{start}
+	delete(remaining, start)
+	combined := mats[start]
+	mostCorrect := startScore
+
+	for len(remaining) > 0 {
+		next, nextScore := -1, mostCorrect
+		var nextCombined *Matrix
+		// Deterministic iteration order.
+		order := make([]int, 0, len(remaining))
+		for i := range remaining {
+			order = append(order, i)
+		}
+		sort.Ints(order)
+		for _, i := range order {
+			mc := Combine(combined, mats[i])
+			if s := mc.EIS(); s > nextScore {
+				next, nextScore, nextCombined = i, s, mc
+			}
+		}
+		if next < 0 {
+			break
+		}
+		picked = append(picked, next)
+		delete(remaining, next)
+		combined, mostCorrect = nextCombined, nextScore
+	}
+	return picked
+}
