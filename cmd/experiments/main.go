@@ -8,12 +8,14 @@
 //
 //	experiments [-exp all|table1|table2|table3|table4|fig6|fig7|fig8|fig9|t2d|llm|ablations]
 //	            [-small 24] [-med 80] [-large 200] [-distractors 120] [-seed 17]
+//	            [-parallel 1] [-timeout 10m]
 //
 // The default sizes are scaled down to run in minutes; raise the flags to
 // approach the paper's scales.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,8 +34,16 @@ func main() {
 		maxRows     = flag.Int("max-source-rows", 120, "cap per Source Table")
 		seed        = flag.Int64("seed", 17, "generation seed")
 		parallel    = flag.Int("parallel", 1, "sources evaluated concurrently over the shared per-corpus indexes (keep 1 for runtime figures)")
+		timeout     = flag.Duration("timeout", 0, "deadline for the effectiveness tables (table2, table3, table4); expired Gen-T runs abort at the next phase boundary and score as failures (0 = none)")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	setOpts := experiments.DefaultSetOptions()
 	setOpts.SmallBase = *smallBase
@@ -77,17 +87,17 @@ func main() {
 	}
 	if need("table2") {
 		fmt.Println("### Table II: effectiveness on the larger TP-TR benchmarks")
-		for _, res := range experiments.Table2(buildSet(), runOpts) {
+		for _, res := range experiments.Table2Context(ctx, buildSet(), runOpts) {
 			fmt.Println(experiments.RenderEffectiveness(res))
 		}
 	}
 	if need("table3") {
 		fmt.Println("### Table III: all baselines on TP-TR Small")
-		fmt.Println(experiments.RenderEffectiveness(experiments.Table3(buildSet(), runOpts)))
+		fmt.Println(experiments.RenderEffectiveness(experiments.Table3Context(ctx, buildSet(), runOpts)))
 	}
 	if need("table4") {
 		fmt.Println("### Table IV: sources from T2D immersed in the WDC sample")
-		fmt.Println(experiments.RenderEffectiveness(experiments.Table4(buildSet().WDC, runOpts)))
+		fmt.Println(experiments.RenderEffectiveness(experiments.Table4Context(ctx, buildSet().WDC, runOpts)))
 	}
 	if need("fig6") {
 		fmt.Println("### Figure 6: recall/precision by query class")

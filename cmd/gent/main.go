@@ -6,18 +6,25 @@
 // present and built-and-saved there otherwise, so repeated invocations over
 // the same lake skip index construction (index once, query many).
 //
+// With -timeout, a pathological query is cut off at the deadline with a
+// phase-tagged error; -progress streams per-phase events (discovery
+// candidate counts, every traversal pick, integration) to stderr.
+//
 // Usage:
 //
 //	gent -source source.csv -lake ./lake [-out reclaimed.csv] [-tau 0.2]
 //	     [-topk 0] [-max-candidates 15] [-key id,name] [-index-dir ./lake.idx]
+//	     [-timeout 30s] [-progress]
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"gent/internal/core"
 	"gent/internal/index"
@@ -38,6 +45,8 @@ func main() {
 		explain    = flag.Bool("explain", false, "print a per-tuple reclamation breakdown")
 		jsonOut    = flag.Bool("json", false, "print the result as JSON instead of text")
 		quiet      = flag.Bool("q", false, "print only the report line")
+		timeout    = flag.Duration("timeout", 0, "abort the reclamation after this long (0 = no deadline)")
+		progress   = flag.Bool("progress", false, "stream per-phase progress events to stderr")
 	)
 	flag.Parse()
 	if *sourcePath == "" || *lakeDir == "" {
@@ -78,7 +87,9 @@ func main() {
 		switch {
 		case err == nil && ix.Inverted != nil && ix.Inverted.Covers(l) &&
 			(ix.LSH == nil || ix.LSH.Covers(l)):
-			session.UseIndexes(ix)
+			if err := session.UseIndexes(ix); err != nil {
+				fatal(err)
+			}
 			if !*quiet {
 				fmt.Printf("indexes loaded from %s\n", *indexDir)
 			}
@@ -103,8 +114,27 @@ func main() {
 		}
 	}
 
-	res, err := session.Reclaim(src)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var opts []core.Option
+	if *progress {
+		opts = append(opts, core.WithObserver(core.ObserverFunc(progressLine)))
+	}
+	res, err := session.ReclaimContext(ctx, src, opts...)
 	if err != nil {
+		var gerr *core.Error
+		if errors.As(err, &gerr) && errors.Is(err, context.DeadlineExceeded) {
+			// The error string already carries the phase and source; add how
+			// long the pipeline had run (completed phases + the failing
+			// phase's partial time) when the deadline fired.
+			fmt.Fprintf(os.Stderr, "%v (pipeline had run for %s when the %s deadline fired)\n",
+				err, gerr.Timing.Total(), *timeout)
+			os.Exit(1)
+		}
 		fatal(err)
 	}
 
@@ -132,8 +162,9 @@ func main() {
 		for _, c := range res.Originating {
 			fmt.Printf("  - %s\n", strings.Join(c.Sources, " ⋈ "))
 		}
-		fmt.Printf("timing: discover=%s traverse=%s integrate=%s\n",
-			res.Timing.Discover, res.Timing.Traverse, res.Timing.Integrate)
+		fmt.Printf("timing: discover=%s traverse=%s integrate=%s evaluate=%s total=%s\n",
+			res.Timing.Discover, res.Timing.Traverse, res.Timing.Integrate,
+			res.Timing.Evaluate, res.Timing.Total())
 	}
 	r := res.Report
 	fmt.Printf("EIS=%.3f Rec=%.3f Pre=%.3f Inst-Div=%.3f DKL=%.3f perfect=%v\n",
@@ -161,7 +192,35 @@ func main() {
 	}
 }
 
+// progressLine renders one structured phase event for -progress.
+func progressLine(ev core.ProgressEvent) {
+	switch ev.Kind {
+	case core.EventPhaseStarted:
+		fmt.Fprintf(os.Stderr, "[%s] started\n", ev.Phase)
+	case core.EventTraverseRound:
+		fmt.Fprintf(os.Stderr, "[%s] round %d: picked candidate %d (EIS %.4f)\n",
+			ev.Phase, ev.Round, ev.Pick, ev.Score)
+	case core.EventPhaseDone:
+		switch ev.Phase {
+		case core.PhaseDiscovery:
+			fmt.Fprintf(os.Stderr, "[%s] done in %s: %d candidates\n", ev.Phase, ev.Elapsed.Round(time.Microsecond), ev.Count)
+		case core.PhaseTraversal:
+			fmt.Fprintf(os.Stderr, "[%s] done in %s: %d originating tables\n", ev.Phase, ev.Elapsed.Round(time.Microsecond), ev.Count)
+		case core.PhaseIntegration:
+			fmt.Fprintf(os.Stderr, "[%s] done in %s: %d rows\n", ev.Phase, ev.Elapsed.Round(time.Microsecond), ev.Count)
+		case core.PhaseEvaluation:
+			fmt.Fprintf(os.Stderr, "[%s] done in %s: EIS %.4f\n", ev.Phase, ev.Elapsed.Round(time.Microsecond), ev.Score)
+		default:
+			fmt.Fprintf(os.Stderr, "[%s] done in %s\n", ev.Phase, ev.Elapsed.Round(time.Microsecond))
+		}
+	}
+}
+
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gent:", err)
+	msg := err.Error()
+	if !strings.HasPrefix(msg, "gent: ") {
+		msg = "gent: " + msg
+	}
+	fmt.Fprintln(os.Stderr, msg)
 	os.Exit(1)
 }

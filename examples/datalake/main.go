@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"gent"
 	"gent/internal/baselines/alite"
@@ -56,16 +58,19 @@ func main() {
 	fmt.Printf("lake: %d tables; source %q: %d rows, key %v\n",
 		l.Len(), loaded.Name, loaded.NumRows(), loaded.KeyCols())
 
-	cfg := gent.DefaultConfig()
-	res, err := gent.Reclaim(l, loaded, cfg)
+	// A file-backed run is exactly where a deadline matters: a malformed or
+	// adversarial lake cannot hang the pipeline past the budget.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := gent.ReclaimContext(ctx, l, loaded, gent.DefaultConfig())
 	if err != nil {
 		panic(err)
 	}
 	fmt.Printf("\nGen-T: EIS=%.3f Rec=%.3f Pre=%.3f (%d candidates → %d originating)\n",
 		res.Report.EIS, res.Report.Recall, res.Report.Precision,
 		res.CandidateCount, len(res.Originating))
-	fmt.Printf("timing: discover=%s traverse=%s integrate=%s\n",
-		res.Timing.Discover, res.Timing.Traverse, res.Timing.Integrate)
+	fmt.Printf("timing: discover=%s traverse=%s integrate=%s evaluate=%s\n",
+		res.Timing.Discover, res.Timing.Traverse, res.Timing.Integrate, res.Timing.Evaluate)
 
 	// Contrast with the integration baseline given the same knowledge: full
 	// disjunction over the benchmark's known integrating set.

@@ -8,6 +8,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -56,7 +58,15 @@ func main() {
 	add(article, gent.S("Amazon"), gent.N(54), gent.N(21), gent.N(12), gent.N(1608000))
 	add(article, gent.S("Google"), gent.N(51), gent.N(24), gent.N(7), gent.N(156500))
 
-	res, err := gent.Reclaim(l, article, gent.DefaultConfig())
+	// A fact-check is a served query: require the lake to actually hold
+	// evidence (no candidates = "cannot verify", a typed error) instead of
+	// silently scoring an all-null table.
+	res, err := gent.ReclaimContext(context.Background(), l, article, gent.DefaultConfig(),
+		gent.WithRequireCandidates())
+	if errors.Is(err, gent.ErrNoCandidates) {
+		fmt.Println("the lake holds no evidence about this table")
+		return
+	}
 	if err != nil {
 		panic(err)
 	}

@@ -1,11 +1,15 @@
 // Quickstart: reclaim a small Source Table from an in-memory lake using the
-// public gent API — the paper's Figure 3 running example, end to end.
+// public gent API — the paper's Figure 3 running example, end to end, on the
+// v2 context-first surface: a deadline, a progress observer, and per-call
+// options layered over the default configuration.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"gent"
 )
@@ -42,7 +46,16 @@ func main() {
 	src.AddRow(gent.S("id1"), gent.S("Brown"), gent.N(24), gent.S("Male"), gent.S("Masters"))
 	src.AddRow(gent.S("id2"), gent.S("Wang"), gent.N(32), gent.S("Female"), gent.S("High School"))
 
-	res, err := gent.Reclaim(l, src, gent.DefaultConfig())
+	// Reclaim with a deadline (a pathological query cannot hang the caller)
+	// and an observer that narrates each phase as it completes.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := gent.ReclaimContext(ctx, l, src, gent.DefaultConfig(),
+		gent.WithObserver(gent.ObserverFunc(func(ev gent.ProgressEvent) {
+			if ev.Kind == gent.EventPhaseDone {
+				fmt.Printf("  [%s done in %s]\n", ev.Phase, ev.Elapsed.Round(time.Microsecond))
+			}
+		})))
 	if err != nil {
 		panic(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -62,7 +63,9 @@ func main() {
 		)
 	}
 
-	res, err := gent.Reclaim(l, src, gent.DefaultConfig())
+	// A session would normally serve many such queries over one lake; here a
+	// single context-first call suffices.
+	res, err := gent.ReclaimContext(context.Background(), l, src, gent.DefaultConfig())
 	if err != nil {
 		panic(err)
 	}

@@ -16,6 +16,25 @@
 //	if err != nil { ... }
 //	fmt.Println(res.Report.EIS, res.Reclaimed)
 //
+// # The v2, context-first surface
+//
+// Every entry point has a context-first form that accepts per-call Options
+// layered over the Config, honors cancellation and deadlines at every phase
+// boundary (and at preemption points inside discovery, traversal and
+// integration), and fails with a phase-tagged *Error:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+//	defer cancel()
+//	res, err := gent.ReclaimContext(ctx, lake, src, gent.DefaultConfig(),
+//	    gent.WithTraverseWorkers(4),
+//	    gent.WithObserver(gent.ObserverFunc(func(ev gent.ProgressEvent) {
+//	        log.Printf("%s %s %s", ev.Source, ev.Phase, ev.Kind)
+//	    })))
+//	var gerr *gent.Error
+//	if errors.As(err, &gerr) {
+//	    log.Printf("failed in %s after %s: %v", gerr.Phase, gerr.Timing.Total(), gerr.Err)
+//	}
+//
 // Reclaim builds the discovery indexes fresh on every call. For the
 // build-once-query-many deployment the paper assumes — one lake serving many
 // Source Tables — open a session instead: a Reclaimer indexes the lake once
@@ -23,11 +42,15 @@
 // shares the indexes across queries, including concurrent batches:
 //
 //	r := gent.NewReclaimer(lake, gent.DefaultConfig())
-//	res, err := r.Reclaim(src)                  // indexes built here, once
-//	items := r.ReclaimAll(sources, workers)     // batched, bounded worker pool
+//	res, err := r.ReclaimContext(ctx, src)        // indexes built here, once
+//	for item := range r.ReclaimStream(ctx, sources, workers) {
+//	    // items arrive in completion order, memory bounded by workers
+//	}
+//	items := r.ReclaimAll(sources, workers)       // collected, input order
 package gent
 
 import (
+	"context"
 	"io"
 
 	"gent/internal/core"
@@ -54,9 +77,16 @@ type (
 	LakeStats = lake.Stats
 	// Config tunes a reclamation run.
 	Config = core.Config
+	// Option adjusts one run's Config — see WithEncoding, WithDiscovery,
+	// WithTraverseWorkers, WithObserver, WithoutTraversal, WithKeyMaxArity,
+	// WithRequireCandidates.
+	Option = core.Option
 	// Result is a reclamation outcome: reclaimed table, originating tables,
 	// metrics and timing.
 	Result = core.Result
+	// Timing breaks a run down by phase (Discover, Traverse, Integrate,
+	// Evaluate).
+	Timing = core.Timing
 	// Report bundles the effectiveness measures (EIS, Recall, Precision,
 	// Instance Divergence, DKL, ...).
 	Report = metrics.Report
@@ -73,10 +103,25 @@ type (
 	// Reclaimer is a reusable session over one lake: the discovery indexes
 	// are built once and shared across all of its queries.
 	Reclaimer = core.Reclaimer
-	// BatchItem is one source's outcome within a Reclaimer.ReclaimAll batch.
+	// BatchItem is one source's outcome within a batch or stream.
 	BatchItem = core.BatchItem
 	// IndexSet bundles a lake's persisted discovery indexes.
 	IndexSet = index.IndexSet
+	// Error is the pipeline error: the failing Phase, the source name, the
+	// partial Timing, and the cause (errors.Is/As reach through it).
+	Error = core.Error
+	// Phase names one pipeline stage (see PhaseDiscovery et al.).
+	Phase = core.Phase
+	// ProgressObserver receives structured phase events from a run; attach
+	// one with WithObserver or Config.Observer.
+	ProgressObserver = core.ProgressObserver
+	// ProgressEvent is one structured observation (phase started/done, or a
+	// traversal round's pick and score).
+	ProgressEvent = core.ProgressEvent
+	// EventKind classifies a ProgressEvent.
+	EventKind = core.EventKind
+	// ObserverFunc adapts a function to ProgressObserver.
+	ObserverFunc = core.ObserverFunc
 )
 
 // Tuple statuses for Explanation entries.
@@ -98,6 +143,73 @@ const (
 	// TwoValued is the ablation encoding that cannot see contradictions.
 	TwoValued = matrix.TwoValued
 )
+
+// Pipeline phases, as tagged on *Error and ProgressEvent.
+const (
+	// PhaseSource is input validation and key mining.
+	PhaseSource = core.PhaseSource
+	// PhaseDiscovery is Table Discovery (Set Similarity + Expand).
+	PhaseDiscovery = core.PhaseDiscovery
+	// PhaseTraversal is Matrix Traversal.
+	PhaseTraversal = core.PhaseTraversal
+	// PhaseIntegration is Table Integration.
+	PhaseIntegration = core.PhaseIntegration
+	// PhaseEvaluation is the effectiveness evaluation.
+	PhaseEvaluation = core.PhaseEvaluation
+	// PhaseBatch tags batch-level failures (ReclaimAllContext).
+	PhaseBatch = core.PhaseBatch
+)
+
+// ProgressEvent kinds.
+const (
+	// EventPhaseStarted marks a phase beginning.
+	EventPhaseStarted = core.EventPhaseStarted
+	// EventPhaseDone marks a phase completing (Elapsed and Count set).
+	EventPhaseDone = core.EventPhaseDone
+	// EventTraverseRound reports one traversal greedy round (Round, Pick,
+	// Score set).
+	EventTraverseRound = core.EventTraverseRound
+)
+
+// Sentinel errors; every pipeline failure wraps one cause inside a *Error,
+// so match causes with errors.Is and recover the phase with errors.As.
+var (
+	// ErrNoKey: the Source Table has no declared key and none can be mined.
+	ErrNoKey = core.ErrNoKey
+	// ErrNoCandidates: discovery found nothing (only under
+	// WithRequireCandidates).
+	ErrNoCandidates = core.ErrNoCandidates
+	// ErrSessionStarted: Reclaimer.UseIndexes was called after the session's
+	// first query.
+	ErrSessionStarted = core.ErrSessionStarted
+)
+
+// Per-call options, layered over a Config by ReclaimContext,
+// Reclaimer.ReclaimContext, ReclaimStream and ReclaimAllContext.
+
+// WithEncoding selects the matrix encoding (ThreeValued or TwoValued).
+func WithEncoding(enc matrix.Encoding) Option { return core.WithEncoding(enc) }
+
+// WithTraverseWorkers bounds the Matrix Traversal scoring pool (<= 0 uses
+// GOMAXPROCS).
+func WithTraverseWorkers(n int) Option { return core.WithTraverseWorkers(n) }
+
+// WithDiscovery replaces the discovery options for this call.
+func WithDiscovery(opts DiscoveryOptions) Option { return core.WithDiscovery(opts) }
+
+// WithObserver attaches a ProgressObserver to this call.
+func WithObserver(obs ProgressObserver) Option { return core.WithObserver(obs) }
+
+// WithoutTraversal integrates every candidate without Matrix Traversal (the
+// "no pruning" ablation).
+func WithoutTraversal() Option { return core.WithoutTraversal() }
+
+// WithKeyMaxArity bounds key mining when the Source has no declared key.
+func WithKeyMaxArity(n int) Option { return core.WithKeyMaxArity(n) }
+
+// WithRequireCandidates turns an empty discovery result into
+// ErrNoCandidates instead of an all-null reclamation.
+func WithRequireCandidates() Option { return core.WithRequireCandidates() }
 
 // Null is the missing value ⊥.
 var Null = table.Null
@@ -133,14 +245,24 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // Reclaim runs the full Gen-T pipeline: Table Discovery, Matrix Traversal
 // and Table Integration. The Source must have a key, or one minable within
 // Config.KeyMaxArity columns. The discovery indexes are rebuilt on every
-// call; use a Reclaimer to amortize them over many queries.
+// call; use a Reclaimer to amortize them over many queries. It is
+// ReclaimContext under context.Background() with no options.
 func Reclaim(l *Lake, src *Table, cfg Config) (*Result, error) {
 	return core.Reclaim(l, src, cfg)
 }
 
+// ReclaimContext is Reclaim under a context and per-call options layered
+// over cfg. Cancellation or deadline expiry aborts at the next phase
+// boundary (or mid-phase preemption point) with a *Error tagging the phase,
+// wrapping ctx.Err(), and carrying the partial Timing.
+func ReclaimContext(ctx context.Context, l *Lake, src *Table, cfg Config, opts ...Option) (*Result, error) {
+	return core.ReclaimContext(ctx, l, src, cfg, opts...)
+}
+
 // NewReclaimer opens a reusable reclamation session over a lake. Indexes are
-// built lazily on the first query and shared by every subsequent Reclaim and
-// ReclaimAll call; inject persisted ones with Reclaimer.UseIndexes.
+// built lazily on the first query and shared by every subsequent query —
+// Reclaim/ReclaimContext, the ReclaimAll batches, and ReclaimStream; inject
+// persisted ones with Reclaimer.UseIndexes before the first query.
 func NewReclaimer(l *Lake, cfg Config) *Reclaimer { return core.NewReclaimer(l, cfg) }
 
 // LoadIndexes reads a lake's persisted discovery indexes from dir (written

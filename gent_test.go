@@ -1,8 +1,12 @@
 package gent
 
 import (
+	"context"
+	"errors"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestPublicAPIQuickstart(t *testing.T) {
@@ -108,12 +112,93 @@ func TestPublicSessionAPI(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res2, err := NewReclaimer(l, DefaultConfig()).UseIndexes(ix).Reclaim(src)
+	r2 := NewReclaimer(l, DefaultConfig())
+	if err := r2.UseIndexes(ix); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := r2.Reclaim(src)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res2.Reclaimed.String() != res.Reclaimed.String() {
 		t.Error("persisted-index session diverged from in-memory session")
+	}
+}
+
+// buildSessionScenario assembles the lake and source the session tests use.
+func buildSessionScenario() (*Lake, *Table) {
+	l := NewLake()
+	names := NewTable("names", "id", "name")
+	names.AddRow(S("e1"), S("Ada"))
+	names.AddRow(S("e2"), S("Grace"))
+	l.Add(names)
+	roles := NewTable("roles", "id", "role")
+	roles.AddRow(S("e1"), S("Engineer"))
+	roles.AddRow(S("e2"), S("Admiral"))
+	l.Add(roles)
+	src := NewTable("target", "id", "name", "role")
+	src.Key = []int{0}
+	src.AddRow(S("e1"), S("Ada"), S("Engineer"))
+	src.AddRow(S("e2"), S("Grace"), S("Admiral"))
+	return l, src
+}
+
+// TestPublicV2Surface exercises the context-first API end to end: options,
+// observer, deadline, typed errors, and the streaming batch.
+func TestPublicV2Surface(t *testing.T) {
+	l, src := buildSessionScenario()
+
+	// ReclaimContext with options and an observer equals plain Reclaim.
+	events := 0
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := ReclaimContext(ctx, l, src, DefaultConfig(),
+		WithTraverseWorkers(2),
+		WithObserver(ObserverFunc(func(ProgressEvent) { events++ })))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Reclaim(l, src, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reclaimed.String() != plain.Reclaimed.String() {
+		t.Error("v2 path diverged from legacy Reclaim")
+	}
+	if events == 0 {
+		t.Error("observer saw no events")
+	}
+	tm := res.Timing
+	if tm.Total() != tm.Discover+tm.Traverse+tm.Integrate+tm.Evaluate {
+		t.Errorf("Timing.Total() must be the exact sum of the phases (incl. Evaluate): %+v", tm)
+	}
+	if tm.Evaluate <= 0 && runtime.GOOS != "windows" {
+		t.Errorf("Timing.Evaluate not measured: %+v", tm)
+	}
+
+	// Cancellation surfaces a phase-tagged *Error wrapping context.Canceled.
+	dead, kill := context.WithCancel(context.Background())
+	kill()
+	_, err = ReclaimContext(dead, l, src, DefaultConfig())
+	var gerr *Error
+	if !errors.Is(err, context.Canceled) || !errors.As(err, &gerr) {
+		t.Fatalf("want phase-tagged cancellation, got %v", err)
+	}
+	if gerr.Phase != PhaseSource {
+		t.Errorf("phase = %q, want %q", gerr.Phase, PhaseSource)
+	}
+
+	// Streaming batch: completion-order items, all delivered.
+	r := NewReclaimer(l, DefaultConfig())
+	seen := 0
+	for item := range r.ReclaimStream(context.Background(), []*Table{src, src, src}, 2) {
+		if item.Err != nil || !item.Result.Report.PerfectReclamation {
+			t.Fatalf("stream item %d failed: %+v", item.Index, item.Err)
+		}
+		seen++
+	}
+	if seen != 3 {
+		t.Fatalf("stream delivered %d of 3 items", seen)
 	}
 }
 

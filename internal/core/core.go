@@ -2,10 +2,16 @@
 // 2: Table Discovery (Set Similarity + Expand), Matrix Traversal to pin down
 // the originating tables, and Table Integration to produce the reclaimed
 // Source Table, together with timing and effectiveness reporting.
+//
+// The pipeline is context-first: every phase checks cancellation at its
+// boundary plus at internal preemption points (discovery's per-column
+// probes, each traversal round, integration's per-table fold), and a
+// canceled run fails with a *Error tagging the phase it was in, wrapping
+// ctx.Err(), and preserving the timings of the phases that completed.
 package core
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"time"
 
@@ -33,6 +39,11 @@ type Config struct {
 	// <= 0 uses GOMAXPROCS. Within a ReclaimAll batch that already saturates
 	// the CPU with source-level parallelism, 1 avoids oversubscription.
 	TraverseWorkers int
+	// Observer, when non-nil, receives structured phase events from the run.
+	Observer ProgressObserver
+	// RequireCandidates makes an empty discovery result fail with
+	// ErrNoCandidates instead of integrating nothing.
+	RequireCandidates bool
 }
 
 // DefaultConfig mirrors the paper's Gen-T configuration.
@@ -49,10 +60,15 @@ type Timing struct {
 	Discover  time.Duration
 	Traverse  time.Duration
 	Integrate time.Duration
+	// Evaluate is the effectiveness-evaluation time (metrics.Evaluate of the
+	// reclaimed table against the Source).
+	Evaluate time.Duration
 }
 
 // Total sums the phases.
-func (t Timing) Total() time.Duration { return t.Discover + t.Traverse + t.Integrate }
+func (t Timing) Total() time.Duration {
+	return t.Discover + t.Traverse + t.Integrate + t.Evaluate
+}
 
 // Result is the output of Figure 2: the reclaimed table, the originating
 // tables (with lake provenance), and the evaluation against the Source.
@@ -69,17 +85,22 @@ type Result struct {
 	Timing Timing
 }
 
-// ErrNoKey is returned when the Source Table has no declared key and none
-// can be mined.
-var ErrNoKey = errors.New("core: source table has no minable key")
-
 // Reclaim runs the full Gen-T pipeline for one Source Table over a lake,
-// building the discovery substrates fresh for this single call. Callers
-// issuing many queries over one lake should create a Reclaimer instead, so
-// indexing happens once.
+// building the discovery substrates fresh for this single call. It is
+// ReclaimContext under context.Background(); callers issuing many queries
+// over one lake should create a Reclaimer instead, so indexing happens once.
 func Reclaim(l *lake.Lake, src *table.Table, cfg Config) (*Result, error) {
-	return reclaimPipeline(src, cfg, func(keyed *table.Table) []*discovery.Candidate {
-		return discovery.Discover(l, keyed, cfg.Discovery)
+	return ReclaimContext(context.Background(), l, src, cfg)
+}
+
+// ReclaimContext is Reclaim under a context and per-call options layered
+// over cfg. Cancellation or deadline expiry aborts the run at the next phase
+// boundary (or mid-phase preemption point) with a phase-tagged *Error
+// wrapping ctx.Err().
+func ReclaimContext(ctx context.Context, l *lake.Lake, src *table.Table, cfg Config, opts ...Option) (*Result, error) {
+	cfg = applyOptions(cfg, opts)
+	return reclaimPipeline(ctx, src, cfg, func(ctx context.Context, keyed *table.Table) ([]*discovery.Candidate, error) {
+		return discovery.DiscoverContext(ctx, l, keyed, cfg.Discovery)
 	})
 }
 
@@ -87,9 +108,24 @@ func Reclaim(l *lake.Lake, src *table.Table, cfg Config) (*Result, error) {
 // discover — a per-call fresh build (Reclaim) or a shared-substrate session
 // (Reclaimer). Everything downstream of discovery is identical between the
 // two paths.
-func reclaimPipeline(src *table.Table, cfg Config, discover func(*table.Table) []*discovery.Candidate) (*Result, error) {
+func reclaimPipeline(ctx context.Context, src *table.Table, cfg Config,
+	discover func(context.Context, *table.Table) ([]*discovery.Candidate, error)) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	obs := cfg.Observer
+	res := &Result{}
+	fail := func(phase Phase, err error) (*Result, error) {
+		return nil, phaseError(phase, src.Name, res.Timing, err)
+	}
+
+	// A dead context fails before any work at all — source validation is
+	// cheap, but key mining on a wide keyless source is combinatorial.
+	if err := ctx.Err(); err != nil {
+		return fail(PhaseSource, err)
+	}
 	if err := src.Validate(); err != nil {
-		return nil, fmt.Errorf("core: invalid source: %w", err)
+		return fail(PhaseSource, fmt.Errorf("core: invalid source: %w", err))
 	}
 	if len(src.Key) == 0 {
 		arity := cfg.KeyMaxArity
@@ -98,18 +134,35 @@ func reclaimPipeline(src *table.Table, cfg Config, discover func(*table.Table) [
 		}
 		key := table.MineKey(src, arity)
 		if key == nil {
-			return nil, ErrNoKey
+			return fail(PhaseSource, ErrNoKey)
 		}
 		src = src.Clone()
 		src.Key = key
 	}
 
-	res := &Result{}
+	// Table Discovery.
+	if err := ctx.Err(); err != nil {
+		return fail(PhaseDiscovery, err)
+	}
+	emit(obs, ProgressEvent{Source: src.Name, Phase: PhaseDiscovery, Kind: EventPhaseStarted})
 	start := time.Now()
-	cands := discover(src)
+	cands, err := discover(ctx, src)
 	res.Timing.Discover = time.Since(start)
+	if err != nil {
+		return fail(PhaseDiscovery, err)
+	}
 	res.CandidateCount = len(cands)
+	emit(obs, ProgressEvent{Source: src.Name, Phase: PhaseDiscovery, Kind: EventPhaseDone,
+		Elapsed: res.Timing.Discover, Count: len(cands)})
+	if cfg.RequireCandidates && len(cands) == 0 {
+		return fail(PhaseDiscovery, ErrNoCandidates)
+	}
 
+	// Matrix Traversal.
+	if err := ctx.Err(); err != nil {
+		return fail(PhaseTraversal, err)
+	}
+	emit(obs, ProgressEvent{Source: src.Name, Phase: PhaseTraversal, Kind: EventPhaseStarted})
 	start = time.Now()
 	var picked []*discovery.Candidate
 	if cfg.SkipTraversal {
@@ -120,21 +173,54 @@ func reclaimPipeline(src *table.Table, cfg Config, discover func(*table.Table) [
 			tables[i] = c.Table
 		}
 		topts := matrix.TraverseOptions{Workers: cfg.TraverseWorkers}
-		for _, idx := range matrix.TraverseWith(src, tables, cfg.Encoding, topts) {
+		if obs != nil {
+			srcName := src.Name
+			topts.OnRound = func(round, pick int, score float64) {
+				emit(obs, ProgressEvent{Source: srcName, Phase: PhaseTraversal,
+					Kind: EventTraverseRound, Round: round, Pick: pick, Score: score})
+			}
+		}
+		picks, err := matrix.TraverseContext(ctx, src, tables, cfg.Encoding, topts)
+		if err != nil {
+			res.Timing.Traverse = time.Since(start)
+			return fail(PhaseTraversal, err)
+		}
+		for _, idx := range picks {
 			picked = append(picked, cands[idx])
 		}
 	}
 	res.Timing.Traverse = time.Since(start)
 	res.Originating = picked
+	emit(obs, ProgressEvent{Source: src.Name, Phase: PhaseTraversal, Kind: EventPhaseDone,
+		Elapsed: res.Timing.Traverse, Count: len(picked)})
 
+	// Table Integration.
+	if err := ctx.Err(); err != nil {
+		return fail(PhaseIntegration, err)
+	}
+	emit(obs, ProgressEvent{Source: src.Name, Phase: PhaseIntegration, Kind: EventPhaseStarted})
 	start = time.Now()
 	origTables := make([]*table.Table, len(picked))
 	for i, c := range picked {
 		origTables[i] = c.Table
 	}
-	res.Reclaimed = integrate.New(src).Reclaim(origTables)
+	reclaimed, err := integrate.New(src).ReclaimContext(ctx, origTables)
 	res.Timing.Integrate = time.Since(start)
+	if err != nil {
+		return fail(PhaseIntegration, err)
+	}
+	res.Reclaimed = reclaimed
+	emit(obs, ProgressEvent{Source: src.Name, Phase: PhaseIntegration, Kind: EventPhaseDone,
+		Elapsed: res.Timing.Integrate, Count: res.Reclaimed.NumRows()})
 
+	// Evaluation. Deliberately not preemptible: it is bounded local scoring,
+	// and a deadline firing here would otherwise discard a reclamation the
+	// caller already paid the whole pipeline for.
+	emit(obs, ProgressEvent{Source: src.Name, Phase: PhaseEvaluation, Kind: EventPhaseStarted})
+	start = time.Now()
 	res.Report = metrics.Evaluate(src, res.Reclaimed)
+	res.Timing.Evaluate = time.Since(start)
+	emit(obs, ProgressEvent{Source: src.Name, Phase: PhaseEvaluation, Kind: EventPhaseDone,
+		Elapsed: res.Timing.Evaluate, Score: res.Report.EIS})
 	return res, nil
 }

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"gent/internal/discovery"
 	"gent/internal/index"
@@ -27,9 +29,29 @@ type Reclaimer struct {
 	lake *lake.Lake
 	cfg  Config
 
+	// mu guards the injection window: started flips (under mu) before any
+	// substrate is built or served, and UseIndexes both checks it and writes
+	// ix under mu, so an injection can never race a concurrent first query's
+	// lazy build — it either happens-before the build or is refused. started
+	// is atomic so the per-query path can skip the lock once the one-time
+	// transition has happened.
+	mu      sync.Mutex
+	started atomic.Bool
 	invOnce sync.Once
 	lshOnce sync.Once
 	ix      index.IndexSet
+}
+
+// markStarted flips the session into its queried state, after which index
+// injection is refused. Only the first transition takes the lock; every
+// later call is one atomic load.
+func (r *Reclaimer) markStarted() {
+	if r.started.Load() {
+		return
+	}
+	r.mu.Lock()
+	r.started.Store(true)
+	r.mu.Unlock()
 }
 
 // NewReclaimer creates a session over l with cfg as the default
@@ -39,14 +61,24 @@ func NewReclaimer(l *lake.Lake, cfg Config) *Reclaimer {
 }
 
 // UseIndexes injects prebuilt or persisted substrates. Nil members of ix are
-// still built lazily. It must be called before the session's first query and
-// returns the receiver for chaining.
-func (r *Reclaimer) UseIndexes(ix *index.IndexSet) *Reclaimer {
+// still built lazily.
+//
+// Ordering contract: UseIndexes must be called before the session's first
+// query (or Warm/BuildIndexes). Once a substrate has been built or served,
+// injection would silently mix substrates across queries, so UseIndexes
+// returns ErrSessionStarted instead; the check and the injection happen
+// under one lock, so the guard holds even against a concurrent first query.
+func (r *Reclaimer) UseIndexes(ix *index.IndexSet) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.started.Load() {
+		return ErrSessionStarted
+	}
 	if ix != nil {
 		r.ix.Inverted = ix.Inverted
 		r.ix.LSH = ix.LSH
 	}
-	return r
+	return nil
 }
 
 // Lake returns the session's lake.
@@ -56,6 +88,7 @@ func (r *Reclaimer) Lake() *lake.Lake { return r.lake }
 func (r *Reclaimer) Config() Config { return r.cfg }
 
 func (r *Reclaimer) inverted() *index.Inverted {
+	r.markStarted()
 	r.invOnce.Do(func() {
 		if r.ix.Inverted == nil {
 			r.ix.Inverted = index.BuildInverted(r.lake)
@@ -65,6 +98,7 @@ func (r *Reclaimer) inverted() *index.Inverted {
 }
 
 func (r *Reclaimer) lsh() *index.MinHashLSH {
+	r.markStarted()
 	r.lshOnce.Do(func() {
 		if r.ix.LSH == nil {
 			r.ix.LSH = index.BuildMinHashLSH(r.lake)
@@ -126,6 +160,28 @@ func (r *Reclaimer) Candidates(src *table.Table, opts discovery.Options) []*disc
 	return discovery.DiscoverWith(r.lake, r.indexSet(opts), src, opts)
 }
 
+// CandidatesContext is Candidates under a context (the session-scoped
+// analogue of discovery.DiscoverContext). A dead context fails before the
+// lazy substrate build, so a canceled first query cannot pay for indexing;
+// like every v2 entry point, failures arrive as a *Error (here tagged
+// PhaseDiscovery) wrapping the cause.
+func (r *Reclaimer) CandidatesContext(ctx context.Context, src *table.Table, opts discovery.Options) ([]*discovery.Candidate, error) {
+	cands, err := r.rawCandidates(ctx, src, opts)
+	if err != nil {
+		return nil, phaseError(PhaseDiscovery, src.Name, Timing{}, err)
+	}
+	return cands, nil
+}
+
+// rawCandidates is CandidatesContext without the error wrapping — the
+// pipeline calls it so its own phase tagging does not nest two *Errors.
+func (r *Reclaimer) rawCandidates(ctx context.Context, src *table.Table, opts discovery.Options) ([]*discovery.Candidate, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return discovery.DiscoverWithContext(ctx, r.lake, r.indexSet(opts), src, opts)
+}
+
 // Reclaim runs the full Gen-T pipeline for one Source Table with the
 // session's default configuration.
 func (r *Reclaimer) Reclaim(src *table.Table) (*Result, error) {
@@ -136,8 +192,29 @@ func (r *Reclaimer) Reclaim(src *table.Table) (*Result, error) {
 // parameter sweeps reuse the session's indexes, which depend only on the
 // lake, across configurations.
 func (r *Reclaimer) ReclaimWith(src *table.Table, cfg Config) (*Result, error) {
-	return reclaimPipeline(src, cfg, func(keyed *table.Table) []*discovery.Candidate {
-		return r.Candidates(keyed, cfg.Discovery)
+	return r.reclaimConfigured(context.Background(), src, cfg)
+}
+
+// ReclaimContext is Reclaim under a context and per-call options layered
+// over the session's default configuration. Cancellation aborts at the next
+// phase boundary (or mid-phase preemption point) with a phase-tagged *Error
+// wrapping ctx.Err().
+func (r *Reclaimer) ReclaimContext(ctx context.Context, src *table.Table, opts ...Option) (*Result, error) {
+	return r.reclaimConfigured(ctx, src, applyOptions(r.cfg, opts))
+}
+
+// ReclaimWithContext is ReclaimWith under a context: cfg replaces the
+// session default entirely (options then layer over cfg), for callers whose
+// per-call configuration must not inherit anything from the session.
+func (r *Reclaimer) ReclaimWithContext(ctx context.Context, src *table.Table, cfg Config, opts ...Option) (*Result, error) {
+	return r.reclaimConfigured(ctx, src, applyOptions(cfg, opts))
+}
+
+// reclaimConfigured runs the pipeline for one source under a fully-resolved
+// per-call configuration — the shared kernel of every Reclaimer query path.
+func (r *Reclaimer) reclaimConfigured(ctx context.Context, src *table.Table, cfg Config) (*Result, error) {
+	return reclaimPipeline(ctx, src, cfg, func(ctx context.Context, keyed *table.Table) ([]*discovery.Candidate, error) {
+		return r.rawCandidates(ctx, keyed, cfg.Discovery)
 	})
 }
 
@@ -155,68 +232,5 @@ func SplitTraverseWorkers(outerWorkers int) int {
 	return w
 }
 
-// BatchItem is one source's outcome within a ReclaimAll batch.
-type BatchItem struct {
-	// Source is the input table, as passed in.
-	Source *table.Table
-	// Result is nil when Err is set.
-	Result *Result
-	Err    error
-}
-
-// ReclaimAll reclaims every source on a bounded worker pool, sharing the
-// session's substrates across all of them. workers <= 0 uses GOMAXPROCS.
-// Items come back in input order, each carrying its own result or error — a
-// source without a minable key fails alone, not the batch.
-func (r *Reclaimer) ReclaimAll(srcs []*table.Table, workers int) []BatchItem {
-	items := make([]BatchItem, len(srcs))
-	if len(srcs) == 0 {
-		return items
-	}
-	// Build the shared substrates before fanning out, so the pool starts on
-	// fully-parallel index construction instead of serializing behind the
-	// first query's lazy build.
-	r.Warm()
-
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(srcs) {
-		workers = len(srcs)
-	}
-	// Source-level fan-out already saturates the CPU, so unless the caller
-	// asked for a specific traversal pool, split the cores between the two
-	// levels instead of giving every source a full GOMAXPROCS engine
-	// (workers² goroutines otherwise).
-	cfg := r.cfg
-	if cfg.TraverseWorkers <= 0 && workers > 1 {
-		cfg.TraverseWorkers = SplitTraverseWorkers(workers)
-	}
-	run := func(i int) {
-		res, err := r.ReclaimWith(srcs[i], cfg)
-		items[i] = BatchItem{Source: srcs[i], Result: res, Err: err}
-	}
-	if workers <= 1 {
-		for i := range srcs {
-			run(i)
-		}
-		return items
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				run(i)
-			}
-		}()
-	}
-	for i := range srcs {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return items
-}
+// Batch APIs — ReclaimStream, ReclaimAllContext, and the legacy ReclaimAll
+// collector — live in stream.go.

@@ -67,7 +67,10 @@ func TestReclaimerMatchesFreshReclaim(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	persisted := NewReclaimer(b.Lake, cfg).UseIndexes(loaded)
+	persisted := NewReclaimer(b.Lake, cfg)
+	if err := persisted.UseIndexes(loaded); err != nil {
+		t.Fatal(err)
+	}
 
 	for _, src := range b.Sources {
 		fresh, err := Reclaim(b.Lake, src, cfg)

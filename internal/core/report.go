@@ -43,6 +43,8 @@ type jsonTiming struct {
 	Discover  float64 `json:"discover"`
 	Traverse  float64 `json:"traverse"`
 	Integrate float64 `json:"integrate"`
+	Evaluate  float64 `json:"evaluate"`
+	Total     float64 `json:"total"`
 }
 
 type jsonTupleCounts struct {
@@ -71,6 +73,8 @@ func (r *Result) WriteJSON(w io.Writer, src *table.Table) error {
 			Discover:  ms(r.Timing.Discover),
 			Traverse:  ms(r.Timing.Traverse),
 			Integrate: ms(r.Timing.Integrate),
+			Evaluate:  ms(r.Timing.Evaluate),
+			Total:     ms(r.Timing.Total()),
 		},
 	}
 	if src != nil {

@@ -1,0 +1,41 @@
+package discovery
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"gent/internal/index"
+)
+
+// TestDiscoverContextEquivalence: the context path with a live context is
+// the plain path.
+func TestDiscoverContextEquivalence(t *testing.T) {
+	l, src := exampleLake(), exampleSource()
+	plain := Discover(l, src, DefaultOptions())
+	ctxed, err := DiscoverContext(context.Background(), l, src, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, ctxed) {
+		t.Error("DiscoverContext diverged from Discover")
+	}
+}
+
+// TestDiscoverContextCanceled: a canceled context aborts retrieval with
+// ctx.Err() and no candidates, on both the fresh-build and prebuilt paths.
+func TestDiscoverContextCanceled(t *testing.T) {
+	l, src := exampleLake(), exampleSource()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cands, err := DiscoverContext(ctx, l, src, DefaultOptions())
+	if !errors.Is(err, context.Canceled) || cands != nil {
+		t.Fatalf("fresh path: want canceled/nil, got %v / %v", err, cands)
+	}
+	ix := &index.IndexSet{Inverted: index.BuildInverted(l)}
+	cands, err = DiscoverWithContext(ctx, l, ix, src, DefaultOptions())
+	if !errors.Is(err, context.Canceled) || cands != nil {
+		t.Fatalf("prebuilt path: want canceled/nil, got %v / %v", err, cands)
+	}
+}

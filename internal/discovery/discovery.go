@@ -7,6 +7,7 @@
 package discovery
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -66,14 +67,36 @@ type Candidate struct {
 // many queries over the same lake should build an index.IndexSet once (or
 // load a persisted one) and use DiscoverWith instead.
 func Discover(l *lake.Lake, src *table.Table, opts Options) []*Candidate {
+	cands, _ := DiscoverContext(context.Background(), l, src, opts)
+	return cands
+}
+
+// DiscoverContext is Discover under a context: cancellation is checked
+// between stages and inside the per-column probe loop, returning ctx.Err()
+// with nil candidates. The substrate builds themselves (inverted index,
+// MinHash-LSH) are not preemptible mid-build — cancellation is re-checked
+// between them, and sessions amortize them away entirely.
+func DiscoverContext(ctx context.Context, l *lake.Lake, src *table.Table, opts Options) ([]*Candidate, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	pool := l
 	if opts.FirstStageTopK > 0 && l.Len() > opts.FirstStageTopK {
 		lsh := index.BuildMinHashLSH(l)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		pool = firstStagePool(l, lsh, src, opts.FirstStageTopK)
 	}
 	ix := index.BuildInverted(pool)
-	cands := SetSimilarity(pool, ix, src, opts)
-	return Expand(cands, src, opts)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cands, err := setSimilarityContext(ctx, pool, ix, src, opts)
+	if err != nil {
+		return nil, err
+	}
+	return expandContext(ctx, cands, src, opts)
 }
 
 // DiscoverWith is Discover over prebuilt (possibly persisted) substrates:
@@ -84,20 +107,39 @@ func Discover(l *lake.Lake, src *table.Table, opts Options) []*Candidate {
 // current lake exactly. Searches never mutate ix, so one IndexSet serves
 // concurrent callers.
 func DiscoverWith(l *lake.Lake, ix *index.IndexSet, src *table.Table, opts Options) []*Candidate {
+	cands, _ := DiscoverWithContext(context.Background(), l, ix, src, opts)
+	return cands
+}
+
+// DiscoverWithContext is DiscoverWith under a context, with the same
+// cancellation contract as DiscoverContext.
+func DiscoverWithContext(ctx context.Context, l *lake.Lake, ix *index.IndexSet, src *table.Table, opts Options) ([]*Candidate, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	inv := ix.Inverted
 	if inv == nil {
 		inv = index.BuildInverted(l)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
 	pool := l
 	if opts.FirstStageTopK > 0 && l.Len() > opts.FirstStageTopK {
 		lsh := ix.LSH
 		if lsh == nil {
 			lsh = index.BuildMinHashLSH(l)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 		}
 		pool = firstStagePool(l, lsh, src, opts.FirstStageTopK)
 	}
-	cands := SetSimilarity(pool, inv, src, opts)
-	return Expand(cands, src, opts)
+	cands, err := setSimilarityContext(ctx, pool, inv, src, opts)
+	if err != nil {
+		return nil, err
+	}
+	return expandContext(ctx, cands, src, opts)
 }
 
 // firstStagePool restricts the search pool to the LSH retriever's top-k
@@ -116,9 +158,21 @@ func firstStagePool(l *lake.Lake, lsh *index.MinHashLSH, src *table.Table, topK 
 }
 
 // searchColumns probes the inverted index for every non-empty Source column
-// concurrently. The result aligns 1:1 with src.Cols; columns with no
-// distinct values stay nil (SearchSet itself never returns nil).
-func searchColumns(ix *index.Inverted, src *table.Table) [][]index.Overlap {
+// concurrently — the per-column probe loop, and discovery's mid-phase
+// preemption point: a canceled ctx stops the probes at the next column and
+// drains the pool before returning. The result aligns 1:1 with src.Cols;
+// columns with no distinct values stay nil (SearchSet itself never returns
+// nil).
+func searchColumns(ctx context.Context, ix *index.Inverted, src *table.Table) ([][]index.Overlap, error) {
+	done := ctx.Done()
+	canceled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
 	out := make([][]index.Overlap, len(src.Cols))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(src.Cols) {
@@ -126,11 +180,14 @@ func searchColumns(ix *index.Inverted, src *table.Table) [][]index.Overlap {
 	}
 	if workers <= 1 {
 		for ci := range src.Cols {
+			if canceled() {
+				return nil, ctx.Err()
+			}
 			if qset := src.ColumnSet(ci); len(qset) > 0 {
 				out[ci] = ix.SearchSet(qset)
 			}
 		}
-		return out
+		return out, nil
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -139,6 +196,9 @@ func searchColumns(ix *index.Inverted, src *table.Table) [][]index.Overlap {
 		go func() {
 			defer wg.Done()
 			for ci := range next {
+				if canceled() {
+					continue // keep draining so the dispatch loop cannot block
+				}
 				if qset := src.ColumnSet(ci); len(qset) > 0 {
 					out[ci] = ix.SearchSet(qset)
 				}
@@ -150,7 +210,10 @@ func searchColumns(ix *index.Inverted, src *table.Table) [][]index.Overlap {
 	}
 	close(next)
 	wg.Wait()
-	return out
+	if canceled() {
+		return nil, ctx.Err()
+	}
+	return out, nil
 }
 
 // colOverlap measures |a ∩ b| / |b| over canonical value sets.
@@ -189,6 +252,13 @@ type perColumnCandidate struct {
 // depends on the query and the matched column, so results are identical to a
 // pool-only index.
 func SetSimilarity(pool *lake.Lake, ix *index.Inverted, src *table.Table, opts Options) []*Candidate {
+	cands, _ := setSimilarityContext(context.Background(), pool, ix, src, opts)
+	return cands
+}
+
+// setSimilarityContext is SetSimilarity under a context; cancellation
+// preempts the per-column probe loop and the per-table verification scan.
+func setSimilarityContext(ctx context.Context, pool *lake.Lake, ix *index.Inverted, src *table.Table, opts Options) ([]*Candidate, error) {
 	type agg struct {
 		sum float64
 		n   int
@@ -199,7 +269,10 @@ func SetSimilarity(pool *lake.Lake, ix *index.Inverted, src *table.Table, opts O
 	// Per-column index probes are independent and dominate retrieval cost on
 	// wide sources, so they fan out over a worker pool; score accumulation
 	// below stays in column order to keep the ranking deterministic.
-	overlapsByCol := searchColumns(ix, src)
+	overlapsByCol, err := searchColumns(ctx, ix, src)
+	if err != nil {
+		return nil, err
+	}
 
 	for ci := range src.Cols {
 		overlaps := overlapsByCol[ci]
@@ -249,7 +322,7 @@ func SetSimilarity(pool *lake.Lake, ix *index.Inverted, src *table.Table, opts O
 		score float64
 	}
 	if queryCols == 0 {
-		return nil
+		return nil, nil
 	}
 	order := make([]rankedTable, 0, len(scores))
 	for name, a := range scores {
@@ -262,9 +335,13 @@ func SetSimilarity(pool *lake.Lake, ix *index.Inverted, src *table.Table, opts O
 		return order[i].name < order[j].name
 	})
 
-	// Alignment verification, renaming, and candidate assembly.
+	// Alignment verification, renaming, and candidate assembly. Each table's
+	// verification rescans its rows, so this loop is preemptible too.
 	cands := make([]*Candidate, 0, len(order))
 	for _, rt := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		t := pool.Get(rt.name)
 		if t == nil {
 			continue
@@ -288,7 +365,7 @@ func SetSimilarity(pool *lake.Lake, ix *index.Inverted, src *table.Table, opts O
 	if opts.RemoveSubsumed {
 		cands = removeSubsumedCandidates(cands, src)
 	}
-	return cands
+	return cands, nil
 }
 
 // diversify implements Algorithm 4: re-score a Source column's candidates so

@@ -1,6 +1,7 @@
 package discovery
 
 import (
+	"context"
 	"sort"
 	"strings"
 
@@ -18,9 +19,16 @@ import (
 // with no join path to a key-bearing candidate are dropped — their tuples
 // can never be aligned.
 func Expand(cands []*Candidate, src *table.Table, opts Options) []*Candidate {
+	out, _ := expandContext(context.Background(), cands, src, opts)
+	return out
+}
+
+// expandContext is Expand under a context: the per-candidate join-path
+// search loop checks cancellation before each candidate.
+func expandContext(ctx context.Context, cands []*Candidate, src *table.Table, opts Options) ([]*Candidate, error) {
 	keyCols := src.KeyCols()
 	if len(keyCols) == 0 {
-		return cands
+		return cands, nil
 	}
 	hasKey := func(t *table.Table) bool { return t.HasCols(keyCols...) }
 
@@ -47,6 +55,9 @@ func Expand(cands []*Candidate, src *table.Table, opts Options) []*Candidate {
 
 	out := make([]*Candidate, 0, n)
 	for i, c := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if hasKey(c.Table) {
 			out = append(out, c)
 			continue
@@ -81,7 +92,7 @@ func Expand(cands []*Candidate, src *table.Table, opts Options) []*Candidate {
 			Score:   c.Score,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // sourceKeySet collects the Source's distinct key tuples.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -43,15 +44,24 @@ type EffectivenessResult struct {
 // benchmark, sharing one Set Similarity candidate set per source and one
 // Reclaimer session — hence one pair of discovery indexes — across the whole
 // corpus. With opts.Parallel > 1, sources run concurrently; results stay in
-// source order either way.
+// source order either way. It is RunEffectivenessContext under
+// context.Background().
 func RunEffectiveness(name string, b *benchmark.TPTR, methods []Method, opts RunOptions) EffectivenessResult {
+	return RunEffectivenessContext(context.Background(), name, b, methods, opts)
+}
+
+// RunEffectivenessContext is RunEffectiveness under a context — the whole
+// suite can be deadlined (cmd/experiments -timeout). Gen-T runs abort at
+// their phase boundaries once ctx expires and score as failures; every
+// source still gets a row, so the tables keep their shape.
+func RunEffectivenessContext(ctx context.Context, name string, b *benchmark.TPTR, methods []Method, opts RunOptions) EffectivenessResult {
 	res := EffectivenessResult{Benchmark: name}
 	session := sessionFor(b.Lake)
 
 	outs := make([]map[Method]Outcome, len(b.Sources))
 	runSource := func(i int) {
 		src := b.Sources[i]
-		cands := sessionCandidates(session, src, opts.Discovery)
+		cands := sessionCandidates(ctx, session, src, opts.Discovery)
 		in := Input{
 			Src:        src,
 			Lake:       b.Lake,
@@ -61,7 +71,7 @@ func RunEffectiveness(name string, b *benchmark.TPTR, methods []Method, opts Run
 		}
 		byMethod := make(map[Method]Outcome, len(methods))
 		for _, m := range methods {
-			byMethod[m] = Run(m, in, opts)
+			byMethod[m] = RunContext(ctx, m, in, opts)
 		}
 		outs[i] = byMethod
 	}
@@ -229,19 +239,29 @@ func Table1(set *BenchmarkSet) []Table1Row {
 // on the larger TP-TR benchmarks. On the Large benchmark plain ALITE is
 // omitted, as in the paper (it times out).
 func Table2(set *BenchmarkSet, opts RunOptions) []EffectivenessResult {
+	return Table2Context(context.Background(), set, opts)
+}
+
+// Table2Context is Table2 under a context (cmd/experiments -timeout).
+func Table2Context(ctx context.Context, set *BenchmarkSet, opts RunOptions) []EffectivenessResult {
 	full := []Method{MethodALITE, MethodALITEIntSet, MethodALITEPS, MethodALITEPSIntSet, MethodGenT}
 	noALITE := []Method{MethodALITEPS, MethodALITEPSIntSet, MethodGenT}
 	santosOpts := opts
 	santosOpts.Discovery.FirstStageTopK = 60
 	return []EffectivenessResult{
-		RunEffectiveness("TP-TR Med", set.Med, full, opts),
-		RunEffectiveness("SANTOS Large+TP-TR Med", set.SantosMed, full, santosOpts),
-		RunEffectiveness("TP-TR Large", set.Large, noALITE, opts),
+		RunEffectivenessContext(ctx, "TP-TR Med", set.Med, full, opts),
+		RunEffectivenessContext(ctx, "SANTOS Large+TP-TR Med", set.SantosMed, full, santosOpts),
+		RunEffectivenessContext(ctx, "TP-TR Large", set.Large, noALITE, opts),
 	}
 }
 
 // Table3 reproduces Table III: all baselines on TP-TR Small.
 func Table3(set *BenchmarkSet, opts RunOptions) EffectivenessResult {
+	return Table3Context(context.Background(), set, opts)
+}
+
+// Table3Context is Table3 under a context.
+func Table3Context(ctx context.Context, set *BenchmarkSet, opts RunOptions) EffectivenessResult {
 	methods := []Method{
 		MethodALITE, MethodALITEIntSet,
 		MethodALITEPS, MethodALITEPSIntSet,
@@ -249,7 +269,7 @@ func Table3(set *BenchmarkSet, opts RunOptions) EffectivenessResult {
 		MethodVerIntSet,
 		MethodGenT,
 	}
-	return RunEffectiveness("TP-TR Small", set.Small, methods, opts)
+	return RunEffectivenessContext(ctx, "TP-TR Small", set.Small, methods, opts)
 }
 
 // AppendixLLM reproduces Appendix F: the naive LLM stand-in on TP-TR Small

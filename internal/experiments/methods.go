@@ -7,6 +7,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"time"
 
@@ -115,12 +117,17 @@ type Outcome struct {
 // candidate set, as in the paper's setup. The corpus's shared session serves
 // the retrieval, so the lake is indexed once across all sources and methods.
 func SharedCandidates(l *lake.Lake, src *table.Table, opts discovery.Options) []*table.Table {
-	return sessionCandidates(sessionFor(l), src, opts)
+	return sessionCandidates(context.Background(), sessionFor(l), src, opts)
 }
 
-// sessionCandidates is SharedCandidates over an explicit session.
-func sessionCandidates(s *core.Reclaimer, src *table.Table, opts discovery.Options) []*table.Table {
-	cands := s.Candidates(src, opts)
+// sessionCandidates is SharedCandidates over an explicit session and
+// context; a canceled retrieval yields an empty candidate set (the methods
+// then score as failures, keeping the result shape).
+func sessionCandidates(ctx context.Context, s *core.Reclaimer, src *table.Table, opts discovery.Options) []*table.Table {
+	cands, err := s.CandidatesContext(ctx, src, opts)
+	if err != nil {
+		return nil
+	}
 	out := make([]*table.Table, len(cands))
 	for i, c := range cands {
 		out[i] = c.Table
@@ -128,8 +135,17 @@ func sessionCandidates(s *core.Reclaimer, src *table.Table, opts discovery.Optio
 	return out
 }
 
-// Run executes one method on one input.
+// Run executes one method on one input. It is RunContext under
+// context.Background().
 func Run(m Method, in Input, opts RunOptions) Outcome {
+	return RunContext(context.Background(), m, in, opts)
+}
+
+// RunContext is Run under a context. Gen-T runs on the context-first session
+// API and aborts at its phase boundaries when ctx is canceled or expires —
+// the run then scores as a failure (all-null output), mirroring how the
+// paper treats timed-out systems. The baselines are not preemptible.
+func RunContext(ctx context.Context, m Method, in Input, opts RunOptions) Outcome {
 	start := time.Now()
 	var out *table.Table
 	timedOut := false
@@ -137,16 +153,20 @@ func Run(m Method, in Input, opts RunOptions) Outcome {
 
 	switch m {
 	case MethodGenT:
-		cfg := core.DefaultConfig()
-		cfg.Discovery = opts.Discovery
-		cfg.TraverseWorkers = opts.TraverseWorkers
 		session := in.Session
 		if session == nil {
 			session = sessionFor(in.Lake)
 		}
-		res, err := session.ReclaimWith(in.Src, cfg)
+		// The run is pinned to the paper's configuration (plus the
+		// experiment's knobs) regardless of how the session was configured —
+		// cfg replaces, options would layer.
+		cfg := core.DefaultConfig()
+		cfg.Discovery = opts.Discovery
+		cfg.TraverseWorkers = opts.TraverseWorkers
+		res, err := session.ReclaimWithContext(ctx, in.Src, cfg)
 		if err != nil {
 			out = table.New("failed").PadNullColumns(in.Src.Cols)
+			timedOut = errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 		} else {
 			out = res.Reclaimed
 			origN = len(res.Originating)

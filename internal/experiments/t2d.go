@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"gent/internal/benchmark"
 	"gent/internal/core"
 	"gent/internal/table"
@@ -12,6 +14,12 @@ import (
 // table is removed from the lake while it is being reclaimed, so methods
 // must reconstruct it from its vertical splits and duplicates.
 func Table4(corpus *benchmark.T2D, opts RunOptions) EffectivenessResult {
+	return Table4Context(context.Background(), corpus, opts)
+}
+
+// Table4Context is Table4 under a context (cmd/experiments -timeout):
+// expired Gen-T runs and retrievals abort and score as failures.
+func Table4Context(ctx context.Context, corpus *benchmark.T2D, opts RunOptions) EffectivenessResult {
 	methods := []Method{MethodALITE, MethodALITEPS, MethodAutoPipeline, MethodGenT}
 	res := EffectivenessResult{Benchmark: "WDC Sample+T2D Gold"}
 	perMethod := make(map[Method][]Outcome)
@@ -30,12 +38,12 @@ func Table4(corpus *benchmark.T2D, opts RunOptions) EffectivenessResult {
 		}
 		src.Key = key
 		corpus.Lake.Remove(name)
-		cands := sessionCandidates(session, src, opts.Discovery)
+		cands := sessionCandidates(ctx, session, src, opts.Discovery)
 		in := Input{Src: src, Lake: corpus.Lake, Candidates: cands, IntSet: cands, Session: session}
 		outcomes := make(map[Method]Outcome, len(methods))
 		nonEmpty := true
 		for _, m := range methods {
-			o := Run(m, in, opts)
+			o := RunContext(ctx, m, in, opts)
 			outcomes[m] = o
 			if len(o.Reclaimed.Rows) == 0 {
 				nonEmpty = false

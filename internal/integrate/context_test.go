@@ -1,0 +1,35 @@
+package integrate
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"gent/internal/table"
+)
+
+// TestReclaimContextEquivalence: the context path with a live context is the
+// plain Reclaim.
+func TestReclaimContextEquivalence(t *testing.T) {
+	src := source()
+	origs := []*table.Table{candA(), candB(), candC()}
+	plain := New(src).Reclaim(origs)
+	ctxed, err := New(src).ReclaimContext(context.Background(), origs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != ctxed.String() {
+		t.Error("ReclaimContext diverged from Reclaim")
+	}
+}
+
+// TestReclaimContextCanceled: cancellation preempts the per-table fold.
+func TestReclaimContextCanceled(t *testing.T) {
+	src := source()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := New(src).ReclaimContext(ctx, []*table.Table{candA(), candB()})
+	if !errors.Is(err, context.Canceled) || out != nil {
+		t.Fatalf("want canceled/nil, got %v / %v", err, out)
+	}
+}

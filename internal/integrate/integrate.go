@@ -8,6 +8,7 @@
 package integrate
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -144,6 +145,15 @@ func selectKeyed(src *table.Table, srcByKey map[string]table.Row, p *table.Table
 // Reclaim integrates the originating tables into a possible reclaimed Source
 // Table with exactly the Source's schema.
 func (in *Integrator) Reclaim(origs []*table.Table) *table.Table {
+	out, _ := in.ReclaimContext(context.Background(), origs)
+	return out
+}
+
+// ReclaimContext is Reclaim under a context: cancellation is checked before
+// each originating table's ProjectSelect and before each step of the outer-
+// union fold (the integration loop's per-table guarded merge is the
+// expensive unit of work), returning ctx.Err() with a nil table.
+func (in *Integrator) ReclaimContext(ctx context.Context, origs []*table.Table) (*table.Table, error) {
 	src := in.src
 
 	// ProjectSelect (line 3): keep only Source columns and rows whose key
@@ -152,13 +162,16 @@ func (in *Integrator) Reclaim(origs []*table.Table) *table.Table {
 	// tuples could never align — come back nil and are dropped here.
 	kept := make([]*table.Table, 0, len(origs))
 	for _, t := range origs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if sel := in.ProjectSelect(t); sel != nil {
 			kept = append(kept, sel)
 		}
 	}
 	if len(kept) == 0 {
 		out := table.New("reclaimed")
-		return out.PadNullColumns(src.Cols)
+		return out.PadNullColumns(src.Cols), nil
 	}
 
 	// InnerUnion (line 4): merge tables with identical column-name sets.
@@ -180,6 +193,9 @@ func (in *Integrator) Reclaim(origs []*table.Table) *table.Table {
 	// idempotent — each (key, column) slot has one stable label.
 	acc := unioned[0]
 	for _, t := range unioned[1:] {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		acc = in.labelSourceNulls(table.OuterUnion(acc, t))
 		acc = in.guardedComplement(acc)
 		acc = in.guardedSubsume(acc)
@@ -199,7 +215,7 @@ func (in *Integrator) Reclaim(origs []*table.Table) *table.Table {
 	}
 	reordered.Name = "reclaimed:" + src.Name
 	reordered.Key = nil
-	return reordered.DropDuplicates()
+	return reordered.DropDuplicates(), nil
 }
 
 // score is evaluateSimilarity(): EIS against the labeled Source, so that a

@@ -1,0 +1,92 @@
+package matrix
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestTraverseContextPreCanceled: a dead context returns before any scoring.
+func TestTraverseContextPreCanceled(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src, cands := randomCorpus(rng)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	picks, err := TraverseContext(ctx, src, cands, ThreeValued, TraverseOptions{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if picks != nil {
+		t.Errorf("canceled traversal returned picks %v", picks)
+	}
+}
+
+// TestTraverseContextCancelMidRound: canceling from the first round's
+// OnRound callback stops the traversal at the next round boundary, with the
+// scoring pool fully drained (checked via the goroutine count under -race).
+func TestTraverseContextCancelMidRound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src, cands := randomCorpus(rng)
+	if len(cands) < 2 {
+		t.Skip("corpus too small")
+	}
+	baseline := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rounds := 0
+	_, err := TraverseContext(ctx, src, cands, ThreeValued, TraverseOptions{
+		Workers: 4,
+		OnRound: func(round, pick int, score float64) {
+			rounds++
+			cancel()
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if rounds != 1 {
+		t.Errorf("traversal ran %d rounds after cancellation, want 1", rounds)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > baseline {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		t.Errorf("scoring pool leaked: %d goroutines, baseline %d", n, baseline)
+	}
+}
+
+// TestTraverseOnRoundMatchesPicks: the observer callback reports exactly the
+// returned pick sequence, with 1-based round numbers and the same scores a
+// plain traversal would produce.
+func TestTraverseOnRoundMatchesPicks(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		src, cands := randomCorpus(rng)
+		var seenRounds, seenPicks []int
+		picks, err := TraverseContext(context.Background(), src, cands, ThreeValued, TraverseOptions{
+			OnRound: func(round, pick int, score float64) {
+				seenRounds = append(seenRounds, round)
+				seenPicks = append(seenPicks, pick)
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(picks, TraverseReference(src, cands, ThreeValued)) {
+			t.Fatalf("trial %d: ctx path diverged from reference", trial)
+		}
+		if !reflect.DeepEqual(seenPicks, picks) && !(len(seenPicks) == 0 && len(picks) == 0) {
+			t.Fatalf("trial %d: OnRound picks %v != returned %v", trial, seenPicks, picks)
+		}
+		for i, r := range seenRounds {
+			if r != i+1 {
+				t.Fatalf("trial %d: round %d numbered %d", trial, i, r)
+			}
+		}
+	}
+}

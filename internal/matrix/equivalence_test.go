@@ -1,6 +1,7 @@
 package matrix
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"reflect"
@@ -138,7 +139,7 @@ func TestDeltaScorerMatchesMaterialized(t *testing.T) {
 			for i, c := range cands {
 				mats[i] = FromTable(shape, c, enc)
 			}
-			e := newEngine(src, cands, enc, 1)
+			e := newEngine(context.Background(), src, cands, enc, 1)
 			e.reset(&e.cands[0])
 			combined := mats[0]
 			// Advance both by absorbing a random prefix of candidates.

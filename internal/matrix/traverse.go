@@ -1,6 +1,7 @@
 package matrix
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -15,6 +16,11 @@ type TraverseOptions struct {
 	// greedy round's candidate scoring fan out over this many goroutines.
 	// <= 0 uses GOMAXPROCS.
 	Workers int
+	// OnRound, when non-nil, is called after every greedy pick: round is
+	// 1-based (round 1 picks the start table), pick is the winning candidate
+	// index, and score is the simulated integration's EIS after absorbing it.
+	// It is called from the traversing goroutine, between rounds.
+	OnRound func(round, pick int, score float64)
 }
 
 // Traverse implements Algorithm 1: given candidate tables (renamed, keyed),
@@ -31,7 +37,24 @@ func Traverse(src *table.Table, cands []*table.Table, enc Encoding) []int {
 // have, and the round winner is resolved by a deterministic scan in
 // candidate-index order.
 func TraverseWith(src *table.Table, cands []*table.Table, enc Encoding, opts TraverseOptions) []int {
-	return newEngine(src, cands, enc, opts.Workers).traverse()
+	picked, _ := TraverseContext(context.Background(), src, cands, enc, opts)
+	return picked
+}
+
+// TraverseContext is TraverseWith under a context. Cancellation is checked
+// at every greedy round boundary and polled inside the scoring pool, so a
+// canceled traversal stops within one round: the pool drains cleanly (no
+// goroutine outlives the call) and ctx.Err() is returned with nil picks.
+func TraverseContext(ctx context.Context, src *table.Table, cands []*table.Table, enc Encoding, opts TraverseOptions) ([]int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	e := newEngine(ctx, src, cands, enc, opts.Workers)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e.onRound = opts.OnRound
+	return e.traverse()
 }
 
 // candidate is one candidate matrix re-indexed for the engine: aligned-tuple
@@ -57,6 +80,14 @@ type engine struct {
 	shape   *Shape
 	workers int
 
+	// ctx is the traversal context; done is its cancellation channel,
+	// prefetched so the pool and the round loop can poll it cheaply. A
+	// canceled traversal stops within one round.
+	ctx  context.Context
+	done <-chan struct{}
+	// onRound, when non-nil, observes every greedy pick.
+	onRound func(round, pick int, score float64)
+
 	// rowKey maps each source row to its dense key id, -1 when the row's key
 	// contains a null (such rows align with nothing).
 	rowKey []int
@@ -71,7 +102,7 @@ type engine struct {
 	contrib []float64
 }
 
-func newEngine(src *table.Table, cands []*table.Table, enc Encoding, workers int) *engine {
+func newEngine(ctx context.Context, src *table.Table, cands []*table.Table, enc Encoding, workers int) *engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -82,7 +113,7 @@ func newEngine(src *table.Table, cands []*table.Table, enc Encoding, workers int
 	if workers < 1 {
 		workers = 1
 	}
-	e := &engine{shape: NewShape(src), workers: workers}
+	e := &engine{shape: NewShape(src), workers: workers, ctx: ctx, done: ctx.Done()}
 
 	keyIDs := make(map[string]int, len(e.shape.keys))
 	e.rowKey = make([]int, len(e.shape.keys))
@@ -107,6 +138,9 @@ func newEngine(src *table.Table, cands []*table.Table, enc Encoding, workers int
 	})
 	e.cands = make([]candidate, len(cands))
 	for i, m := range mats {
+		if m == nil {
+			continue // encoding aborted by cancellation; the caller bails out
+		}
 		c := candidate{lists: make([][]tuple, len(e.keyOf))}
 		for id, k := range e.keyOf {
 			if list, ok := m.rows[k]; ok {
@@ -119,9 +153,21 @@ func newEngine(src *table.Table, cands []*table.Table, enc Encoding, workers int
 	return e
 }
 
+// canceled reports whether the engine's context has been canceled.
+func (e *engine) canceled() bool {
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
 // forEach runs f(worker, 0..n-1) on the engine's bounded worker pool. Each
-// index is processed exactly once; f must write only to its own index's
-// slots (plus the worker's own scratch).
+// index is processed exactly once unless the engine's context is canceled,
+// in which case workers stop claiming new indexes and drain — the caller
+// must check cancellation after forEach returns and discard the (partial)
+// results. The pool never outlives the call.
 func (e *engine) forEach(n int, f func(worker, i int)) {
 	w := e.workers
 	if w > n {
@@ -129,6 +175,9 @@ func (e *engine) forEach(n int, f func(worker, i int)) {
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
+			if e.canceled() {
+				return
+			}
 			f(0, i)
 		}
 		return
@@ -140,6 +189,9 @@ func (e *engine) forEach(n int, f func(worker, i int)) {
 		go func(worker int) {
 			defer wg.Done()
 			for {
+				if e.canceled() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -151,16 +203,19 @@ func (e *engine) forEach(n int, f func(worker, i int)) {
 	wg.Wait()
 }
 
-func (e *engine) traverse() []int {
+func (e *engine) traverse() ([]int, error) {
 	n := len(e.cands)
 	if n == 0 {
-		return nil
+		return nil, nil
 	}
 
 	// GetStartTable: the candidate with the best standalone score, scored
 	// concurrently (standalone EIS reads only cached α−δ counts).
 	scores := make([]float64, n)
 	e.forEach(n, func(_, i int) { scores[i] = e.standalone(&e.cands[i]) })
+	if err := e.ctx.Err(); err != nil {
+		return nil, err
+	}
 	start, startScore := -1, -1.0
 	for i, s := range scores {
 		if s > startScore {
@@ -168,9 +223,12 @@ func (e *engine) traverse() []int {
 		}
 	}
 	if start < 0 {
-		return nil
+		return nil, nil
 	}
 	picked := []int{start}
+	if e.onRound != nil {
+		e.onRound(1, start, startScore)
+	}
 	// remaining stays sorted: built in index order, removals preserve order,
 	// so the winner scan below matches the reference's deterministic order.
 	remaining := make([]int, 0, n-1)
@@ -191,10 +249,19 @@ func (e *engine) traverse() []int {
 		scratch[p] = make([]float64, len(e.keyOf))
 		copy(scratch[p], e.contrib)
 	}
+	round := 1
 	for len(remaining) > 0 {
+		// Round boundary: the named preemption point. The scoring pool below
+		// also polls, so even a wide round stops promptly and drains cleanly.
+		if err := e.ctx.Err(); err != nil {
+			return nil, err
+		}
 		e.forEach(len(remaining), func(worker, j int) {
 			scores[remaining[j]] = e.scoreCand(&e.cands[remaining[j]], scratch[worker])
 		})
+		if err := e.ctx.Err(); err != nil {
+			return nil, err
+		}
 		next, nextScore := -1, mostCorrect
 		for _, i := range remaining {
 			if scores[i] > nextScore {
@@ -218,8 +285,12 @@ func (e *engine) traverse() []int {
 			}
 		}
 		mostCorrect = nextScore
+		round++
+		if e.onRound != nil {
+			e.onRound(round, next, nextScore)
+		}
 	}
-	return picked
+	return picked, nil
 }
 
 // standalone is the candidate's own EIS: its raw (unnormalized, uncombined)
