@@ -282,14 +282,21 @@ func BenchmarkMatrixTraversal(b *testing.B) {
 
 // BenchmarkTraverse compares the incremental, parallel traversal engine
 // against the retained materialize-and-rescan baseline (TraverseReference)
-// on the bench corpora's discovery candidate sets. "incremental" is the
-// engine as the pipeline runs it; "incremental-serial" pins the delta
-// scorer's win with round parallelism turned off; "reference" is the
-// pre-engine implementation. The picks are identical across all three — see
-// the equivalence tests in internal/matrix — so only the time differs.
+// on the bench corpora's discovery candidate sets. "interned" is the engine
+// as the pipeline runs it — candidate alignment on the lake dictionary's
+// ID tuples; "incremental" is the same engine on canonical-string keys;
+// "incremental-serial" pins the delta scorer's win with round parallelism
+// turned off; "reference" is the pre-engine implementation. The picks are
+// identical across all four — see the equivalence tests in internal/matrix
+// — so only time and allocations differ.
 func BenchmarkTraverse(b *testing.B) {
 	set := benchmarkSet(b)
-	run := func(name string, src *table.Table, tables []*table.Table) {
+	run := func(name string, src *table.Table, tables []*table.Table, dict *table.Dict) {
+		b.Run(name+"/interned", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				matrix.TraverseWith(src, tables, matrix.ThreeValued, matrix.TraverseOptions{Dict: dict})
+			}
+		})
 		b.Run(name+"/incremental", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				matrix.Traverse(src, tables, matrix.ThreeValued)
@@ -316,8 +323,32 @@ func BenchmarkTraverse(b *testing.B) {
 		for i, c := range cands {
 			tables[i] = c.Table
 		}
-		run(corpus.name, src, tables)
+		run(corpus.name, src, tables, corpus.b.Lake.Dict())
 	}
+}
+
+// BenchmarkDiscoverInterned pins the dictionary's discovery win on the
+// medium corpus: the full Table Discovery phase over the ID-keyed index
+// (interned set representation) against the retained string-keyed reference.
+// Both produce bit-identical candidates — see the equivalence tests in
+// internal/discovery — so only time and allocations differ.
+func BenchmarkDiscoverInterned(b *testing.B) {
+	set := benchmarkSet(b)
+	l := set.Med.Lake
+	src := set.Med.Sources[0]
+	opts := discovery.DefaultOptions()
+	interned := &index.IndexSet{Inverted: index.BuildInverted(l)}
+	reference := &index.IndexSet{Inverted: index.BuildInvertedReference(l)}
+	b.Run("interned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			discovery.DiscoverWith(l, interned, src, opts)
+		}
+	})
+	b.Run("reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			discovery.DiscoverWith(l, reference, src, opts)
+		}
+	})
 }
 
 // BenchmarkFullDisjunction times ALITE's core operation on the integrating

@@ -14,7 +14,7 @@
 //
 //	gent -source source.csv -lake ./lake [-out reclaimed.csv] [-tau 0.2]
 //	     [-topk 0] [-max-candidates 15] [-key id,name] [-index-dir ./lake.idx]
-//	     [-timeout 30s] [-progress]
+//	     [-timeout 30s] [-progress] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -23,7 +23,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"gent/internal/core"
@@ -47,12 +50,53 @@ func main() {
 		quiet      = flag.Bool("q", false, "print only the report line")
 		timeout    = flag.Duration("timeout", 0, "abort the reclamation after this long (0 = no deadline)")
 		progress   = flag.Bool("progress", false, "stream per-phase progress events to stderr")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *sourcePath == "" || *lakeDir == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		stopCPU := func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		prev := flushProfiles
+		flushProfiles = func() { stopCPU(); prev() }
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		writeHeap := func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "warning: %v\n", err)
+				return
+			}
+			runtime.GC() // settle allocations so the heap profile is stable
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "warning: %v\n", err)
+			}
+			f.Close()
+		}
+		// prev (the CPU stop) runs first, so the heap write's forced GC and
+		// encoding work cannot pollute the CPU profile's tail.
+		prev := flushProfiles
+		flushProfiles = func() { prev(); writeHeap() }
+	}
+	// Error paths leave through os.Exit, which skips defers — fatal() and the
+	// deadline exit flush explicitly, so a failing or timed-out run (the case
+	// profiling exists for) still produces its profiles.
+	defer flushOnce()
 
 	src, err := table.LoadCSVFile(*sourcePath)
 	if err != nil {
@@ -83,28 +127,35 @@ func main() {
 
 	session := core.NewReclaimer(l, cfg)
 	if *indexDir != "" {
+		// A persisted index that fails to load, that predates tables now in
+		// the lake (it can filter removed tables, but a missing table would
+		// silently never be retrieved), or whose value dictionary does not
+		// cover the lake's values (lake.ErrDictMismatch from UseIndexes) is
+		// rebuilt in place. A directory with no index files is a fresh build.
+		loaded := false
 		ix, err := index.LoadIndexSetDir(*indexDir)
 		switch {
-		case err == nil && ix.Inverted != nil && ix.Inverted.Covers(l) &&
-			(ix.LSH == nil || ix.LSH.Covers(l)):
-			if err := session.UseIndexes(ix); err != nil {
-				fatal(err)
+		case err != nil:
+			if !errors.Is(err, index.ErrNoIndexFiles) {
+				fmt.Fprintf(os.Stderr, "warning: indexes at %s unusable (%v); rebuilding\n", *indexDir, err)
 			}
+		case ix.Inverted == nil || !ix.Inverted.Covers(l) || ix.LSH != nil && !ix.LSH.Covers(l):
+			fmt.Fprintf(os.Stderr, "warning: indexes at %s do not cover the lake; rebuilding\n", *indexDir)
+		default:
+			if err := session.UseIndexes(ix); err != nil {
+				if !errors.Is(err, lake.ErrDictMismatch) {
+					fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "warning: indexes at %s keyed under a stale dictionary (%v); rebuilding\n", *indexDir, err)
+			} else {
+				loaded = true
+			}
+		}
+		if loaded {
 			if !*quiet {
 				fmt.Printf("indexes loaded from %s\n", *indexDir)
 			}
-		default:
-			// A persisted index that fails to load, or that predates tables
-			// now in the lake (it can filter removed tables, but a missing
-			// table would silently never be retrieved), is rebuilt in place.
-			// A directory with no index files at all is just a fresh build.
-			if err != nil {
-				if !errors.Is(err, index.ErrNoIndexFiles) {
-					fmt.Fprintf(os.Stderr, "warning: indexes at %s unusable (%v); rebuilding\n", *indexDir, err)
-				}
-			} else {
-				fmt.Fprintf(os.Stderr, "warning: indexes at %s do not cover the lake; rebuilding\n", *indexDir)
-			}
+		} else {
 			if err := session.BuildIndexes().SaveDir(*indexDir); err != nil {
 				fatal(err)
 			}
@@ -131,6 +182,7 @@ func main() {
 			// The error string already carries the phase and source; add how
 			// long the pipeline had run (completed phases + the failing
 			// phase's partial time) when the deadline fired.
+			flushOnce()
 			fmt.Fprintf(os.Stderr, "%v (pipeline had run for %s when the %s deadline fired)\n",
 				err, gerr.Timing.Total(), *timeout)
 			os.Exit(1)
@@ -216,7 +268,17 @@ func progressLine(ev core.ProgressEvent) {
 	}
 }
 
+// flushProfiles finalizes any active profiling; flushOnce makes the normal
+// defer and the os.Exit paths safe to both call it.
+var (
+	flushProfiles = func() {}
+	flushGuard    sync.Once
+)
+
+func flushOnce() { flushGuard.Do(func() { flushProfiles() }) }
+
 func fatal(err error) {
+	flushOnce()
 	msg := err.Error()
 	if !strings.HasPrefix(msg, "gent: ") {
 		msg = "gent: " + msg

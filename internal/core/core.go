@@ -99,7 +99,7 @@ func Reclaim(l *lake.Lake, src *table.Table, cfg Config) (*Result, error) {
 // wrapping ctx.Err().
 func ReclaimContext(ctx context.Context, l *lake.Lake, src *table.Table, cfg Config, opts ...Option) (*Result, error) {
 	cfg = applyOptions(cfg, opts)
-	return reclaimPipeline(ctx, src, cfg, func(ctx context.Context, keyed *table.Table) ([]*discovery.Candidate, error) {
+	return reclaimPipeline(ctx, src, cfg, l.Dict(), func(ctx context.Context, keyed *table.Table) ([]*discovery.Candidate, error) {
 		return discovery.DiscoverContext(ctx, l, keyed, cfg.Discovery)
 	})
 }
@@ -107,11 +107,20 @@ func ReclaimContext(ctx context.Context, l *lake.Lake, src *table.Table, cfg Con
 // reclaimPipeline runs Figure 2 with candidate retrieval delegated to
 // discover — a per-call fresh build (Reclaim) or a shared-substrate session
 // (Reclaimer). Everything downstream of discovery is identical between the
-// two paths.
-func reclaimPipeline(ctx context.Context, src *table.Table, cfg Config,
+// two paths. dict is the lake's value dictionary; traversal and integration
+// key their hot paths on its interned IDs (nil falls back to the
+// canonical-string reference paths).
+func reclaimPipeline(ctx context.Context, src *table.Table, cfg Config, dict *table.Dict,
 	discover func(context.Context, *table.Table) ([]*discovery.Candidate, error)) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	// Source values the lake has never seen must not grow the shared
+	// append-only dictionary (a long-lived session would leak per query), so
+	// traversal and integration intern through one query-scoped overlay.
+	var interner table.Interner
+	if dict != nil {
+		interner = table.NewOverlay(dict)
 	}
 	obs := cfg.Observer
 	res := &Result{}
@@ -172,7 +181,7 @@ func reclaimPipeline(ctx context.Context, src *table.Table, cfg Config,
 		for i, c := range cands {
 			tables[i] = c.Table
 		}
-		topts := matrix.TraverseOptions{Workers: cfg.TraverseWorkers}
+		topts := matrix.TraverseOptions{Workers: cfg.TraverseWorkers, Dict: interner}
 		if obs != nil {
 			srcName := src.Name
 			topts.OnRound = func(round, pick int, score float64) {
@@ -204,7 +213,7 @@ func reclaimPipeline(ctx context.Context, src *table.Table, cfg Config,
 	for i, c := range picked {
 		origTables[i] = c.Table
 	}
-	reclaimed, err := integrate.New(src).ReclaimContext(ctx, origTables)
+	reclaimed, err := integrate.NewWith(src, interner).ReclaimContext(ctx, origTables)
 	res.Timing.Integrate = time.Since(start)
 	if err != nil {
 		return fail(PhaseIntegration, err)

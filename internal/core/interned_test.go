@@ -1,0 +1,71 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"gent/internal/discovery"
+	"gent/internal/index"
+	"gent/internal/matrix"
+	"gent/internal/table"
+)
+
+// TestQueriesDoNotGrowLakeDict pins the overlay contract a long-lived
+// session depends on: serving queries — including sources full of values the
+// lake has never seen — must not grow the shared append-only dictionary, or
+// a server session would leak memory per query.
+func TestQueriesDoNotGrowLakeDict(t *testing.T) {
+	b := buildTPTR(t)
+	r := NewReclaimer(b.Lake, DefaultConfig())
+	r.Warm()
+	before := b.Lake.Dict().Len()
+
+	novel := table.New("novel", "x", "y")
+	novel.Key = []int{0}
+	for i := 0; i < 20; i++ {
+		novel.AddRow(table.S(fmt.Sprintf("unseen-key-%d", i)), table.S(fmt.Sprintf("unseen-val-%d", i)))
+	}
+	if _, err := r.Reclaim(novel); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Reclaim(b.Sources[0]); err != nil {
+		t.Fatal(err)
+	}
+	if after := b.Lake.Dict().Len(); after != before {
+		t.Fatalf("lake dictionary grew from %d to %d entries while serving queries", before, after)
+	}
+}
+
+// TestPipelineInternedMatchesStringReference is the end-to-end equivalence
+// oracle for the lake-wide value dictionary: the default pipeline — interned
+// discovery sets, ID-tuple matrix alignment, ID-keyed integration — must
+// produce results identical to a pipeline forced onto the retained
+// string-based reference paths (string-keyed inverted index, canonical-key
+// matrices and integration), on every source of a TP-TR benchmark and under
+// both matrix encodings.
+func TestPipelineInternedMatchesStringReference(t *testing.T) {
+	b := buildTPTR(t)
+	refIx := &index.IndexSet{Inverted: index.BuildInvertedReference(b.Lake)}
+	for _, enc := range []matrix.Encoding{matrix.ThreeValued, matrix.TwoValued} {
+		cfg := DefaultConfig()
+		cfg.Encoding = enc
+		for _, src := range b.Sources {
+			interned, err := Reclaim(b.Lake, src, cfg)
+			if err != nil {
+				t.Fatalf("%s: interned pipeline: %v", src.Name, err)
+			}
+			// The reference run: nil dict (string-keyed matrix/integration)
+			// over string-keyed discovery. DiscoverWith selects its string
+			// path because the reference index carries no dictionary.
+			reference, err := reclaimPipeline(context.Background(), src, cfg, nil,
+				func(ctx context.Context, keyed *table.Table) ([]*discovery.Candidate, error) {
+					return discovery.DiscoverWithContext(ctx, b.Lake, refIx, keyed, cfg.Discovery)
+				})
+			if err != nil {
+				t.Fatalf("%s: reference pipeline: %v", src.Name, err)
+			}
+			assertSameResult(t, src.Name, reference, interned)
+		}
+	}
+}

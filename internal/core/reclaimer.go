@@ -61,7 +61,12 @@ func NewReclaimer(l *lake.Lake, cfg Config) *Reclaimer {
 }
 
 // UseIndexes injects prebuilt or persisted substrates. Nil members of ix are
-// still built lazily.
+// still built lazily. When ix carries a value dictionary (a persisted
+// ID-keyed set), the lake adopts it before interning anything, so the
+// persisted IDs keep meaning the same values; a lake.ErrDictMismatch from
+// that adoption means the lake holds values the persisted dictionary has
+// never seen — the indexes would silently miss them — and the caller should
+// rebuild instead (the cmd/gent -index-dir rebuild-with-warning path).
 //
 // Ordering contract: UseIndexes must be called before the session's first
 // query (or Warm/BuildIndexes). Once a substrate has been built or served,
@@ -74,10 +79,27 @@ func (r *Reclaimer) UseIndexes(ix *index.IndexSet) error {
 	if r.started.Load() {
 		return ErrSessionStarted
 	}
-	if ix != nil {
-		r.ix.Inverted = ix.Inverted
-		r.ix.LSH = ix.LSH
+	if ix == nil {
+		return nil
 	}
+	if ix.Dict != nil {
+		if err := r.lake.AdoptDict(ix.Dict); err != nil {
+			return err
+		}
+		// The lake's dictionary is authoritative after adoption (it may be a
+		// superset the persisted one is a prefix of); rebind the substrates
+		// so their probes resolve through it and discovery's interned fast
+		// path recognizes the shared dictionary.
+		d := r.lake.Dict()
+		if ix.Inverted != nil {
+			ix.Inverted.RebindDict(d)
+		}
+		if ix.LSH != nil {
+			ix.LSH.RebindDict(d)
+		}
+	}
+	r.ix.Inverted = ix.Inverted
+	r.ix.LSH = ix.LSH
 	return nil
 }
 
@@ -133,7 +155,7 @@ func (r *Reclaimer) BuildIndexes() *index.IndexSet {
 	}()
 	r.lsh()
 	wg.Wait()
-	return &index.IndexSet{Inverted: r.ix.Inverted, LSH: r.ix.LSH}
+	return &index.IndexSet{Inverted: r.ix.Inverted, LSH: r.ix.LSH, Dict: r.lake.Dict()}
 }
 
 // Warm eagerly builds the substrates the session's default configuration
@@ -213,7 +235,7 @@ func (r *Reclaimer) ReclaimWithContext(ctx context.Context, src *table.Table, cf
 // reclaimConfigured runs the pipeline for one source under a fully-resolved
 // per-call configuration — the shared kernel of every Reclaimer query path.
 func (r *Reclaimer) reclaimConfigured(ctx context.Context, src *table.Table, cfg Config) (*Result, error) {
-	return reclaimPipeline(ctx, src, cfg, func(ctx context.Context, keyed *table.Table) ([]*discovery.Candidate, error) {
+	return reclaimPipeline(ctx, src, cfg, r.lake.Dict(), func(ctx context.Context, keyed *table.Table) ([]*discovery.Candidate, error) {
 		return r.rawCandidates(ctx, keyed, cfg.Discovery)
 	})
 }

@@ -143,27 +143,28 @@ func DiscoverWithContext(ctx context.Context, l *lake.Lake, ix *index.IndexSet, 
 }
 
 // firstStagePool restricts the search pool to the LSH retriever's top-k
-// tables. A ranked name can be stale — the LSH index may have been built (or
-// loaded from disk) before tables were removed from the lake — so nil lookups
-// are skipped rather than added.
+// tables. The pool shares the parent lake's value dictionary and interned
+// forms (IDs must keep meaning the same values as in the index); a ranked
+// name can be stale — the LSH index may have been built (or loaded from
+// disk) before tables were removed from the lake — and SubsetSharing skips
+// such names rather than adding them.
 func firstStagePool(l *lake.Lake, lsh *index.MinHashLSH, src *table.Table, topK int) *lake.Lake {
 	ranked := lsh.TopK(src, topK)
-	pool := lake.New()
+	names := make([]string, 0, len(ranked))
 	for _, r := range ranked {
-		if t := l.Get(r.Table); t != nil {
-			pool.Add(t)
-		}
+		names = append(names, r.Table)
 	}
-	return pool
+	return l.SubsetSharing(names)
 }
 
 // searchColumns probes the inverted index for every non-empty Source column
 // concurrently — the per-column probe loop, and discovery's mid-phase
 // preemption point: a canceled ctx stops the probes at the next column and
-// drains the pool before returning. The result aligns 1:1 with src.Cols;
-// columns with no distinct values stay nil (SearchSet itself never returns
-// nil).
-func searchColumns(ctx context.Context, ix *index.Inverted, src *table.Table) ([][]index.Overlap, error) {
+// drains the pool before returning. The result aligns 1:1 with the Source's
+// columns; probe must return nil for columns with no distinct values and a
+// (possibly empty) non-nil slice otherwise, the distinction the query-column
+// denominator rests on.
+func searchColumns(ctx context.Context, ncols int, probe func(ci int) []index.Overlap) ([][]index.Overlap, error) {
 	done := ctx.Done()
 	canceled := func() bool {
 		select {
@@ -173,19 +174,17 @@ func searchColumns(ctx context.Context, ix *index.Inverted, src *table.Table) ([
 			return false
 		}
 	}
-	out := make([][]index.Overlap, len(src.Cols))
+	out := make([][]index.Overlap, ncols)
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(src.Cols) {
-		workers = len(src.Cols)
+	if workers > ncols {
+		workers = ncols
 	}
 	if workers <= 1 {
-		for ci := range src.Cols {
+		for ci := 0; ci < ncols; ci++ {
 			if canceled() {
 				return nil, ctx.Err()
 			}
-			if qset := src.ColumnSet(ci); len(qset) > 0 {
-				out[ci] = ix.SearchSet(qset)
-			}
+			out[ci] = probe(ci)
 		}
 		return out, nil
 	}
@@ -199,13 +198,11 @@ func searchColumns(ctx context.Context, ix *index.Inverted, src *table.Table) ([
 				if canceled() {
 					continue // keep draining so the dispatch loop cannot block
 				}
-				if qset := src.ColumnSet(ci); len(qset) > 0 {
-					out[ci] = ix.SearchSet(qset)
-				}
+				out[ci] = probe(ci)
 			}
 		}()
 	}
-	for ci := range src.Cols {
+	for ci := 0; ci < ncols; ci++ {
 		next <- ci
 	}
 	close(next)
@@ -251,14 +248,45 @@ type perColumnCandidate struct {
 // removals. Overlaps for tables outside pool are skipped; containment only
 // depends on the query and the matched column, so results are identical to a
 // pool-only index.
+//
+// When ix is ID-keyed under the pool's own value dictionary, every set
+// operation (probing, diversification, rename matching, aligned-tuple
+// verification, subsumption) runs on interned ID sets; otherwise the
+// original canonical-string sets are used. The two representations are
+// equivalence-tested to produce bit-identical candidates.
 func SetSimilarity(pool *lake.Lake, ix *index.Inverted, src *table.Table, opts Options) []*Candidate {
 	cands, _ := setSimilarityContext(context.Background(), pool, ix, src, opts)
 	return cands
 }
 
+// simSets abstracts the value-set representation Set Similarity runs on:
+// interned ID sets (the hot path) or canonical-string sets (the reference).
+// Implementations must be safe for the concurrent probe fan-out.
+type simSets interface {
+	// probe searches the index with Source column ci's distinct values; nil
+	// when the column has none (a non-nil empty result still counts the
+	// column into the score denominator).
+	probe(ci int) []index.Overlap
+	// prevOverlap is Equation 10's penalty term for diversification:
+	// |prev ∩ cur| / |cur| over the two pool columns' distinct values.
+	prevOverlap(prev, cur perColumnCandidate) float64
+	// assemble schema-matches and verifies one ranked pool table, returning
+	// its candidate (Score left for the caller) or ok=false to drop it.
+	assemble(name string) (*Candidate, bool)
+	// removeSubsumed is Algorithm 3 line 15 over assembled candidates.
+	removeSubsumed(cands []*Candidate) []*Candidate
+}
+
 // setSimilarityContext is SetSimilarity under a context; cancellation
 // preempts the per-column probe loop and the per-table verification scan.
 func setSimilarityContext(ctx context.Context, pool *lake.Lake, ix *index.Inverted, src *table.Table, opts Options) ([]*Candidate, error) {
+	var sets simSets
+	if d := ix.Dict(); d != nil && d == pool.Dict() {
+		sets = newIDSets(pool, ix, src, opts.Tau)
+	} else {
+		sets = &stringSets{pool: pool, ix: ix, src: src, tau: opts.Tau}
+	}
+
 	type agg struct {
 		sum float64
 		n   int
@@ -269,7 +297,7 @@ func setSimilarityContext(ctx context.Context, pool *lake.Lake, ix *index.Invert
 	// Per-column index probes are independent and dominate retrieval cost on
 	// wide sources, so they fan out over a worker pool; score accumulation
 	// below stays in column order to keep the ranking deterministic.
-	overlapsByCol, err := searchColumns(ctx, ix, src)
+	overlapsByCol, err := searchColumns(ctx, len(src.Cols), sets.probe)
 	if err != nil {
 		return nil, err
 	}
@@ -299,7 +327,7 @@ func setSimilarityContext(ctx context.Context, pool *lake.Lake, ix *index.Invert
 			})
 		}
 		if opts.Diversify {
-			ranked = diversify(pool, ranked)
+			ranked = diversify(ranked, sets.prevOverlap)
 		}
 		// Algorithm 3 line 8: accumulate the (diversified) overlap scores.
 		for _, pc := range ranked {
@@ -342,37 +370,193 @@ func setSimilarityContext(ctx context.Context, pool *lake.Lake, ix *index.Invert
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		t := pool.Get(rt.name)
-		if t == nil {
+		c, ok := sets.assemble(rt.name)
+		if !ok {
 			continue
 		}
-		renamed, matched := renameToSource(t, src, opts.Tau)
-		if len(matched) == 0 {
-			continue
-		}
-		if !alignedTuplesQualify(renamed, src, matched, opts.Tau) {
-			continue
-		}
-		cands = append(cands, &Candidate{
-			Table:   renamed,
-			Sources: []string{rt.name},
-			Score:   rt.score,
-		})
+		c.Score = rt.score
+		cands = append(cands, c)
 		if opts.MaxCandidates > 0 && len(cands) >= opts.MaxCandidates {
 			break
 		}
 	}
 	if opts.RemoveSubsumed {
-		cands = removeSubsumedCandidates(cands, src)
+		cands = sets.removeSubsumed(cands)
 	}
 	return cands, nil
+}
+
+// stringSets is the retained canonical-string representation — the reference
+// implementation the interned path is equivalence-tested against, and the
+// fallback when the index is not ID-keyed under the pool's dictionary.
+type stringSets struct {
+	pool *lake.Lake
+	ix   *index.Inverted
+	src  *table.Table
+	tau  float64
+}
+
+func (s *stringSets) probe(ci int) []index.Overlap {
+	qset := s.src.ColumnSet(ci)
+	if len(qset) == 0 {
+		return nil
+	}
+	return s.ix.SearchSet(qset)
+}
+
+func (s *stringSets) prevOverlap(prev, cur perColumnCandidate) float64 {
+	curSet := s.pool.Get(cur.tableName).ColumnSet(cur.col)
+	if len(curSet) == 0 {
+		return 0
+	}
+	return colOverlap(s.pool.Get(prev.tableName).ColumnSet(prev.col), curSet)
+}
+
+func (s *stringSets) assemble(name string) (*Candidate, bool) {
+	t := s.pool.Get(name)
+	if t == nil {
+		return nil, false
+	}
+	renamed, matched := renameToSource(t, s.src, s.tau)
+	if len(matched) == 0 {
+		return nil, false
+	}
+	if !alignedTuplesQualify(renamed, s.src, matched, s.tau) {
+		return nil, false
+	}
+	return &Candidate{Table: renamed, Sources: []string{name}}, true
+}
+
+func (s *stringSets) removeSubsumed(cands []*Candidate) []*Candidate {
+	return removeSubsumedCandidates(cands, s.src)
+}
+
+// idSets is the interned representation: the Source is interned once per
+// query — through a query-scoped overlay, so source values the lake has
+// never seen do not grow the shared dictionary — and every set operation
+// runs on sorted ID slices, so no value string is hashed or built anywhere
+// in the search.
+type idSets struct {
+	pool *lake.Lake
+	ix   *index.Inverted
+	src  *table.Table
+	// q is the Source interned against the pool/index dictionary (overlaid).
+	q   *table.Interned
+	tau float64
+	// internedOf carries each assembled candidate's interned form (shared
+	// with its pool table — renames preserve row order) to removeSubsumed.
+	internedOf map[*Candidate]*table.Interned
+}
+
+func newIDSets(pool *lake.Lake, ix *index.Inverted, src *table.Table, tau float64) *idSets {
+	return &idSets{
+		pool:       pool,
+		ix:         ix,
+		src:        src,
+		q:          table.InternTable(table.NewOverlay(ix.Dict()), src),
+		tau:        tau,
+		internedOf: make(map[*Candidate]*table.Interned),
+	}
+}
+
+func (s *idSets) probe(ci int) []index.Overlap {
+	ids := s.q.ColumnIDs(ci)
+	if len(ids) == 0 {
+		return nil
+	}
+	return s.ix.SearchIDs(ids)
+}
+
+func (s *idSets) colIDs(name string, col int) []uint32 {
+	return s.pool.Interned(name).ColumnIDs(col)
+}
+
+func (s *idSets) prevOverlap(prev, cur perColumnCandidate) float64 {
+	curIDs := s.colIDs(cur.tableName, cur.col)
+	if len(curIDs) == 0 {
+		return 0
+	}
+	return colOverlapIDs(s.colIDs(prev.tableName, prev.col), curIDs)
+}
+
+func (s *idSets) assemble(name string) (*Candidate, bool) {
+	t := s.pool.Get(name)
+	if t == nil {
+		return nil, false
+	}
+	it := s.pool.Interned(name)
+	renamed, matched := renameToSourceIDs(t, it, s.q, s.src, s.tau)
+	if len(matched) == 0 {
+		return nil, false
+	}
+	if !alignedTuplesQualifyIDs(it, s.q, s.src, matched, s.tau) {
+		return nil, false
+	}
+	c := &Candidate{Table: renamed, Sources: []string{name}}
+	s.internedOf[c] = it
+	return c, true
+}
+
+func (s *idSets) removeSubsumed(cands []*Candidate) []*Candidate {
+	sets := make([]map[string][]uint32, len(cands)) // cand -> colName -> sorted IDs
+	for i, c := range cands {
+		it := s.internedOf[c]
+		m := make(map[string][]uint32, len(c.Table.Cols))
+		for ci, name := range c.Table.Cols {
+			m[name] = it.ColumnIDs(ci)
+		}
+		sets[i] = m
+	}
+	contains := func(big, small map[string][]uint32) bool {
+		for name, vals := range small {
+			b, ok := big[name]
+			if !ok {
+				return false
+			}
+			if !table.ContainsIDs(b, vals) {
+				return false
+			}
+		}
+		return true
+	}
+	out := make([]*Candidate, 0, len(cands))
+	for i, c := range cands {
+		subsumed := false
+		for j := range cands {
+			if i == j {
+				continue
+			}
+			if contains(sets[j], sets[i]) {
+				if contains(sets[i], sets[j]) && i < j {
+					continue // duplicates: keep the earlier (higher ranked) one
+				}
+				subsumed = true
+				break
+			}
+		}
+		if !subsumed {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// colOverlapIDs measures |a ∩ b| / |b| over sorted distinct ID slices — the
+// ID analogue of colOverlap.
+func colOverlapIDs(a, b []uint32) float64 {
+	if len(b) == 0 {
+		return 0
+	}
+	return float64(table.IntersectIDs(a, b)) / float64(len(b))
 }
 
 // diversify implements Algorithm 4: re-score a Source column's candidates so
 // each has high overlap with the Source but low overlap with the previous
 // candidate (Equation 10), demoting near-duplicate tables. The adjusted
-// scores are what Algorithm 3 accumulates into the table ranking.
-func diversify(pool *lake.Lake, ranked []perColumnCandidate) []perColumnCandidate {
+// scores are what Algorithm 3 accumulates into the table ranking;
+// prevOverlap supplies Equation 10's penalty term under the active set
+// representation.
+func diversify(ranked []perColumnCandidate, prevOverlap func(prev, cur perColumnCandidate) float64) []perColumnCandidate {
 	if len(ranked) <= 1 {
 		return ranked
 	}
@@ -383,18 +567,11 @@ func diversify(pool *lake.Lake, ranked []perColumnCandidate) []perColumnCandidat
 			out = append(out, pc)
 			continue
 		}
-		cur := pool.Get(pc.tableName).ColumnSet(pc.col)
-		prev := ranked[i-1]
-		prevSet := pool.Get(prev.tableName).ColumnSet(prev.col)
-		prevColOverlap := 0.0
-		if len(cur) > 0 {
-			prevColOverlap = colOverlap(prevSet, cur)
-		}
 		// Equation 10's penalty demotes near-duplicates; clamping at zero
 		// keeps it from turning into an active penalty that could sink a
 		// genuinely needed table below unrelated junk (variants of the same
 		// original legitimately overlap each other).
-		pc.score = pc.sourceOverlap - prevColOverlap
+		pc.score = pc.sourceOverlap - prevOverlap(ranked[i-1], pc)
 		if pc.score < 0 {
 			pc.score = 0
 		}
@@ -404,6 +581,13 @@ func diversify(pool *lake.Lake, ranked []perColumnCandidate) []perColumnCandidat
 	return out
 }
 
+// renamePair is one (candidate column, Source column) containment match
+// feeding the greedy schema-matching assignment.
+type renamePair struct {
+	tCol, sCol int
+	overlap    float64
+}
+
 // renameToSource matches candidate columns to Source columns by containment
 // and renames matched columns (implicit schema matching). The greedy
 // assignment is one-to-one, highest containment first. Unmatched candidate
@@ -411,23 +595,40 @@ func diversify(pool *lake.Lake, ranked []perColumnCandidate) []perColumnCandidat
 // which case they get a "~" suffix so later unions cannot confuse them.
 // matched maps Source column name -> candidate column index (pre-rename).
 func renameToSource(t, src *table.Table, tau float64) (*table.Table, map[string]int) {
-	type pair struct {
-		tCol, sCol int
-		overlap    float64
-	}
 	srcSets := make([]map[string]bool, len(src.Cols))
 	for i := range src.Cols {
 		srcSets[i] = src.ColumnSet(i)
 	}
-	pairs := make([]pair, 0)
+	pairs := make([]renamePair, 0)
 	for tc := range t.Cols {
 		tset := t.ColumnSet(tc)
 		for sc := range src.Cols {
 			if ov := colOverlap(tset, srcSets[sc]); ov >= tau {
-				pairs = append(pairs, pair{tc, sc, ov})
+				pairs = append(pairs, renamePair{tc, sc, ov})
 			}
 		}
 	}
+	return assignRename(t, src, pairs)
+}
+
+// renameToSourceIDs is renameToSource over interned ID sets: it (the
+// candidate's interned form) and q (the Source's) supply the column sets.
+func renameToSourceIDs(t *table.Table, it, q *table.Interned, src *table.Table, tau float64) (*table.Table, map[string]int) {
+	pairs := make([]renamePair, 0)
+	for tc := range t.Cols {
+		tids := it.ColumnIDs(tc)
+		for sc := range src.Cols {
+			if ov := colOverlapIDs(tids, q.ColumnIDs(sc)); ov >= tau {
+				pairs = append(pairs, renamePair{tc, sc, ov})
+			}
+		}
+	}
+	return assignRename(t, src, pairs)
+}
+
+// assignRename is the shared tail of the rename paths: greedy one-to-one
+// assignment, highest containment first, then the rename itself.
+func assignRename(t, src *table.Table, pairs []renamePair) (*table.Table, map[string]int) {
 	sort.Slice(pairs, func(i, j int) bool {
 		if pairs[i].overlap != pairs[j].overlap {
 			return pairs[i].overlap > pairs[j].overlap
@@ -503,6 +704,55 @@ func alignedTuplesQualify(t, src *table.Table, matched map[string]int, tau float
 	}
 	for i, m := range mcs {
 		if len(m.set) > 0 && float64(len(alignedSets[i]))/float64(len(m.set)) >= tau {
+			return true
+		}
+	}
+	return false
+}
+
+// alignedTuplesQualifyIDs is alignedTuplesQualify over interned columns: the
+// candidate's interned form it is row-aligned with the (renamed) candidate,
+// so membership checks read precomputed IDs instead of hashing Value.Key.
+func alignedTuplesQualifyIDs(it, q *table.Interned, src *table.Table, matched map[string]int, tau float64) bool {
+	type mc struct {
+		tCol int
+		set  map[uint32]bool // source column's distinct IDs
+		size int
+	}
+	mcs := make([]mc, 0, len(matched))
+	for sName, tCol := range matched {
+		ids := q.ColumnIDs(src.ColIndex(sName))
+		set := make(map[uint32]bool, len(ids))
+		for _, id := range ids {
+			set[id] = true
+		}
+		mcs = append(mcs, mc{tCol, set, len(ids)})
+	}
+	alignedSets := make([]map[uint32]bool, len(mcs))
+	for i := range alignedSets {
+		alignedSets[i] = make(map[uint32]bool)
+	}
+	for ri := 0; ri < len(it.Table.Rows); ri++ {
+		aligned := false
+		for _, m := range mcs {
+			id := it.Cols[m.tCol][ri]
+			if id != table.NullID && m.set[id] {
+				aligned = true
+				break
+			}
+		}
+		if !aligned {
+			continue
+		}
+		for i, m := range mcs {
+			id := it.Cols[m.tCol][ri]
+			if id != table.NullID && m.set[id] {
+				alignedSets[i][id] = true
+			}
+		}
+	}
+	for i, m := range mcs {
+		if m.size > 0 && float64(len(alignedSets[i]))/float64(m.size) >= tau {
 			return true
 		}
 	}

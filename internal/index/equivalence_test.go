@@ -1,0 +1,142 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gent/internal/lake"
+	"gent/internal/table"
+)
+
+// randomEquivLake builds a random lake with value overlap across tables and
+// mixed kinds (strings, numbers, numeric-text, nulls) so the ID and string
+// index forms exercise the same collision classes.
+func randomEquivLake(rng *rand.Rand) *lake.Lake {
+	l := lake.New()
+	nTables := 3 + rng.Intn(5)
+	for t := 0; t < nTables; t++ {
+		nCols := 1 + rng.Intn(4)
+		cols := make([]string, nCols)
+		for c := range cols {
+			cols[c] = fmt.Sprintf("c%d", c)
+		}
+		tab := table.New(fmt.Sprintf("t%d", t), cols...)
+		nRows := 1 + rng.Intn(12)
+		for r := 0; r < nRows; r++ {
+			row := make([]table.Value, nCols)
+			for c := range row {
+				switch rng.Intn(6) {
+				case 0:
+					row[c] = table.Null
+				case 1:
+					row[c] = table.N(float64(rng.Intn(8)))
+				case 2:
+					row[c] = table.Parse(fmt.Sprintf("%d.0", rng.Intn(8))) // numeric text
+				default:
+					row[c] = table.S(fmt.Sprintf("v%d", rng.Intn(20)))
+				}
+			}
+			tab.AddRow(row...)
+		}
+		l.Add(tab)
+	}
+	return l
+}
+
+// TestInvertedMatchesReference pins the ID-keyed index to the string-keyed
+// reference: identical SearchSet output (order included) for random queries,
+// and SearchIDs identical to SearchSet for the same query set.
+func TestInvertedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		l := randomEquivLake(rng)
+		ix := BuildInverted(l)
+		ref := BuildInvertedReference(l)
+		if ix.Dict() == nil || ref.Dict() != nil {
+			t.Fatal("index kinds mislabeled")
+		}
+
+		for q := 0; q < 10; q++ {
+			query := make(map[string]bool)
+			ids := make([]uint32, 0)
+			seen := make(map[uint32]bool)
+			for n := 1 + rng.Intn(6); n > 0; n-- {
+				var v table.Value
+				switch rng.Intn(3) {
+				case 0:
+					v = table.N(float64(rng.Intn(10)))
+				case 1:
+					v = table.S("never-indexed")
+				default:
+					v = table.S(fmt.Sprintf("v%d", rng.Intn(20)))
+				}
+				if query[v.Key()] {
+					continue
+				}
+				query[v.Key()] = true
+				if id, ok := l.Dict().LookupValue(v); ok && !seen[id] {
+					seen[id] = true
+					ids = append(ids, id)
+				}
+			}
+			a := ix.SearchSet(query)
+			b := ref.SearchSet(query)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("trial %d: SearchSet diverged\nID:  %v\nref: %v", trial, a, b)
+			}
+			// SearchIDs over the resolvable subset: counts must match, and
+			// containments agree once rescaled to the same denominator.
+			c := ix.SearchIDs(ids)
+			counts := make(map[ColumnRef]int)
+			for _, o := range a {
+				counts[o.Ref] = o.Count
+			}
+			if len(c) != len(a) {
+				t.Fatalf("trial %d: SearchIDs found %d columns, SearchSet %d", trial, len(c), len(a))
+			}
+			for _, o := range c {
+				if counts[o.Ref] != o.Count {
+					t.Fatalf("trial %d: count mismatch for %v: %d vs %d",
+						trial, o.Ref, o.Count, counts[o.Ref])
+				}
+			}
+		}
+
+		// Structural coverage must agree between the forms.
+		if !ix.Covers(l) || !ref.Covers(l) {
+			t.Fatal("fresh indexes must cover their lake")
+		}
+	}
+}
+
+// TestMinHashInternedRecall checks the ID-family sketches do the first
+// stage's job: a lake table queried as itself lands in the top ranks, on the
+// ID and reference families alike.
+func TestMinHashInternedRecall(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 10; trial++ {
+		l := randomEquivLake(rng)
+		ids := BuildMinHashLSH(l)
+		ref := BuildMinHashLSHReference(l)
+		for _, name := range l.Names() {
+			q := l.Get(name)
+			hit := func(ranked []Ranked) bool {
+				for _, r := range ranked {
+					if r.Table == name {
+						return true
+					}
+				}
+				return false
+			}
+			a, b := ids.TopK(q, l.Len()), ref.TopK(q, l.Len())
+			if !hit(a) {
+				t.Errorf("trial %d: interned LSH missed self-retrieval of %s", trial, name)
+			}
+			if !hit(b) {
+				t.Errorf("trial %d: reference LSH missed self-retrieval of %s", trial, name)
+			}
+		}
+	}
+}

@@ -3,21 +3,30 @@ package index
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
 
 	"gent/internal/lake"
+	"gent/internal/table"
 )
 
 // IndexSet bundles the discovery substrates over one lake: the exact
-// inverted index (the JOSIE role) and the MinHash-LSH first stage (the
-// Starmie role). Either member may be nil — the LSH index is only needed
-// when first-stage retrieval is on. Both structures are read-only after
-// construction and safe for concurrent search.
+// inverted index (the JOSIE role), the MinHash-LSH first stage (the Starmie
+// role), and the value dictionary both are keyed under. Either substrate may
+// be nil — the LSH index is only needed when first-stage retrieval is on.
+// All members are read-only after construction (the dictionary only ever
+// appends) and safe for concurrent search.
 type IndexSet struct {
 	Inverted *Inverted
 	LSH      *MinHashLSH
+	// Dict is the value dictionary the ID-keyed substrates were built with;
+	// nil when both substrates are string-keyed reference forms. A session
+	// loading a persisted set must adopt this dictionary into its lake
+	// (lake.AdoptDict) before interning anything, so the persisted IDs keep
+	// meaning the same values.
+	Dict *table.Dict
 }
 
 // BuildIndexSet builds both substrates over the lake, each with a parallel
@@ -35,45 +44,99 @@ func BuildIndexSet(l *lake.Lake) *IndexSet {
 		s.LSH = BuildMinHashLSH(l)
 	}()
 	wg.Wait()
+	s.Dict = l.Dict()
 	return s
 }
 
-// On-disk layout of a persisted IndexSet: one file per substrate under the
-// set's directory.
+// On-disk layout of a persisted IndexSet: one file per substrate plus the
+// shared value dictionary under the set's directory.
 const (
 	invertedFileName = "inverted.gob"
 	minhashFileName  = "minhash.gob"
+	dictFileName     = "dict.gob"
 )
 
 // SaveDir persists the set's non-nil members under dir (created if needed).
+// An ID-keyed substrate without its dictionary cannot be persisted usefully
+// and is an error. One dictionary snapshot is taken up front: its entries go
+// to the dictionary file and its fingerprint into each ID-keyed substrate
+// file, so the saved files are provably mutually consistent even if the live
+// dictionary grows mid-save; every file is written via temp-and-rename, so a
+// crash can at worst leave a mixed set whose fingerprints refuse to load.
 func (s *IndexSet) SaveDir(dir string) error {
 	if s.Inverted == nil && s.LSH == nil {
 		return errors.New("index: empty index set")
 	}
+	if s.Dict == nil &&
+		(s.Inverted != nil && s.Inverted.dict != nil || s.LSH != nil && s.LSH.dict != nil) {
+		return fmt.Errorf("%w: set Dict before SaveDir", ErrDictRequired)
+	}
+	// The fingerprint stamped below certifies the dict/postings pairing, so
+	// it must only ever certify a true one: each ID-keyed substrate's own
+	// dictionary has to be s.Dict or a prefix of it (postings IDs then mean
+	// the same values under s.Dict). A hand-assembled set pairing a loaded
+	// substrate with an unrelated dictionary is refused here rather than
+	// persisted as silent corruption.
+	compatible := func(d *table.Dict) bool {
+		return d == nil || d == s.Dict || d.PrefixOf(s.Dict)
+	}
+	if s.Inverted != nil && !compatible(s.Inverted.dict) {
+		return errors.New("index: inverted index was built under a different dictionary than the set's")
+	}
+	if s.LSH != nil && !compatible(s.LSH.dict) {
+		return errors.New("index: minhash index was built under a different dictionary than the set's")
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("index: %w", err)
 	}
+	var fp uint64
+	if s.Dict != nil {
+		snap := s.Dict.Snapshot()
+		fp = table.FingerprintSnapshot(snap)
+		err := saveFile(filepath.Join(dir, dictFileName), func(w io.Writer) error {
+			return saveDictEntries(w, snap)
+		})
+		if err != nil {
+			return err
+		}
+	}
 	if s.Inverted != nil {
-		if err := s.Inverted.SaveFile(filepath.Join(dir, invertedFileName)); err != nil {
+		err := saveFile(filepath.Join(dir, invertedFileName), func(w io.Writer) error {
+			return s.Inverted.save(w, fp)
+		})
+		if err != nil {
 			return err
 		}
 	}
 	if s.LSH != nil {
-		if err := s.LSH.SaveFile(filepath.Join(dir, minhashFileName)); err != nil {
+		err := saveFile(filepath.Join(dir, minhashFileName), func(w io.Writer) error {
+			return s.LSH.save(w, fp)
+		})
+		if err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// LoadIndexSetDir reads whichever substrates are present under dir. It is an
-// error for neither to exist; a missing member loads as nil so callers can
-// lazily build it.
+// LoadIndexSetDir reads whichever substrates are present under dir, loading
+// the dictionary first so ID-keyed substrates can be rewired to it. It is an
+// error for neither substrate to exist, or for an ID-keyed substrate to be
+// present without the dictionary file (a dict/index mismatch on disk); a
+// missing substrate loads as nil so callers can lazily build it.
 func LoadIndexSetDir(dir string) (*IndexSet, error) {
 	s := &IndexSet{}
+	dictPath := filepath.Join(dir, dictFileName)
+	if _, err := os.Stat(dictPath); err == nil {
+		d, err := LoadDictFile(dictPath)
+		if err != nil {
+			return nil, err
+		}
+		s.Dict = d
+	}
 	invPath := filepath.Join(dir, invertedFileName)
 	if _, err := os.Stat(invPath); err == nil {
-		inv, err := LoadInvertedFile(invPath)
+		inv, err := LoadInvertedFile(invPath, s.Dict)
 		if err != nil {
 			return nil, err
 		}
@@ -81,7 +144,7 @@ func LoadIndexSetDir(dir string) (*IndexSet, error) {
 	}
 	lshPath := filepath.Join(dir, minhashFileName)
 	if _, err := os.Stat(lshPath); err == nil {
-		lsh, err := LoadMinHashLSHFile(lshPath)
+		lsh, err := LoadMinHashLSHFile(lshPath, s.Dict)
 		if err != nil {
 			return nil, err
 		}

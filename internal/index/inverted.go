@@ -3,6 +3,15 @@
 // set-overlap search over lake columns, and a MinHash-LSH index that stands
 // in for Starmie's learned retriever as the scalable top-k first stage on
 // large lakes.
+//
+// Both substrates are built over the lake's interned (value-ID) form: the
+// inverted index keys postings by dictionary ID and MinHash hashes an ID's
+// 8 bytes instead of the value's text, so each distinct value is hashed once
+// at intern time and never re-hashed per build or per probe. The original
+// string-keyed builds are retained (BuildInvertedReference,
+// BuildMinHashLSHReference) as the reference implementations behind the same
+// search interfaces; equivalence tests pin the ID-keyed index's output to
+// the reference's bit for bit.
 package index
 
 import (
@@ -21,26 +30,57 @@ type ColumnRef struct {
 }
 
 // Inverted maps each distinct cell value to the lake columns containing it,
-// enabling exact set-overlap search (the JOSIE role in the paper).
+// enabling exact set-overlap search (the JOSIE role in the paper). The
+// primary form keys postings by dictionary ID; a reference form keyed by
+// canonical value strings is kept behind the same interface.
 type Inverted struct {
+	// dict is the value dictionary idPostings is keyed under; nil for a
+	// string-keyed reference (or legacy persisted) index.
+	dict       *table.Dict
+	idPostings map[uint32][]ColumnRef
+	// postings is the string-keyed reference form.
 	postings map[string][]ColumnRef
 	// colSizes caches each column's distinct-value count for containment
 	// scoring.
 	colSizes map[ColumnRef]int
 }
 
-// BuildInverted indexes every non-null value of every table column. Tables
-// are scanned concurrently on a bounded worker pool; the per-table partial
-// postings are merged in lake order, so the result is identical to a
-// sequential build.
+// BuildInverted indexes every distinct non-null value ID of every table
+// column, interning the lake first if needed. Tables are scanned
+// concurrently on a bounded worker pool; the per-table partial postings are
+// merged in lake order, so the result is identical to a sequential build.
 func BuildInverted(l *lake.Lake) *Inverted {
 	return buildInverted(l, runtime.GOMAXPROCS(0))
 }
 
+// BuildInvertedReference is the retained string-keyed build — the reference
+// implementation the ID-keyed index is equivalence-tested against.
+func BuildInvertedReference(l *lake.Lake) *Inverted {
+	return buildInvertedReference(l, runtime.GOMAXPROCS(0))
+}
+
 // tablePostings is one table's contribution to the index.
 type tablePostings struct {
-	postings map[string][]ColumnRef
-	colSizes map[ColumnRef]int
+	idPostings map[uint32][]ColumnRef
+	postings   map[string][]ColumnRef
+	colSizes   map[ColumnRef]int
+}
+
+func scanInterned(it *table.Interned) tablePostings {
+	t := it.Table
+	tp := tablePostings{
+		idPostings: make(map[uint32][]ColumnRef),
+		colSizes:   make(map[ColumnRef]int),
+	}
+	for c := range t.Cols {
+		ref := ColumnRef{Table: t.Name, Col: c}
+		ids := it.ColumnIDs(c)
+		tp.colSizes[ref] = len(ids)
+		for _, id := range ids {
+			tp.idPostings[id] = append(tp.idPostings[id], ref)
+		}
+	}
+	return tp
 }
 
 func scanTable(t *table.Table) tablePostings {
@@ -60,6 +100,30 @@ func scanTable(t *table.Table) tablePostings {
 }
 
 func buildInverted(l *lake.Lake, workers int) *Inverted {
+	l.EnsureInterned()
+	tables := l.Tables()
+	parts := make([]tablePostings, len(tables))
+	forEachTable(len(tables), workers, func(i int) {
+		parts[i] = scanInterned(l.Interned(tables[i].Name))
+	})
+
+	ix := &Inverted{
+		dict:       l.Dict(),
+		idPostings: make(map[uint32][]ColumnRef),
+		colSizes:   make(map[ColumnRef]int),
+	}
+	for _, tp := range parts {
+		for id, refs := range tp.idPostings {
+			ix.idPostings[id] = append(ix.idPostings[id], refs...)
+		}
+		for ref, n := range tp.colSizes {
+			ix.colSizes[ref] = n
+		}
+	}
+	return ix
+}
+
+func buildInvertedReference(l *lake.Lake, workers int) *Inverted {
 	tables := l.Tables()
 	parts := make([]tablePostings, len(tables))
 	forEachTable(len(tables), workers, func(i int) { parts[i] = scanTable(tables[i]) })
@@ -118,21 +182,66 @@ type Overlap struct {
 	Containment float64
 }
 
+// Dict returns the value dictionary an ID-keyed index was built under, nil
+// for a string-keyed reference index.
+func (ix *Inverted) Dict() *table.Dict { return ix.dict }
+
+// RebindDict points an ID-keyed index at d, which must assign every ID this
+// index references identically — e.g. the live lake dictionary a persisted
+// index's dictionary is a prefix snapshot of. No-op on a string-keyed index.
+func (ix *Inverted) RebindDict(d *table.Dict) {
+	if ix.dict != nil && d != nil {
+		ix.dict = d
+	}
+}
+
 // SearchSet returns, for a query value set (canonical keys), every lake
 // column overlapping it, ranked by overlap count (ties by table name and
-// column for determinism).
+// column for determinism). On an ID-keyed index, query keys are translated
+// through the dictionary; keys the dictionary has never seen have no
+// postings in either form, so results match the reference exactly.
 func (ix *Inverted) SearchSet(query map[string]bool) []Overlap {
 	counts := make(map[ColumnRef]int)
-	for v := range query {
-		for _, ref := range ix.postings[v] {
+	if ix.dict != nil {
+		for v := range query {
+			if id, ok := ix.dict.LookupKey(v); ok {
+				for _, ref := range ix.idPostings[id] {
+					counts[ref]++
+				}
+			}
+		}
+	} else {
+		for v := range query {
+			for _, ref := range ix.postings[v] {
+				counts[ref]++
+			}
+		}
+	}
+	return rankOverlaps(counts, len(query))
+}
+
+// SearchIDs is SearchSet over an already-interned query — the hot path when
+// the caller holds the source's interned column sets. The index must be
+// ID-keyed (built by BuildInverted under the same dictionary the query IDs
+// come from); a reference index has no ID postings and reports nothing.
+func (ix *Inverted) SearchIDs(query []uint32) []Overlap {
+	counts := make(map[ColumnRef]int)
+	for _, id := range query {
+		for _, ref := range ix.idPostings[id] {
 			counts[ref]++
 		}
 	}
+	return rankOverlaps(counts, len(query))
+}
+
+// rankOverlaps is the shared ranking tail of SearchSet and SearchIDs; both
+// forms must order results identically for the equivalence tests to hold.
+func rankOverlaps(counts map[ColumnRef]int, qlen int) []Overlap {
 	out := make([]Overlap, 0, len(counts))
 	for ref, c := range counts {
 		o := Overlap{Ref: ref, Count: c}
-		if len(query) > 0 {
-			o.Containment = float64(c) / float64(len(query))
+		if qlen > 0 {
+			o.Containment = float64(c) / float64(qlen)
 		}
 		out = append(out, o)
 	}
@@ -161,8 +270,9 @@ func (ix *Inverted) ColumnSize(ref ColumnRef) int { return ix.colSizes[ref] }
 // stale entries for removed tables are filtered against the live lake at
 // query time — but a table missing from the index (or indexed under an old
 // schema) would silently never be retrieved correctly. Value-level edits to
-// an already-indexed column are not detectable here; rebuild the index after
-// editing table contents.
+// an already-indexed column are not detectable here (for an ID-keyed index,
+// lake.AdoptDict additionally detects values the persisted dictionary has
+// never seen); rebuild the index after editing table contents.
 func (ix *Inverted) Covers(l *lake.Lake) bool {
 	for _, t := range l.Tables() {
 		for c := range t.Cols {

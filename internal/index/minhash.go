@@ -34,6 +34,22 @@ func hashValue(v string, seed uint64) uint64 {
 	return h.Sum64()
 }
 
+// hashID is the MinHash permutation family over interned value IDs: a
+// splitmix64-style finalizer over the (seed, id) pair. Mixing the ID's fixed
+// 8 bytes instead of the value's text is what makes interned sketching cheap
+// — the value string was hashed exactly once, at intern time. The resulting
+// signatures differ from the string family's, but estimate the same Jaccard
+// similarities: ID sets are in bijection with value sets.
+func hashID(id uint32, seed uint64) uint64 {
+	x := seed<<32 ^ uint64(id)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
 func sketch(set map[string]bool) signature {
 	var sig signature
 	for i := range sig {
@@ -42,6 +58,21 @@ func sketch(set map[string]bool) signature {
 	for v := range set {
 		for i := 0; i < numHashes; i++ {
 			if h := hashValue(v, uint64(i)); h < sig[i] {
+				sig[i] = h
+			}
+		}
+	}
+	return sig
+}
+
+func sketchIDs(ids []uint32) signature {
+	var sig signature
+	for i := range sig {
+		sig[i] = math.MaxUint64
+	}
+	for _, id := range ids {
+		for i := 0; i < numHashes; i++ {
+			if h := hashID(id, uint64(i)); h < sig[i] {
 				sig[i] = h
 			}
 		}
@@ -62,19 +93,32 @@ func estimateJaccard(a, b signature) float64 {
 
 // MinHashLSH indexes every lake column's MinHash sketch with banded LSH. It
 // plays Starmie's role: a scalable, recall-oriented top-k table retriever
-// over a large lake whose output Set Similarity verifies exactly.
+// over a large lake whose output Set Similarity verifies exactly. The
+// primary build sketches interned value IDs; the reference build sketches
+// value strings. Either way, query columns are sketched with the same hash
+// family the index was built with.
 type MinHashLSH struct {
+	// dict, when non-nil, marks an ID-family index and translates query
+	// values to IDs at TopK time.
+	dict    *table.Dict
 	sigs    map[ColumnRef]signature
 	buckets map[uint64][]ColumnRef
 	tables  []string
 }
 
-// BuildMinHashLSH sketches and buckets every column of the lake. Sketching —
-// the dominant cost — fans out per table on a bounded worker pool; bucket
+// BuildMinHashLSH sketches and buckets every column of the lake over
+// interned value IDs, interning the lake first if needed. Sketching — the
+// dominant cost — fans out per table on a bounded worker pool; bucket
 // merging stays in lake order so the index is identical to a sequential
 // build.
 func BuildMinHashLSH(l *lake.Lake) *MinHashLSH {
 	return buildMinHashLSH(l, runtime.GOMAXPROCS(0))
+}
+
+// BuildMinHashLSHReference is the retained string-hashing build — the
+// reference implementation for the ID-family sketches.
+func BuildMinHashLSHReference(l *lake.Lake) *MinHashLSH {
+	return buildMinHashLSHReference(l, runtime.GOMAXPROCS(0))
 }
 
 // tableSketches is one table's sketched columns, in column order.
@@ -96,15 +140,43 @@ func sketchTable(t *table.Table) tableSketches {
 	return ts
 }
 
+func sketchInterned(it *table.Interned) tableSketches {
+	var ts tableSketches
+	for c := range it.Table.Cols {
+		ids := it.ColumnIDs(c)
+		if len(ids) == 0 {
+			continue
+		}
+		ts.refs = append(ts.refs, ColumnRef{Table: it.Table.Name, Col: c})
+		ts.sigs = append(ts.sigs, sketchIDs(ids))
+	}
+	return ts
+}
+
 func buildMinHashLSH(l *lake.Lake, workers int) *MinHashLSH {
+	l.EnsureInterned()
+	tables := l.Tables()
+	parts := make([]tableSketches, len(tables))
+	forEachTable(len(tables), workers, func(i int) {
+		parts[i] = sketchInterned(l.Interned(tables[i].Name))
+	})
+	ix := assembleMinHash(parts, l.Names())
+	ix.dict = l.Dict()
+	return ix
+}
+
+func buildMinHashLSHReference(l *lake.Lake, workers int) *MinHashLSH {
 	tables := l.Tables()
 	parts := make([]tableSketches, len(tables))
 	forEachTable(len(tables), workers, func(i int) { parts[i] = sketchTable(tables[i]) })
+	return assembleMinHash(parts, l.Names())
+}
 
+func assembleMinHash(parts []tableSketches, names []string) *MinHashLSH {
 	ix := &MinHashLSH{
 		sigs:    make(map[ColumnRef]signature),
 		buckets: make(map[uint64][]ColumnRef),
-		tables:  l.Names(),
+		tables:  names,
 	}
 	for _, ts := range parts {
 		for i, ref := range ts.refs {
@@ -142,17 +214,52 @@ type Ranked struct {
 	Score float64
 }
 
+// querySketch sketches one query column with the index's hash family. On an
+// ID-family index the column's distinct values are resolved through a
+// query-scoped overlay — values the lake has never seen get transient
+// overlay IDs (the shared dictionary stays untouched) and correctly depress
+// the estimated similarities.
+func (ix *MinHashLSH) querySketch(query *table.Table, qc int, ov *table.Overlay) (signature, bool) {
+	if ix.dict == nil {
+		set := query.ColumnSet(qc)
+		if len(set) == 0 {
+			return signature{}, false
+		}
+		return sketch(set), true
+	}
+	seen := make(map[uint32]bool)
+	ids := make([]uint32, 0, len(query.Rows))
+	for _, r := range query.Rows {
+		v := r[qc]
+		if v.IsNull() {
+			continue
+		}
+		id := ov.InternValue(v)
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return signature{}, false
+	}
+	return sketchIDs(ids), true
+}
+
 // TopK retrieves the k lake tables most relevant to the query table: for
 // each query column, LSH candidates are scored by estimated Jaccard, and a
 // table's score is the sum of its best per-query-column estimates.
 func (ix *MinHashLSH) TopK(query *table.Table, k int) []Ranked {
+	var ov *table.Overlay
+	if ix.dict != nil {
+		ov = table.NewOverlay(ix.dict)
+	}
 	best := make(map[string]map[int]float64) // table -> query col -> best jaccard
 	for qc := range query.Cols {
-		set := query.ColumnSet(qc)
-		if len(set) == 0 {
+		qsig, ok := ix.querySketch(query, qc, ov)
+		if !ok {
 			continue
 		}
-		qsig := sketch(set)
 		seen := make(map[ColumnRef]bool)
 		for _, bk := range bandKeys(qsig) {
 			for _, ref := range ix.buckets[bk] {
@@ -193,6 +300,15 @@ func (ix *MinHashLSH) TopK(query *table.Table, k int) []Ranked {
 		out = out[:k]
 	}
 	return out
+}
+
+// RebindDict points an ID-family index at d, which must assign every ID the
+// signatures were sketched from identically; see Inverted.RebindDict. No-op
+// on a string-family index.
+func (ix *MinHashLSH) RebindDict(d *table.Dict) {
+	if ix.dict != nil && d != nil {
+		ix.dict = d
+	}
 }
 
 // Covers reports whether every table of the lake was present when this

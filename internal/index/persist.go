@@ -2,79 +2,208 @@ package index
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+
+	"gent/internal/table"
 )
 
 // Real lakes are indexed once and queried many times, so both index kinds
-// persist to disk with encoding/gob. The formats are versioned so a stale
-// index fails loudly instead of answering wrongly.
+// persist to disk with encoding/gob, alongside the value dictionary their
+// IDs are keyed under. The formats are versioned so a stale index fails
+// loudly instead of answering wrongly:
+//
+//   - v1 files predate the canonical key format this release fixed
+//     (decimal-only numeric text, -0 normalization, separator escaping) and
+//     are rejected — their postings would silently mismatch new Key output.
+//   - ID-keyed files carry the fingerprint of the dictionary they were saved
+//     with, verified at load, so a torn save can never pair postings with
+//     the wrong dictionary.
+//
+// Files are written to a temporary name and renamed into place, so a crash
+// mid-write leaves the previous file intact rather than a truncated gob.
 
 const (
-	invertedFormatVersion = 1
-	minhashFormatVersion  = 1
+	invertedFormatID     = 2 // ID-keyed postings + dictionary fingerprint
+	invertedFormatString = 3 // string-keyed reference postings (current Key format)
+	minhashFormatVersion = 2
+	dictFormatVersion    = 1
 )
 
-// invertedDisk is the serializable form of Inverted.
+// ErrDictRequired reports an ID-keyed index file loaded without the value
+// dictionary it was persisted with.
+var ErrDictRequired = errors.New("index: ID-keyed index requires its value dictionary")
+
+// ErrStaleFormat reports an index file from a version whose canonical key
+// format differs — loading it would answer queries wrongly, so callers must
+// rebuild.
+var ErrStaleFormat = errors.New("index: index file predates the current canonical key format")
+
+// ErrDictFingerprint reports an ID-keyed index file whose postings were
+// built under a different dictionary than the one supplied — a torn or mixed
+// save; the IDs would resolve to the wrong values.
+var ErrDictFingerprint = errors.New("index: index/dictionary fingerprint mismatch")
+
+// invertedDisk is the serializable form of Inverted. Exactly one of
+// IDPostings (ID format) and Postings (string format) is populated;
+// DictFingerprint pins ID postings to the dictionary they were saved with.
 type invertedDisk struct {
-	Version  int
-	Postings map[string][]ColumnRef
-	ColSizes map[ColumnRef]int
+	Version         int
+	Postings        map[string][]ColumnRef
+	IDPostings      map[uint32][]ColumnRef
+	ColSizes        map[ColumnRef]int
+	DictFingerprint uint64
 }
 
-// Save writes the inverted index.
+// Save writes the inverted index (without its dictionary — IndexSet.SaveDir
+// persists that once for all substrates).
 func (ix *Inverted) Save(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(invertedDisk{
-		Version:  invertedFormatVersion,
-		Postings: ix.postings,
-		ColSizes: ix.colSizes,
-	})
+	var fp uint64
+	if ix.dict != nil {
+		fp = ix.dict.Fingerprint()
+	}
+	return ix.save(w, fp)
 }
 
-// LoadInverted reads an inverted index written by Save.
-func LoadInverted(r io.Reader) (*Inverted, error) {
+func (ix *Inverted) save(w io.Writer, fp uint64) error {
+	d := invertedDisk{ColSizes: ix.colSizes}
+	if ix.dict != nil {
+		d.Version = invertedFormatID
+		d.IDPostings = ix.idPostings
+		d.DictFingerprint = fp
+	} else {
+		d.Version = invertedFormatString
+		d.Postings = ix.postings
+	}
+	return gob.NewEncoder(w).Encode(d)
+}
+
+// LoadInverted reads an inverted index written by Save. dict supplies the
+// value dictionary for an ID-keyed file — persisted alongside by
+// IndexSet.SaveDir — and may be nil for a string-keyed reference file; its
+// fingerprint must match the one the postings were saved under.
+func LoadInverted(r io.Reader, dict *table.Dict) (*Inverted, error) {
 	var d invertedDisk
 	if err := gob.NewDecoder(r).Decode(&d); err != nil {
 		return nil, fmt.Errorf("index: decoding inverted index: %w", err)
 	}
-	if d.Version != invertedFormatVersion {
-		return nil, fmt.Errorf("index: inverted index format v%d, want v%d",
-			d.Version, invertedFormatVersion)
+	switch d.Version {
+	case invertedFormatString:
+		return &Inverted{postings: d.Postings, colSizes: d.ColSizes}, nil
+	case invertedFormatID:
+		if dict == nil {
+			return nil, fmt.Errorf("%w (inverted index v%d)", ErrDictRequired, d.Version)
+		}
+		if dict.Fingerprint() != d.DictFingerprint {
+			return nil, fmt.Errorf("%w (inverted index)", ErrDictFingerprint)
+		}
+		return &Inverted{dict: dict, idPostings: d.IDPostings, colSizes: d.ColSizes}, nil
+	case 1:
+		return nil, fmt.Errorf("%w (inverted index v1)", ErrStaleFormat)
 	}
-	return &Inverted{postings: d.Postings, colSizes: d.ColSizes}, nil
+	return nil, fmt.Errorf("index: inverted index format v%d, want v%d or v%d",
+		d.Version, invertedFormatID, invertedFormatString)
 }
 
-// minhashDisk is the serializable form of MinHashLSH.
+// minhashDisk is the serializable form of MinHashLSH; Interned marks
+// ID-family signatures, which need the dictionary to sketch queries.
 type minhashDisk struct {
-	Version int
-	Sigs    map[ColumnRef]signature
-	Buckets map[uint64][]ColumnRef
-	Tables  []string
+	Version         int
+	Interned        bool
+	Sigs            map[ColumnRef]signature
+	Buckets         map[uint64][]ColumnRef
+	Tables          []string
+	DictFingerprint uint64
 }
 
 // Save writes the MinHash-LSH index.
 func (ix *MinHashLSH) Save(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(minhashDisk{
-		Version: minhashFormatVersion,
-		Sigs:    ix.sigs,
-		Buckets: ix.buckets,
-		Tables:  ix.tables,
-	})
+	var fp uint64
+	if ix.dict != nil {
+		fp = ix.dict.Fingerprint()
+	}
+	return ix.save(w, fp)
 }
 
-// LoadMinHashLSH reads a MinHash-LSH index written by Save.
-func LoadMinHashLSH(r io.Reader) (*MinHashLSH, error) {
+func (ix *MinHashLSH) save(w io.Writer, fp uint64) error {
+	d := minhashDisk{
+		Version:  minhashFormatVersion,
+		Interned: ix.dict != nil,
+		Sigs:     ix.sigs,
+		Buckets:  ix.buckets,
+		Tables:   ix.tables,
+	}
+	if d.Interned {
+		d.DictFingerprint = fp
+	}
+	return gob.NewEncoder(w).Encode(d)
+}
+
+// LoadMinHashLSH reads a MinHash-LSH index written by Save; dict is required
+// (and fingerprint-checked) when the signatures are ID-family and ignored
+// otherwise.
+func LoadMinHashLSH(r io.Reader, dict *table.Dict) (*MinHashLSH, error) {
 	var d minhashDisk
 	if err := gob.NewDecoder(r).Decode(&d); err != nil {
 		return nil, fmt.Errorf("index: decoding minhash index: %w", err)
 	}
-	if d.Version != minhashFormatVersion {
+	switch d.Version {
+	case minhashFormatVersion:
+	case 1:
+		return nil, fmt.Errorf("%w (minhash index v1)", ErrStaleFormat)
+	default:
 		return nil, fmt.Errorf("index: minhash index format v%d, want v%d",
 			d.Version, minhashFormatVersion)
 	}
-	return &MinHashLSH{sigs: d.Sigs, buckets: d.Buckets, tables: d.Tables}, nil
+	ix := &MinHashLSH{sigs: d.Sigs, buckets: d.Buckets, tables: d.Tables}
+	if d.Interned {
+		if dict == nil {
+			return nil, fmt.Errorf("%w (minhash index v%d)", ErrDictRequired, d.Version)
+		}
+		if dict.Fingerprint() != d.DictFingerprint {
+			return nil, fmt.Errorf("%w (minhash index)", ErrDictFingerprint)
+		}
+		ix.dict = dict
+	}
+	return ix, nil
+}
+
+// dictDisk is the serializable form of a value dictionary.
+type dictDisk struct {
+	Version int
+	Entries []table.DictEntry
+}
+
+// SaveDict writes a dictionary snapshot.
+func SaveDict(w io.Writer, d *table.Dict) error {
+	return saveDictEntries(w, d.Snapshot())
+}
+
+func saveDictEntries(w io.Writer, entries []table.DictEntry) error {
+	return gob.NewEncoder(w).Encode(dictDisk{
+		Version: dictFormatVersion,
+		Entries: entries,
+	})
+}
+
+// LoadDict reads a dictionary written by SaveDict.
+func LoadDict(r io.Reader) (*table.Dict, error) {
+	var d dictDisk
+	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("index: decoding dictionary: %w", err)
+	}
+	if d.Version != dictFormatVersion {
+		return nil, fmt.Errorf("index: dictionary format v%d, want v%d",
+			d.Version, dictFormatVersion)
+	}
+	dict, err := table.NewDictFromSnapshot(d.Entries)
+	if err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	return dict, nil
 }
 
 // SaveFile persists the inverted index to a file, creating directories.
@@ -87,37 +216,64 @@ func (ix *MinHashLSH) SaveFile(path string) error {
 	return saveFile(path, ix.Save)
 }
 
+// saveFile writes through a temporary file and renames it into place, so a
+// crash mid-write leaves any previous file intact instead of a torn gob.
 func saveFile(path string, save func(io.Writer) error) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("index: %w", err)
 	}
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("index: %w", err)
 	}
+	tmp := f.Name()
 	if err := save(f); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("index: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("index: %w", err)
+	}
+	return nil
 }
 
-// LoadInvertedFile reads an inverted index file.
-func LoadInvertedFile(path string) (*Inverted, error) {
+// LoadInvertedFile reads an inverted index file; dict as in LoadInverted.
+func LoadInvertedFile(path string, dict *table.Dict) (*Inverted, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("index: %w", err)
 	}
 	defer f.Close()
-	return LoadInverted(f)
+	return LoadInverted(f, dict)
 }
 
-// LoadMinHashLSHFile reads a MinHash index file.
-func LoadMinHashLSHFile(path string) (*MinHashLSH, error) {
+// LoadMinHashLSHFile reads a MinHash index file; dict as in LoadMinHashLSH.
+func LoadMinHashLSHFile(path string, dict *table.Dict) (*MinHashLSH, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("index: %w", err)
 	}
 	defer f.Close()
-	return LoadMinHashLSH(f)
+	return LoadMinHashLSH(f, dict)
+}
+
+// SaveDictFile persists a dictionary to a file, creating directories.
+func SaveDictFile(path string, d *table.Dict) error {
+	return saveFile(path, func(w io.Writer) error { return SaveDict(w, d) })
+}
+
+// LoadDictFile reads a dictionary file.
+func LoadDictFile(path string) (*table.Dict, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	defer f.Close()
+	return LoadDict(f)
 }

@@ -1,0 +1,162 @@
+package index
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gent/internal/lake"
+	"gent/internal/table"
+)
+
+// TestIndexSetDictRoundTrip persists a full ID-keyed set and reloads it:
+// the dictionary must travel with the substrates, and searches through the
+// reloaded set must match the live one exactly.
+func TestIndexSetDictRoundTrip(t *testing.T) {
+	l := buildLake()
+	s := BuildIndexSet(l)
+	if s.Dict == nil {
+		t.Fatal("BuildIndexSet must carry the lake dictionary")
+	}
+	dir := t.TempDir()
+	if err := s.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{invertedFileName, minhashFileName, dictFileName} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("missing persisted file %s: %v", f, err)
+		}
+	}
+	got, err := LoadIndexSetDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dict == nil || got.Inverted == nil || got.LSH == nil {
+		t.Fatal("round trip lost a member")
+	}
+	if !got.Dict.PrefixOf(l.Dict()) || !l.Dict().PrefixOf(got.Dict) {
+		t.Error("reloaded dictionary diverged from the live one")
+	}
+	query := map[string]bool{table.S("Smith").Key(): true, table.S("Boston").Key(): true}
+	a, b := s.Inverted.SearchSet(query), got.Inverted.SearchSet(query)
+	if len(a) != len(b) {
+		t.Fatalf("SearchSet diverged after round trip: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("overlap %d diverged: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestLoadIndexSetDetectsMissingDict removes the dictionary file from a
+// persisted ID-keyed set: loading must fail loudly (the postings would be
+// meaningless), which is what routes cmd/gent -index-dir into its
+// rebuild-with-warning path.
+func TestLoadIndexSetDetectsMissingDict(t *testing.T) {
+	l := buildLake()
+	dir := t.TempDir()
+	if err := BuildIndexSet(l).SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, dictFileName)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadIndexSetDir(dir)
+	if !errors.Is(err, ErrDictRequired) {
+		t.Fatalf("got %v, want ErrDictRequired", err)
+	}
+}
+
+// TestAdoptDictDetectsLakeMismatch persists a set over one lake and adopts
+// its dictionary into a lake holding values the dictionary has never seen —
+// the dict/lake mismatch UseIndexes surfaces so sessions rebuild instead of
+// silently missing those values.
+func TestAdoptDictDetectsLakeMismatch(t *testing.T) {
+	dir := t.TempDir()
+	if err := BuildIndexSet(buildLake()).SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	s, err := LoadIndexSetDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same lake content: adoption succeeds.
+	same := buildLake()
+	if err := same.AdoptDict(s.Dict); err != nil {
+		t.Fatalf("adopting into an identical lake failed: %v", err)
+	}
+
+	// A lake with an extra value the dictionary lacks: mismatch.
+	grown := buildLake()
+	extra := table.New("extra", "name")
+	extra.AddRow(table.S("Zephyr"))
+	grown.Add(extra)
+	d2, err := LoadDictFile(filepath.Join(dir, dictFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := grown.AdoptDict(d2); !errors.Is(err, lake.ErrDictMismatch) {
+		t.Fatalf("got %v, want lake.ErrDictMismatch", err)
+	}
+}
+
+// TestLoadDetectsDictFingerprintMismatch pairs a persisted set's substrates
+// with a different dictionary (the torn-save shape): loading must fail
+// loudly instead of resolving IDs against the wrong values.
+func TestLoadDetectsDictFingerprintMismatch(t *testing.T) {
+	dir := t.TempDir()
+	if err := BuildIndexSet(buildLake()).SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	other := table.NewDict()
+	other.InternValue(table.S("imposter"))
+	if err := SaveDictFile(filepath.Join(dir, dictFileName), other); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIndexSetDir(dir); !errors.Is(err, ErrDictFingerprint) {
+		t.Fatalf("got %v, want ErrDictFingerprint", err)
+	}
+}
+
+// TestLoadRejectsV1Format: files from before the canonical key format change
+// must be rejected, not served — their postings silently mismatch current
+// Value.Key output for the reclassified value spellings.
+func TestLoadRejectsV1Format(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(invertedDisk{
+		Version:  1,
+		Postings: map[string][]ColumnRef{"sold": {{Table: "t", Col: 0}}},
+		ColSizes: map[ColumnRef]int{{Table: "t", Col: 0}: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadInverted(&buf, nil); !errors.Is(err, ErrStaleFormat) {
+		t.Fatalf("got %v, want ErrStaleFormat", err)
+	}
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(minhashDisk{Version: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadMinHashLSH(&buf, nil); !errors.Is(err, ErrStaleFormat) {
+		t.Fatalf("got %v, want ErrStaleFormat", err)
+	}
+}
+
+// TestSaveDirRequiresDict: an ID-keyed substrate without its dictionary must
+// refuse to persist rather than write unreadable postings.
+func TestSaveDirRequiresDict(t *testing.T) {
+	l := buildLake()
+	s := &IndexSet{Inverted: BuildInverted(l)}
+	if err := s.SaveDir(t.TempDir()); !errors.Is(err, ErrDictRequired) {
+		t.Fatalf("got %v, want ErrDictRequired", err)
+	}
+	ref := &IndexSet{Inverted: BuildInvertedReference(l)}
+	if err := ref.SaveDir(t.TempDir()); err != nil {
+		t.Fatalf("reference set should persist without a dictionary: %v", err)
+	}
+}

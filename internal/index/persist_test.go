@@ -15,7 +15,7 @@ func TestInvertedSaveLoadRoundTrip(t *testing.T) {
 	if err := orig.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	got, err := LoadInverted(&buf)
+	got, err := LoadInverted(&buf, l.Dict())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestMinHashSaveLoadRoundTrip(t *testing.T) {
 	if err := orig.SaveFile(path); err != nil {
 		t.Fatal(err)
 	}
-	got, err := LoadMinHashLSHFile(path)
+	got, err := LoadMinHashLSHFile(path, l.Dict())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,13 +62,13 @@ func TestMinHashSaveLoadRoundTrip(t *testing.T) {
 }
 
 func TestLoadRejectsGarbage(t *testing.T) {
-	if _, err := LoadInverted(bytes.NewReader([]byte("not a gob"))); err == nil {
+	if _, err := LoadInverted(bytes.NewReader([]byte("not a gob")), nil); err == nil {
 		t.Error("garbage accepted as inverted index")
 	}
-	if _, err := LoadMinHashLSH(bytes.NewReader(nil)); err == nil {
+	if _, err := LoadMinHashLSH(bytes.NewReader(nil), nil); err == nil {
 		t.Error("empty input accepted as minhash index")
 	}
-	if _, err := LoadInvertedFile("/nonexistent/path"); err == nil {
+	if _, err := LoadInvertedFile("/nonexistent/path", nil); err == nil {
 		t.Error("missing file accepted")
 	}
 }

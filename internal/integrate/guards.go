@@ -6,24 +6,23 @@ import (
 
 // tupleScorer computes the error-aware similarity E of accumulator tuples
 // against their aligned (labeled) Source tuples — the per-pair guard of
-// Figure 5's integration steps.
+// Figure 5's integration steps. Key lookups run on the Integrator's active
+// representation (interned ID tuples or canonical strings).
 type tupleScorer struct {
+	in *Integrator
 	// srcColOf maps a t column index to the labeled source column index.
 	srcColOf []int
 	keyIdx   []int
 	// isKey flags t's key columns, so e() does not rebuild the set per row.
-	isKey []bool
-	// srcByKey is the Integrator's shared labeled-row index — built once in
-	// New, not per scorer (Reclaim creates a scorer on every union step).
-	srcByKey map[string]table.Row
-	nonKey   int
+	isKey  []bool
+	nonKey int
 }
 
 func (in *Integrator) scorer(t *table.Table) *tupleScorer {
 	src := in.labeledSrc
 	s := &tupleScorer{
+		in:       in,
 		srcColOf: make([]int, len(t.Cols)),
-		srcByKey: in.labeledByKey,
 		nonKey:   len(src.Cols) - len(src.Key),
 	}
 	for i, name := range t.Cols {
@@ -43,19 +42,28 @@ func (in *Integrator) scorer(t *table.Table) *tupleScorer {
 	return s
 }
 
-// key returns the source-key string of an accumulator row.
-func (s *tupleScorer) key(r table.Row) string {
+// labeledRow resolves the labeled Source row an accumulator row aligns with.
+func (s *tupleScorer) labeledRow(r table.Row) (table.Row, bool) {
+	if s.in.useIDs {
+		k, ok := table.LookupIDKey(s.in.dict, r, s.keyIdx)
+		if !ok {
+			return nil, false
+		}
+		srow, ok := s.in.labeledByIDKey[k]
+		return srow, ok
+	}
 	k, ok := rowKeyAt(r, s.keyIdx)
 	if !ok {
-		return ""
+		return nil, false
 	}
-	return k
+	srow, ok := s.in.labeledByKey[k]
+	return srow, ok
 }
 
 // e computes E(srcRow, r) = (α−δ)/n with label-aware matching: a preserved
 // label matches the labeled source, a value over a label counts as an error.
 func (s *tupleScorer) e(r table.Row) float64 {
-	srow, ok := s.srcByKey[s.key(r)]
+	srow, ok := s.labeledRow(r)
 	if !ok {
 		return -1
 	}
@@ -163,13 +171,41 @@ func (in *Integrator) guardedSubsume(t *table.Table) *table.Table {
 	return out.DropDuplicates()
 }
 
+// rowGroup identifies one groupByKey bucket: an interned key tuple (ids set,
+// when the key's values are all known to the dictionary) or a canonical key
+// string. The string form also covers dictionary-unknown keys on the
+// interned path, so two distinct unknown keys never share a bucket — the
+// bucketing must match the reference's string equivalence classes exactly,
+// because group boundaries and order shape the output rows.
+type rowGroup struct {
+	s   string
+	id  table.IDKey
+	ids bool
+}
+
+// groupKey buckets an accumulator row by its key under the scorer's active
+// representation; rows with a null key share the zero group (the reference's
+// "" bucket).
+func (s *tupleScorer) groupKey(r table.Row) rowGroup {
+	if s.in.useIDs {
+		if k, ok := table.LookupIDKey(s.in.dict, r, s.keyIdx); ok {
+			return rowGroup{id: k, ids: true}
+		}
+	}
+	k, ok := rowKeyAt(r, s.keyIdx)
+	if !ok {
+		return rowGroup{}
+	}
+	return rowGroup{s: k}
+}
+
 // groupByKey splits rows by source key, preserving first-seen key order;
-// rows with no source key are kept under "".
-func groupByKey(t *table.Table, s *tupleScorer) (map[string][]table.Row, []string) {
-	groups := make(map[string][]table.Row)
-	var order []string
+// rows with no source key are kept under the zero group.
+func groupByKey(t *table.Table, s *tupleScorer) (map[rowGroup][]table.Row, []rowGroup) {
+	groups := make(map[rowGroup][]table.Row)
+	var order []rowGroup
 	for _, r := range t.Rows {
-		k := s.key(r)
+		k := s.groupKey(r)
 		if _, ok := groups[k]; !ok {
 			order = append(order, k)
 		}

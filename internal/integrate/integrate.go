@@ -19,35 +19,71 @@ import (
 // Integrator reclaims one Source Table from sets of originating tables. It
 // is stateful only for label identities, so one Integrator must be used for
 // one Source.
+//
+// When built with a value dictionary (NewWith), every source-key lookup —
+// srcByKey / labeledByKey membership, labeling slots, the guards' row
+// grouping — runs on interned [arity]uint32 key tuples instead of built key
+// strings; New keeps the canonical-string path as the reference. The two are
+// equivalence-tested to produce bit-identical reclaimed tables.
 type Integrator struct {
 	src *table.Table
 	// labeledSrc is the Source with its nulls replaced by labels, so EIS
 	// evaluation rewards preserving a correct null and penalizes filling it.
 	labeledSrc *table.Table
 	labels     map[string]int64
+	labelsID   map[labelSlot]int64
 	labelOf    map[int64]bool
 	nextID     int64
+	// dict, when non-nil (and the key arity fits table.MaxInternKeyArity),
+	// switches key addressing to interned ID tuples.
+	dict   table.Interner
+	useIDs bool
 	// srcByKey indexes the Source's rows by canonical key. It is built once
 	// here and shared by every labeling pass and key-membership check —
 	// Reclaim calls labelSourceNulls on every union step, which used to
-	// rebuild this map each time.
-	srcByKey map[string]table.Row
+	// rebuild this map each time. Exactly one of the str/ID pairs is built.
+	srcByKey   map[string]table.Row
+	srcByIDKey map[table.IDKey]table.Row
 	// labeledByKey is srcByKey over labeledSrc, for the tuple scorer's
 	// label-aware comparisons (guards.go); likewise built once.
-	labeledByKey map[string]table.Row
+	labeledByKey   map[string]table.Row
+	labeledByIDKey map[table.IDKey]table.Row
+}
+
+// labelSlot addresses a (source key, column name) slot on the interned path.
+type labelSlot struct {
+	key table.IDKey
+	col string
 }
 
 // New prepares an Integrator for the given Source Table (which must have a
-// key).
-func New(src *table.Table) *Integrator {
+// key), keyed by canonical strings — the reference path.
+func New(src *table.Table) *Integrator { return NewWith(src, nil) }
+
+// NewWith is New with an optional value dictionary: when non-nil, key
+// lookups run on interned ID tuples. The Source's key values are interned
+// here; originating-table values unknown to the dictionary provably key no
+// Source row, so lookups misses mean exactly what they mean on strings.
+func NewWith(src *table.Table, dict table.Interner) *Integrator {
 	in := &Integrator{
-		src:      src,
-		labels:   make(map[string]int64),
-		labelOf:  make(map[int64]bool),
-		srcByKey: rowsByKey(src),
+		src:     src,
+		labelOf: make(map[int64]bool),
+	}
+	in.useIDs = dict != nil && len(src.Key) > 0 && len(src.Key) <= table.MaxInternKeyArity
+	if in.useIDs {
+		in.dict = dict
+		in.labelsID = make(map[labelSlot]int64)
+		in.srcByIDKey = rowsByIDKey(dict, src)
+	} else {
+		in.labels = make(map[string]int64)
+		in.srcByKey = rowsByKey(src)
 	}
 	in.labeledSrc = in.labelSourceNulls(src)
-	in.labeledByKey = rowsByKey(in.labeledSrc)
+	if in.useIDs {
+		in.labeledByIDKey = rowsByIDKey(dict, in.labeledSrc)
+	} else {
+		in.labeledByKey = rowsByKey(in.labeledSrc)
+	}
 	return in
 }
 
@@ -63,16 +99,73 @@ func rowsByKey(t *table.Table) map[string]table.Row {
 	return byKey
 }
 
+// rowsByIDKey is rowsByKey over interned ID tuples, interning the key values
+// (the table here is always the Source or its labeled twin, whose key cells
+// define the key space lookups are resolved against).
+func rowsByIDKey(d table.Interner, t *table.Table) map[table.IDKey]table.Row {
+	byKey := make(map[table.IDKey]table.Row, len(t.Rows))
+	for _, r := range t.Rows {
+		if k, ok := table.InternIDKey(d, r, t.Key); ok {
+			byKey[k] = r
+		}
+	}
+	return byKey
+}
+
+// slotRef carries a row's source-key identity to the labeler under either
+// key representation.
+type slotRef struct {
+	s  string
+	id table.IDKey
+}
+
+// alignRow resolves the Source row sharing r's key (cells at keyIdx), with
+// the slot reference labeling needs; ok is false when the key is null or
+// keys no Source row.
+func (in *Integrator) alignRow(r table.Row, keyIdx []int) (table.Row, slotRef, bool) {
+	if in.useIDs {
+		k, ok := table.LookupIDKey(in.dict, r, keyIdx)
+		if !ok {
+			return nil, slotRef{}, false
+		}
+		srow, ok := in.srcByIDKey[k]
+		if !ok {
+			return nil, slotRef{}, false
+		}
+		return srow, slotRef{id: k}, true
+	}
+	key, ok := rowKeyAt(r, keyIdx)
+	if !ok {
+		return nil, slotRef{}, false
+	}
+	srow, ok := in.srcByKey[key]
+	if !ok {
+		return nil, slotRef{}, false
+	}
+	return srow, slotRef{s: key}, true
+}
+
 // label returns the stable label for a (source key, column name) slot: the
 // same slot gets the same label in every table, so labeled tuples still
 // deduplicate, subsume and complement consistently.
-func (in *Integrator) label(rowKey, col string) table.Value {
-	slot := rowKey + "\x02" + col
-	id, ok := in.labels[slot]
+func (in *Integrator) label(slot slotRef, col string) table.Value {
+	if in.useIDs {
+		ls := labelSlot{key: slot.id, col: col}
+		id, ok := in.labelsID[ls]
+		if !ok {
+			in.nextID++
+			id = in.nextID
+			in.labelsID[ls] = id
+			in.labelOf[id] = true
+		}
+		return table.Label(id)
+	}
+	s := slot.s + "\x02" + col
+	id, ok := in.labels[s]
 	if !ok {
 		in.nextID++
 		id = in.nextID
-		in.labels[slot] = id
+		in.labels[s] = id
 		in.labelOf[id] = true
 	}
 	return table.Label(id)
@@ -86,7 +179,18 @@ func (in *Integrator) label(rowKey, col string) table.Value {
 // tables carry the key. It also returns nil when nothing of the Source's
 // schema or key set remains.
 func (in *Integrator) ProjectSelect(t *table.Table) *table.Table {
-	return projectSelectKeyed(in.src, in.srcByKey, t)
+	p := t.Project(in.src.Cols...)
+	if len(p.Cols) == 0 || len(p.Rows) == 0 || !p.HasCols(in.src.KeyCols()...) {
+		return nil
+	}
+	return selectKeyed(in.src, p, in.hasSrcKey)
+}
+
+// hasSrcKey reports whether a row (key cells at keyIdx) keys a Source row,
+// under the Integrator's active key representation.
+func (in *Integrator) hasSrcKey(r table.Row, keyIdx []int) bool {
+	_, _, ok := in.alignRow(r, keyIdx)
+	return ok
 }
 
 // ProjectSelect is the one-shot form of Integrator.ProjectSelect for callers
@@ -104,23 +208,20 @@ func ProjectSelect(src, t *table.Table) *table.Table {
 		p.Key = nil
 		return p.DropDuplicates()
 	}
-	return selectKeyed(src, rowsByKey(src), p)
-}
-
-// projectSelectKeyed is the shared kernel: projection onto the Source's
-// columns, then key-membership selection against a prebuilt source-key
-// index. Key-less tables yield nil.
-func projectSelectKeyed(src *table.Table, srcByKey map[string]table.Row, t *table.Table) *table.Table {
-	p := t.Project(src.Cols...)
-	if len(p.Cols) == 0 || len(p.Rows) == 0 || !p.HasCols(src.KeyCols()...) {
-		return nil
-	}
-	return selectKeyed(src, srcByKey, p)
+	srcByKey := rowsByKey(src)
+	return selectKeyed(src, p, func(r table.Row, keyIdx []int) bool {
+		key, ok := rowKeyAt(r, keyIdx)
+		if !ok {
+			return false
+		}
+		_, hit := srcByKey[key]
+		return hit
+	})
 }
 
 // selectKeyed keeps the rows of an already-projected table whose key values
-// appear in the source-key index.
-func selectKeyed(src *table.Table, srcByKey map[string]table.Row, p *table.Table) *table.Table {
+// appear in the Source, per the supplied membership check.
+func selectKeyed(src *table.Table, p *table.Table, member func(r table.Row, keyIdx []int) bool) *table.Table {
 	p.Key = nil
 	keyIdx := make([]int, len(src.Key))
 	for i, k := range src.Key {
@@ -128,11 +229,7 @@ func selectKeyed(src *table.Table, srcByKey map[string]table.Row, p *table.Table
 	}
 	sel := table.New(p.Name, p.Cols...)
 	for _, r := range p.Rows {
-		key, ok := rowKeyAt(r, keyIdx)
-		if !ok {
-			continue
-		}
-		if _, hit := srcByKey[key]; hit {
+		if member(r, keyIdx) {
 			sel.Rows = append(sel.Rows, r)
 		}
 	}
@@ -244,12 +341,7 @@ func (in *Integrator) labelSourceNulls(t *table.Table) *table.Table {
 	out := table.New(t.Name, t.Cols...)
 	out.Key = append([]int(nil), t.Key...)
 	for _, r := range t.Rows {
-		key, ok := rowKeyAt(r, keyIdx)
-		if !ok {
-			out.Rows = append(out.Rows, r.Clone())
-			continue
-		}
-		srow, ok := in.srcByKey[key]
+		srow, slot, ok := in.alignRow(r, keyIdx)
 		if !ok {
 			out.Rows = append(out.Rows, r.Clone())
 			continue
@@ -257,7 +349,7 @@ func (in *Integrator) labelSourceNulls(t *table.Table) *table.Table {
 		nr := r.Clone()
 		for i := range nr {
 			if sc := srcColOf[i]; sc >= 0 && nr[i].IsNull() && srow[sc].IsNull() {
-				nr[i] = in.label(key, t.Cols[i])
+				nr[i] = in.label(slot, t.Cols[i])
 			}
 		}
 		out.Rows = append(out.Rows, nr)

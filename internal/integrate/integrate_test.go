@@ -194,9 +194,9 @@ func TestReclaimLeavesNoLabels(t *testing.T) {
 
 func TestLabelStability(t *testing.T) {
 	in := New(source())
-	a := in.label("k1", "Gender")
-	b := in.label("k1", "Gender")
-	c := in.label("k2", "Gender")
+	a := in.label(slotRef{s: "k1"}, "Gender")
+	b := in.label(slotRef{s: "k1"}, "Gender")
+	c := in.label(slotRef{s: "k2"}, "Gender")
 	if !a.Equal(b) {
 		t.Error("same slot must get the same label")
 	}

@@ -1,0 +1,126 @@
+package integrate
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"gent/internal/table"
+)
+
+// randomIntegrationCorpus builds a random keyed source and originating
+// tables covering the regimes integration must handle: missing columns,
+// nulls over source nulls (label slots), contradictions, duplicate rows,
+// foreign and null keys, and numeric-text spellings of the same number.
+func randomIntegrationCorpus(rng *rand.Rand) (*table.Table, []*table.Table) {
+	nCols := 3 + rng.Intn(3)
+	cols := make([]string, nCols)
+	for i := range cols {
+		cols[i] = fmt.Sprintf("c%d", i)
+	}
+	src := table.New("S", cols...)
+	src.Key = []int{0}
+	nRows := 4 + rng.Intn(8)
+	for r := 0; r < nRows; r++ {
+		row := make([]table.Value, nCols)
+		row[0] = table.S(fmt.Sprintf("k%d", r))
+		for c := 1; c < nCols; c++ {
+			switch rng.Intn(5) {
+			case 0:
+				row[c] = table.Null
+			case 1:
+				row[c] = table.N(float64(r*7 + c))
+			default:
+				row[c] = table.S(fmt.Sprintf("v%d_%d", r, c))
+			}
+		}
+		src.AddRow(row...)
+	}
+
+	nOrigs := 2 + rng.Intn(4)
+	origs := make([]*table.Table, 0, nOrigs)
+	for i := 0; i < nOrigs; i++ {
+		keep := []int{0}
+		for c := 1; c < nCols; c++ {
+			if rng.Intn(3) != 0 {
+				keep = append(keep, c)
+			}
+		}
+		names := make([]string, len(keep))
+		for j, c := range keep {
+			names[j] = cols[c]
+		}
+		o := table.New(fmt.Sprintf("O%d", i), names...)
+		for r := 0; r < nRows; r++ {
+			if rng.Intn(4) == 0 {
+				continue
+			}
+			copies := 1 + rng.Intn(2)
+			for d := 0; d < copies; d++ {
+				row := make([]table.Value, len(keep))
+				for j, c := range keep {
+					v := src.Rows[r][c]
+					switch {
+					case c == 0 && rng.Intn(10) == 0:
+						row[j] = table.S("foreign")
+					case c == 0 && rng.Intn(12) == 0:
+						row[j] = table.Null
+					case c == 0:
+						row[j] = v
+					case rng.Intn(4) == 0:
+						row[j] = table.Null
+					case rng.Intn(5) == 0:
+						row[j] = table.S("wrong" + fmt.Sprint(rng.Intn(4)))
+					case v.Kind == table.KindNumber && rng.Intn(3) == 0:
+						row[j] = table.Parse(fmt.Sprintf("%v.0", v.Num))
+					default:
+						row[j] = v
+					}
+				}
+				o.Rows = append(o.Rows, row)
+			}
+		}
+		origs = append(origs, o)
+	}
+	return src, origs
+}
+
+// TestIntegrateInternedMatchesReference is the interned key path's
+// equivalence oracle: with a dictionary supplied — fresh, or preloaded with
+// every originating value as the pipeline's lake dictionary is — Reclaim
+// must produce a bit-identical table (columns, rows, row order) to the
+// canonical-string reference, and ProjectSelect must agree row for row.
+func TestIntegrateInternedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 40; trial++ {
+		src, origs := randomIntegrationCorpus(rng)
+		preloaded := table.NewDict()
+		for _, o := range origs {
+			table.InternTable(preloaded, o)
+		}
+		want := New(src).Reclaim(origs)
+		for di, dict := range []*table.Dict{table.NewDict(), preloaded} {
+			got := NewWith(src, dict).Reclaim(origs)
+			if !reflect.DeepEqual(got.Cols, want.Cols) {
+				t.Fatalf("trial %d dict %d: columns %v vs %v", trial, di, got.Cols, want.Cols)
+			}
+			if !reflect.DeepEqual(got.Rows, want.Rows) {
+				t.Fatalf("trial %d dict %d: reclaimed rows diverged\ninterned:\n%s\nreference:\n%s",
+					trial, di, got, want)
+			}
+		}
+
+		in := NewWith(src, table.NewDict())
+		ref := New(src)
+		for i, o := range origs {
+			a, b := in.ProjectSelect(o), ref.ProjectSelect(o)
+			if (a == nil) != (b == nil) {
+				t.Fatalf("trial %d orig %d: ProjectSelect nil divergence", trial, i)
+			}
+			if a != nil && !reflect.DeepEqual(a.Rows, b.Rows) {
+				t.Fatalf("trial %d orig %d: ProjectSelect rows diverged", trial, i)
+			}
+		}
+	}
+}

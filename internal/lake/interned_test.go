@@ -1,0 +1,115 @@
+package lake
+
+import (
+	"sync"
+	"testing"
+
+	"gent/internal/table"
+)
+
+func internedLake() *Lake {
+	l := New()
+	a := table.New("a", "x")
+	a.AddRow(table.S("one"))
+	a.AddRow(table.S("two"))
+	l.Add(a)
+	b := table.New("b", "y")
+	b.AddRow(table.S("two"))
+	b.AddRow(table.N(3))
+	l.Add(b)
+	return l
+}
+
+func TestLakeInterningIsSharedAndCached(t *testing.T) {
+	l := internedLake()
+	ia := l.Interned("a")
+	ib := l.Interned("b")
+	if ia == nil || ib == nil {
+		t.Fatal("interned forms missing")
+	}
+	// "two" appears in both tables: one dictionary entry, one ID.
+	if ia.Cols[0][1] != ib.Cols[0][0] {
+		t.Error("shared value interned under two IDs")
+	}
+	if l.Interned("a") != ia {
+		t.Error("interned form not cached")
+	}
+	if l.Interned("nope") != nil {
+		t.Error("unknown table must intern to nil")
+	}
+
+	// Replacing a table invalidates only its cached form; IDs stay stable.
+	before := l.Dict().Len()
+	a2 := table.New("a", "x")
+	a2.AddRow(table.S("one"))
+	a2.AddRow(table.S("fresh"))
+	l.Add(a2)
+	ia2 := l.Interned("a")
+	if ia2 == ia {
+		t.Fatal("stale interned form served after table replacement")
+	}
+	if l.Dict().Len() != before+1 {
+		t.Errorf("dictionary grew by %d, want 1 (append-only)", l.Dict().Len()-before)
+	}
+	if ia2.Cols[0][0] != ia.Cols[0][0] {
+		t.Error("re-interning changed a stable ID")
+	}
+	l.Remove("b")
+	if l.Interned("b") != nil {
+		t.Error("removed table still interned")
+	}
+}
+
+func TestLakeConcurrentInterned(t *testing.T) {
+	l := internedLake()
+	var wg sync.WaitGroup
+	forms := make([]*table.Interned, 8)
+	for i := range forms {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			forms[i] = l.Interned("a")
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(forms); i++ {
+		if forms[i] != forms[0] {
+			t.Fatal("concurrent Interned returned different forms")
+		}
+	}
+}
+
+func TestSubsetSharing(t *testing.T) {
+	l := internedLake()
+	l.EnsureInterned()
+	p := l.SubsetSharing([]string{"b", "ghost", "b"})
+	if p.Len() != 1 || p.Get("b") == nil {
+		t.Fatalf("subset wrong: %v", p.Names())
+	}
+	if p.Dict() != l.Dict() {
+		t.Error("subset must share the parent dictionary")
+	}
+	if p.Interned("b") != l.Interned("b") {
+		t.Error("subset must share cached interned forms")
+	}
+}
+
+func TestAdoptDictPrefixCompatibility(t *testing.T) {
+	l := internedLake()
+	l.EnsureInterned()
+	snap, err := table.NewDictFromSnapshot(l.Dict().Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A snapshot of this lake's dictionary is prefix-compatible even though
+	// the lake is already interned.
+	if err := l.AdoptDict(snap); err != nil {
+		t.Fatalf("prefix-compatible adoption failed: %v", err)
+	}
+	// A diverged dictionary is refused.
+	other := table.NewDict()
+	other.InternValue(table.S("divergent"))
+	if err := l.AdoptDict(other); err == nil {
+		t.Fatal("diverged dictionary adopted into an interned lake")
+	}
+}

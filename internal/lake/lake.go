@@ -1,9 +1,16 @@
 // Package lake implements the data lake substrate: a catalog of autonomous,
 // key-less, metadata-unreliable tables, with an in-memory store, a CSV
 // directory backend, and the corpus statistics the paper reports in Table I.
+//
+// Every lake owns a table.Dict — the lake-wide value dictionary — and caches
+// an interned (columnar ID) form of each table. Interning happens once, the
+// first time a substrate build asks for it (or eagerly via EnsureInterned),
+// and every later index build, discovery probe or alignment runs on the
+// cached IDs instead of re-hashing value strings.
 package lake
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -19,20 +26,34 @@ import (
 type Lake struct {
 	byName map[string]*table.Table
 	names  []string // insertion order, for deterministic iteration
+
+	// im guards the value dictionary and the per-table interned forms.
+	im       sync.Mutex
+	dict     *table.Dict
+	interned map[string]*table.Interned
 }
 
-// New returns an empty lake.
+// New returns an empty lake with a fresh value dictionary.
 func New() *Lake {
-	return &Lake{byName: make(map[string]*table.Table)}
+	return &Lake{
+		byName:   make(map[string]*table.Table),
+		dict:     table.NewDict(),
+		interned: make(map[string]*table.Interned),
+	}
 }
 
 // Add registers a table; re-adding a name replaces the previous table (lakes
-// are autonomous — tables change under us).
+// are autonomous — tables change under us) and drops its cached interned
+// form. Dictionary entries are never removed (IDs are stable), so stale
+// values merely keep their IDs.
 func (l *Lake) Add(t *table.Table) {
 	if _, exists := l.byName[t.Name]; !exists {
 		l.names = append(l.names, t.Name)
 	}
 	l.byName[t.Name] = t
+	l.im.Lock()
+	delete(l.interned, t.Name)
+	l.im.Unlock()
 }
 
 // Get returns the named table, or nil.
@@ -65,6 +86,149 @@ func (l *Lake) Remove(name string) {
 			break
 		}
 	}
+	l.im.Lock()
+	delete(l.interned, name)
+	l.im.Unlock()
+}
+
+// Dict returns the lake's value dictionary.
+func (l *Lake) Dict() *table.Dict {
+	l.im.Lock()
+	defer l.im.Unlock()
+	return l.dict
+}
+
+// EnsureInterned interns every table that has no cached interned form yet,
+// in name insertion order. It is idempotent and safe for concurrent use;
+// substrate builds call it once up front so per-table scans afterwards are
+// lock-free reads of immutable forms.
+func (l *Lake) EnsureInterned() {
+	l.im.Lock()
+	defer l.im.Unlock()
+	l.ensureInternedLocked()
+}
+
+// ensureInternedLocked runs the deterministic two-phase intern: tables
+// pre-intern against private scratch dictionaries on a worker pool (the
+// dominant cost — hashing every cell — parallelizes), then merge into the
+// shared dictionary serially in name order, which assigns exactly the IDs a
+// fully serial pass would have.
+func (l *Lake) ensureInternedLocked() {
+	missing := make([]string, 0)
+	for _, n := range l.names {
+		if _, ok := l.interned[n]; !ok {
+			missing = append(missing, n)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	pres := make([]*table.PreInterned, len(missing))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(missing) {
+		workers = len(missing)
+	}
+	if workers <= 1 {
+		for i, n := range missing {
+			pres[i] = table.PreInternTable(l.byName[n])
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					pres[i] = table.PreInternTable(l.byName[missing[i]])
+				}
+			}()
+		}
+		for i := range missing {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for i, n := range missing {
+		l.interned[n] = pres[i].Merge(l.dict)
+	}
+}
+
+// Interned returns the interned form of the named table, interning any
+// not-yet-interned tables first; nil when the table is absent.
+func (l *Lake) Interned(name string) *table.Interned {
+	l.im.Lock()
+	defer l.im.Unlock()
+	if it, ok := l.interned[name]; ok {
+		return it
+	}
+	l.ensureInternedLocked()
+	return l.interned[name]
+}
+
+// ErrDictMismatch reports that an adopted dictionary does not cover the
+// lake's values — the persisted indexes keyed under it would silently miss
+// those values, so callers must rebuild.
+var ErrDictMismatch = errors.New("lake: values missing from adopted dictionary")
+
+// AdoptDict makes the lake compatible with a persisted dictionary, so
+// persisted ID-keyed indexes stay meaningful over this lake. If the lake has
+// not interned anything yet, d becomes the lake's dictionary and every table
+// is interned against it; ErrDictMismatch reports lake values d has never
+// seen — the persisted indexes would silently miss them, so callers should
+// rebuild (the lake stays consistent: the dictionary only grew). If the lake
+// is already interned, adoption succeeds exactly when d is a prefix of the
+// lake's dictionary (a snapshot of it, as a set persisted from this very
+// lake is) — every persisted ID already means the same value here and the
+// lake's own dictionary remains authoritative; use Dict() for lookups after
+// a successful adoption.
+func (l *Lake) AdoptDict(d *table.Dict) error {
+	l.im.Lock()
+	defer l.im.Unlock()
+	if len(l.interned) > 0 || l.dict.Len() > 0 {
+		if d.PrefixOf(l.dict) {
+			return nil
+		}
+		return fmt.Errorf("%w: lake interned under a diverged dictionary", ErrDictMismatch)
+	}
+	l.dict = d
+	baseline := d.Len()
+	l.ensureInternedLocked()
+	if grown := d.Len() - baseline; grown > 0 {
+		return fmt.Errorf("%w: %d lake values absent", ErrDictMismatch, grown)
+	}
+	return nil
+}
+
+// SubsetSharing returns a lake over the named subset of l's tables that
+// shares l's dictionary and interned forms — the pool shape first-stage
+// retrieval hands to Set Similarity, where IDs must keep meaning the same
+// values as in the full lake's index. Unknown and duplicate names are
+// skipped.
+func (l *Lake) SubsetSharing(names []string) *Lake {
+	l.im.Lock()
+	defer l.im.Unlock()
+	p := &Lake{
+		byName:   make(map[string]*table.Table, len(names)),
+		dict:     l.dict,
+		interned: make(map[string]*table.Interned, len(names)),
+	}
+	for _, n := range names {
+		t := l.byName[n]
+		if t == nil {
+			continue
+		}
+		if _, dup := p.byName[n]; dup {
+			continue
+		}
+		p.byName[n] = t
+		p.names = append(p.names, n)
+		if it, ok := l.interned[n]; ok {
+			p.interned[n] = it
+		}
+	}
+	return p
 }
 
 // LoadDir reads every *.csv file under dir (recursively) into a lake,

@@ -124,6 +124,45 @@ func TestTraverseMatchesReference(t *testing.T) {
 	}
 }
 
+// TestTraverseInternedMatchesReference is the interned key path's
+// equivalence oracle: with a value dictionary supplied (fresh, or pre-loaded
+// with the corpus as the pipeline's shared lake dictionary is), the engine's
+// pick sequence must be bit-identical to the string-keyed reference, on both
+// encodings and with serial and parallel pools.
+func TestTraverseInternedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 60; trial++ {
+		src, cands := randomCorpus(rng)
+		// preloaded mimics the lake dictionary: every candidate value already
+		// interned before traversal begins.
+		preloaded := table.NewDict()
+		for _, c := range cands {
+			table.InternTable(preloaded, c)
+		}
+		for _, enc := range []Encoding{ThreeValued, TwoValued} {
+			want := TraverseReference(src, cands, enc)
+			for _, dict := range []*table.Dict{table.NewDict(), preloaded} {
+				for _, workers := range []int{1, 4} {
+					got := TraverseWith(src, cands, enc, TraverseOptions{Workers: workers, Dict: dict})
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("trial %d enc %d workers %d: interned picks = %v, reference = %v",
+							trial, enc, workers, got, want)
+					}
+				}
+			}
+			// The interned matrices themselves must code identically.
+			ids := NewShapeWith(src, table.NewDict())
+			strs := NewShape(src)
+			for ci, c := range cands {
+				a, b := FromTable(ids, c, enc), FromTable(strs, c, enc)
+				if !reflect.DeepEqual(a.rows, b.rows) {
+					t.Fatalf("trial %d enc %d cand %d: interned matrix diverged", trial, enc, ci)
+				}
+			}
+		}
+	}
+}
+
 // TestDeltaScorerMatchesMaterialized pins the engine's core invariant: for
 // any engine state, scoreCand is bit-identical to materializing
 // Combine(combined, m) and evaluating EIS.
@@ -139,7 +178,7 @@ func TestDeltaScorerMatchesMaterialized(t *testing.T) {
 			for i, c := range cands {
 				mats[i] = FromTable(shape, c, enc)
 			}
-			e := newEngine(context.Background(), src, cands, enc, 1)
+			e := newEngine(context.Background(), src, cands, enc, 1, nil)
 			e.reset(&e.cands[0])
 			combined := mats[0]
 			// Advance both by absorbing a random prefix of candidates.
@@ -147,7 +186,7 @@ func TestDeltaScorerMatchesMaterialized(t *testing.T) {
 				e.absorb(&e.cands[i])
 				combined = Combine(combined, mats[i])
 			}
-			scratch := make([]float64, len(e.keyOf))
+			scratch := make([]float64, e.numKeys)
 			copy(scratch, e.contrib)
 			for i := range cands {
 				want := Combine(combined, mats[i]).EIS()
@@ -191,7 +230,7 @@ func TestCachedADMatchesRescan(t *testing.T) {
 							}
 						}
 						if tp.ad != ad {
-							t.Fatalf("trial %d key %q: cached α−δ %d != rescan %d", trial, k, tp.ad, ad)
+							t.Fatalf("trial %d key %d: cached α−δ %d != rescan %d", trial, k, tp.ad, ad)
 						}
 					}
 				}

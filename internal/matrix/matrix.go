@@ -12,6 +12,13 @@
 // current combined matrix — losing candidates never materialize a merged
 // matrix. The engine is pick-for-pick identical to the retained
 // materialize-and-rescan reference implementation (TraverseReference).
+//
+// Matrices address aligned tuples by dense source-key id. Mapping a
+// candidate row's key tuple onto those ids runs, when the shape carries a
+// value dictionary (TraverseOptions.Dict), on interned [arity]uint32 ID
+// tuples — no key string is ever built; without a dictionary the original
+// canonical-string row keys are used. The two key paths are
+// equivalence-tested to pick identically.
 package matrix
 
 import (
@@ -32,36 +39,116 @@ const (
 	TwoValued
 )
 
-// Shape carries the Source Table facts every matrix shares.
+// Shape carries the Source Table facts every matrix shares, including the
+// dense source-key id space matrices are addressed by.
 type Shape struct {
 	Src *table.Table
 	// isKey flags the Source's key columns, column-aligned with Src.Cols.
 	isKey  []bool
 	nonKey int
-	// keys lists each source row's canonical key, row-aligned with Src.Rows.
-	keys []string
-	// srcByKey maps each canonical key to its source row index — built once
-	// per shape so FromTable does not rebuild it per candidate.
-	srcByKey map[string]int
+	// dict, when non-nil, keys candidate-row alignment by interned ID tuples
+	// (keys wider than table.MaxInternKeyArity fall back to strings).
+	dict   table.Interner
+	useIDs bool
+	// rowKeyID maps each source row to its dense key id, -1 when the row's
+	// key contains a null (such rows align with nothing).
+	rowKeyID []int
+	// repRow maps each dense key id to its representative source row (the
+	// last row carrying that key, matching the historical map-overwrite
+	// semantics the equivalence tests pin).
+	repRow []int
+	// byStr / byIDs map a row's key to its dense id — exactly one is built.
+	byStr map[string]int
+	byIDs map[table.IDKey]int
 }
 
 // NewShape prepares the matrix shape for a Source Table, which must have a
-// key.
-func NewShape(src *table.Table) *Shape {
+// key, using canonical-string row keys (the reference path).
+func NewShape(src *table.Table) *Shape { return NewShapeWith(src, nil) }
+
+// NewShapeWith is NewShape with an optional value dictionary; when non-nil
+// (and the key arity fits table.MaxInternKeyArity) candidate alignment runs
+// on interned ID tuples. Source key values are interned here, so candidate
+// values unknown to the dictionary provably match no source key.
+func NewShapeWith(src *table.Table, dict table.Interner) *Shape {
 	s := &Shape{Src: src, isKey: make([]bool, len(src.Cols))}
 	for _, k := range src.Key {
 		s.isKey[k] = true
 	}
 	s.nonKey = len(src.Cols) - len(src.Key)
-	s.keys = make([]string, len(src.Rows))
-	s.srcByKey = make(map[string]int, len(src.Rows))
-	for i, r := range src.Rows {
-		s.keys[i] = src.RowKey(r)
-		if s.keys[i] != "" {
-			s.srcByKey[s.keys[i]] = i
+	s.useIDs = dict != nil && len(src.Key) > 0 && len(src.Key) <= table.MaxInternKeyArity
+	if s.useIDs {
+		s.dict = dict
+	}
+	s.rowKeyID = make([]int, len(src.Rows))
+	if s.useIDs {
+		s.byIDs = make(map[table.IDKey]int, len(src.Rows))
+		for i, r := range src.Rows {
+			k, ok := table.InternIDKey(dict, r, src.Key)
+			if !ok {
+				s.rowKeyID[i] = -1
+				continue
+			}
+			id, seen := s.byIDs[k]
+			if !seen {
+				id = len(s.repRow)
+				s.byIDs[k] = id
+				s.repRow = append(s.repRow, i)
+			} else {
+				s.repRow[id] = i
+			}
+			s.rowKeyID[i] = id
 		}
+		return s
+	}
+	s.byStr = make(map[string]int, len(src.Rows))
+	for i, r := range src.Rows {
+		k := src.RowKey(r)
+		if k == "" {
+			s.rowKeyID[i] = -1
+			continue
+		}
+		id, seen := s.byStr[k]
+		if !seen {
+			id = len(s.repRow)
+			s.byStr[k] = id
+			s.repRow = append(s.repRow, i)
+		} else {
+			s.repRow[id] = i
+		}
+		s.rowKeyID[i] = id
 	}
 	return s
+}
+
+// numKeys returns the size of the dense source-key id space.
+func (s *Shape) numKeys() int { return len(s.repRow) }
+
+// candKeyID maps a candidate row to its dense source-key id; ok is false
+// when the row's key contains a null or matches no source key.
+func (s *Shape) candKeyID(r table.Row, keyMap []int) (int, bool) {
+	if s.useIDs {
+		var k table.IDKey
+		for j, ci := range keyMap {
+			v := r[ci]
+			if v.Kind == table.KindNull {
+				return 0, false
+			}
+			vid, ok := s.dict.LookupValue(v)
+			if !ok {
+				return 0, false // never interned ⇒ equals no source key value
+			}
+			k[j] = vid
+		}
+		id, ok := s.byIDs[k]
+		return id, ok
+	}
+	key, ok := candKey(r, keyMap)
+	if !ok {
+		return 0, false
+	}
+	id, ok := s.byStr[key]
+	return id, ok
 }
 
 // tuple is one aligned coded tuple: the per-column codes of Equation 4 plus
@@ -75,11 +162,11 @@ type tuple struct {
 	ad int
 }
 
-// Matrix is the dictionary encoding of Section V-A3: each source key maps to
-// the list of aligned coded tuples.
+// Matrix is the dictionary encoding of Section V-A3: each dense source-key
+// id maps to the list of aligned coded tuples.
 type Matrix struct {
 	shape *Shape
-	rows  map[string][]tuple
+	rows  map[int][]tuple
 }
 
 // FromTable aligns a candidate table (already renamed to the Source schema
@@ -87,7 +174,7 @@ type Matrix struct {
 // Candidate rows whose key does not appear in the Source are ignored — they
 // can contribute nothing to reclamation.
 func FromTable(shape *Shape, cand *table.Table, enc Encoding) *Matrix {
-	m := &Matrix{shape: shape, rows: make(map[string][]tuple)}
+	m := &Matrix{shape: shape, rows: make(map[int][]tuple)}
 	src := shape.Src
 
 	// Column mapping: source column index -> candidate column index (-1 when
@@ -104,15 +191,11 @@ func FromTable(shape *Shape, cand *table.Table, enc Encoding) *Matrix {
 		}
 	}
 	for _, r := range cand.Rows {
-		key, ok := candKey(r, keyMap)
+		id, ok := shape.candKeyID(r, keyMap)
 		if !ok {
 			continue
 		}
-		si, ok := shape.srcByKey[key]
-		if !ok {
-			continue
-		}
-		srow := src.Rows[si]
+		srow := src.Rows[shape.repRow[id]]
 		code := make([]int8, len(src.Cols))
 		ad := 0
 		for j := range src.Cols {
@@ -143,7 +226,7 @@ func FromTable(shape *Shape, cand *table.Table, enc Encoding) *Matrix {
 				}
 			}
 		}
-		m.rows[key] = appendCoded(m.rows[key], tuple{code: code, ad: ad})
+		m.rows[id] = appendCoded(m.rows[id], tuple{code: code, ad: ad})
 	}
 	return m
 }
@@ -248,7 +331,7 @@ func combineKey(alist, blist []tuple, isKey []bool) []tuple {
 // the result never decreases relative to either input, which is what the
 // greedy traversal's soundness rests on.
 func Combine(a, b *Matrix) *Matrix {
-	out := &Matrix{shape: a.shape, rows: make(map[string][]tuple, len(a.rows)+len(b.rows))}
+	out := &Matrix{shape: a.shape, rows: make(map[int][]tuple, len(a.rows)+len(b.rows))}
 	for k, list := range a.rows {
 		if _, touched := b.rows[k]; !touched {
 			// Tuples and settled lists are immutable, so untouched keys are
@@ -317,7 +400,11 @@ func (m *Matrix) EIS() float64 {
 	}
 	sum := 0.0
 	for i := range src.Rows {
-		sum += m.shape.contribution(m.rows[m.shape.keys[i]])
+		var list []tuple
+		if id := m.shape.rowKeyID[i]; id >= 0 {
+			list = m.rows[id]
+		}
+		sum += m.shape.contribution(list)
 	}
 	return sum / float64(len(src.Rows))
 }

@@ -16,6 +16,11 @@ type TraverseOptions struct {
 	// greedy round's candidate scoring fan out over this many goroutines.
 	// <= 0 uses GOMAXPROCS.
 	Workers int
+	// Dict, when non-nil, is the value interner (the lake dictionary, or a
+	// query-scoped overlay over it): candidate-row alignment then runs on
+	// interned key-ID tuples instead of built key strings (see NewShapeWith).
+	// Picks are identical either way.
+	Dict table.Interner
 	// OnRound, when non-nil, is called after every greedy pick: round is
 	// 1-based (round 1 picks the start table), pick is the winning candidate
 	// index, and score is the simulated integration's EIS after absorbing it.
@@ -49,7 +54,7 @@ func TraverseContext(ctx context.Context, src *table.Table, cands []*table.Table
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	e := newEngine(ctx, src, cands, enc, opts.Workers)
+	e := newEngine(ctx, src, cands, enc, opts.Workers, opts.Dict)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -89,10 +94,12 @@ type engine struct {
 	onRound func(round, pick int, score float64)
 
 	// rowKey maps each source row to its dense key id, -1 when the row's key
-	// contains a null (such rows align with nothing).
+	// contains a null (such rows align with nothing). It aliases the shape's
+	// rowKeyID — matrices are keyed by the same dense ids, so the engine
+	// re-indexes nothing.
 	rowKey []int
-	// keyOf maps a dense key id back to the key string, in first-row order.
-	keyOf []string
+	// numKeys is the size of the dense key id space.
+	numKeys int
 
 	cands []candidate
 
@@ -102,7 +109,7 @@ type engine struct {
 	contrib []float64
 }
 
-func newEngine(ctx context.Context, src *table.Table, cands []*table.Table, enc Encoding, workers int) *engine {
+func newEngine(ctx context.Context, src *table.Table, cands []*table.Table, enc Encoding, workers int, dict table.Interner) *engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -113,25 +120,12 @@ func newEngine(ctx context.Context, src *table.Table, cands []*table.Table, enc 
 	if workers < 1 {
 		workers = 1
 	}
-	e := &engine{shape: NewShape(src), workers: workers, ctx: ctx, done: ctx.Done()}
+	e := &engine{shape: NewShapeWith(src, dict), workers: workers, ctx: ctx, done: ctx.Done()}
+	e.rowKey = e.shape.rowKeyID
+	e.numKeys = e.shape.numKeys()
 
-	keyIDs := make(map[string]int, len(e.shape.keys))
-	e.rowKey = make([]int, len(e.shape.keys))
-	for i, k := range e.shape.keys {
-		if k == "" {
-			e.rowKey[i] = -1
-			continue
-		}
-		id, ok := keyIDs[k]
-		if !ok {
-			id = len(e.keyOf)
-			keyIDs[k] = id
-			e.keyOf = append(e.keyOf, k)
-		}
-		e.rowKey[i] = id
-	}
-
-	// Encode every candidate concurrently, then re-index by key id.
+	// Encode every candidate concurrently; matrices arrive already keyed by
+	// dense source-key id.
 	mats := make([]*Matrix, len(cands))
 	e.forEach(len(cands), func(_, i int) {
 		mats[i] = FromTable(e.shape, cands[i], enc)
@@ -141,9 +135,9 @@ func newEngine(ctx context.Context, src *table.Table, cands []*table.Table, enc 
 		if m == nil {
 			continue // encoding aborted by cancellation; the caller bails out
 		}
-		c := candidate{lists: make([][]tuple, len(e.keyOf))}
-		for id, k := range e.keyOf {
-			if list, ok := m.rows[k]; ok {
+		c := candidate{lists: make([][]tuple, e.numKeys)}
+		for id := 0; id < e.numKeys; id++ {
+			if list, ok := m.rows[id]; ok {
 				c.lists[id] = list
 				c.touched = append(c.touched, id)
 			}
@@ -246,7 +240,7 @@ func (e *engine) traverse() ([]int, error) {
 	// full copies.
 	scratch := make([][]float64, e.workers)
 	for p := range scratch {
-		scratch[p] = make([]float64, len(e.keyOf))
+		scratch[p] = make([]float64, e.numKeys)
 		copy(scratch[p], e.contrib)
 	}
 	round := 1
@@ -312,9 +306,9 @@ func (e *engine) standalone(c *candidate) float64 {
 // reset starts the engine from the start candidate's raw lists (the
 // reference's `combined := mats[start]`), caching per-key contributions.
 func (e *engine) reset(c *candidate) {
-	e.combined = make([][]tuple, len(e.keyOf))
+	e.combined = make([][]tuple, e.numKeys)
 	copy(e.combined, c.lists)
-	e.contrib = make([]float64, len(e.keyOf))
+	e.contrib = make([]float64, e.numKeys)
 	for id, list := range e.combined {
 		e.contrib[id] = e.shape.contribution(list)
 	}

@@ -1,0 +1,143 @@
+package table
+
+import "sort"
+
+// Interned is the columnar ID form of a table: every cell mapped through a
+// Dict once, so the hot paths (index builds, overlap search, alignment)
+// operate on dense uint32 IDs instead of re-hashing canonical strings.
+// An Interned form is immutable after construction and row-aligned with its
+// table: Cols[c][r] corresponds to Table.Rows[r][c], so a Rename or Clone of
+// the table (which preserves row order) can keep using the same form.
+type Interned struct {
+	// Table is the table this form was interned from.
+	Table *Table
+	// Cols[c][r] is the dictionary ID of cell (r, c); NullID marks ⊥.
+	Cols [][]uint32
+	// sets[c] is the sorted distinct non-null ID set of column c.
+	sets [][]uint32
+}
+
+// InternTable maps every cell of t through d. Labeled nulls intern like any
+// other non-null value.
+func InternTable(d Interner, t *Table) *Interned {
+	it := &Interned{
+		Table: t,
+		Cols:  make([][]uint32, len(t.Cols)),
+		sets:  make([][]uint32, len(t.Cols)),
+	}
+	for c := range t.Cols {
+		it.Cols[c] = make([]uint32, len(t.Rows))
+	}
+	for ri, r := range t.Rows {
+		for c, v := range r {
+			it.Cols[c][ri] = d.InternValue(v)
+		}
+	}
+	for c := range t.Cols {
+		it.sets[c] = distinctSorted(it.Cols[c])
+	}
+	return it
+}
+
+// ColumnIDs returns the sorted distinct non-null IDs of column c — the ID
+// analogue of Table.ColumnSet. Callers must not mutate the returned slice.
+func (it *Interned) ColumnIDs(c int) []uint32 { return it.sets[c] }
+
+// PreInterned is a table interned against a private scratch dictionary: the
+// parallel half of a deterministic two-phase lake intern. Several tables can
+// pre-intern concurrently with no shared state; Merge then folds each into
+// the shared dictionary serially, in lake order, reproducing exactly the IDs
+// a fully serial InternTable pass would have assigned (both assign a value's
+// ID at its first occurrence in the same scan order).
+type PreInterned struct {
+	it *Interned
+	// entries is the scratch dictionary's snapshot: local ID i+1 ↔ entries[i].
+	entries []DictEntry
+}
+
+// PreInternTable interns t against a fresh private dictionary.
+func PreInternTable(t *Table) *PreInterned {
+	local := NewDict()
+	return &PreInterned{it: InternTable(local, t), entries: local.Snapshot()}
+}
+
+// Merge remaps the pre-interned form onto d — interning each distinct value
+// once — and returns the final form. A PreInterned is consumed by its Merge
+// and must not be reused.
+func (p *PreInterned) Merge(d *Dict) *Interned {
+	remap := make([]uint32, len(p.entries)+1) // remap[NullID] stays NullID
+	for i, e := range p.entries {
+		remap[i+1] = d.internEntry(e)
+	}
+	for _, col := range p.it.Cols {
+		for ri, id := range col {
+			col[ri] = remap[id]
+		}
+	}
+	for c, set := range p.it.sets {
+		for i, id := range set {
+			set[i] = remap[id] // distinct in, distinct out: remap is injective
+		}
+		sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+		p.it.sets[c] = set
+	}
+	return p.it
+}
+
+// distinctSorted returns the sorted distinct non-null IDs of a column.
+func distinctSorted(col []uint32) []uint32 {
+	out := make([]uint32, 0, len(col))
+	for _, id := range col {
+		if id != NullID {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	n := 0
+	for i, id := range out {
+		if i == 0 || id != out[n-1] {
+			out[n] = id
+			n++
+		}
+	}
+	return out[:n]
+}
+
+// IntersectIDs returns |a ∩ b| over two sorted distinct ID slices.
+func IntersectIDs(a, b []uint32) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// ContainsIDs reports a ⊇ b over two sorted distinct ID slices.
+func ContainsIDs(a, b []uint32) bool {
+	i := 0
+	for _, id := range b {
+		for i < len(a) && a[i] < id {
+			i++
+		}
+		if i >= len(a) || a[i] != id {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+// HasID reports membership of id in a sorted distinct ID slice.
+func HasID(a []uint32, id uint32) bool {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= id })
+	return i < len(a) && a[i] == id
+}

@@ -1,0 +1,160 @@
+package table
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// Interner is the value-interning capability the ID-based hot paths run on.
+// *Dict is the lake-wide implementation; *Overlay layers query-local
+// interning over a Dict so serving a query never grows the shared
+// dictionary. Implementations are safe for concurrent use and honor the same
+// equivalence classes as Value.Key.
+type Interner interface {
+	// InternValue returns v's ID, assigning one on first sight; nulls
+	// report NullID.
+	InternValue(v Value) uint32
+	// LookupValue returns v's ID without interning; ok is false when v's
+	// value class has never been seen.
+	LookupValue(v Value) (uint32, bool)
+}
+
+// overlayIDBit marks overlay-local IDs. The shared dictionary assigns dense
+// IDs from 1 and would need 2^31 distinct values to reach it, so base and
+// overlay ID spaces can never collide; an overlay ID means "a value class
+// this query introduced", which by construction overlaps nothing indexed.
+const overlayIDBit uint32 = 1 << 31
+
+// Overlay is a query-scoped Interner over a base Dict: lookups resolve
+// through the base first, and values the base has never seen get transient
+// high-bit IDs local to the overlay. Query sources routinely carry values
+// the lake lacks; interning them into the shared append-only Dict would grow
+// a long-lived session's memory without bound, so every query works against
+// its own throwaway overlay instead. Equality classes are exactly the merged
+// dictionary's — two values get the same ID through an Overlay iff they
+// would through one Dict — so the ID paths stay bit-identical to the string
+// reference.
+type Overlay struct {
+	base *Dict
+
+	mu     sync.RWMutex
+	strs   map[string]uint32
+	nums   map[uint64]uint32
+	labels map[int64]uint32
+	n      uint32
+}
+
+// NewOverlay returns an empty overlay over base.
+func NewOverlay(base *Dict) *Overlay {
+	return &Overlay{
+		base:   base,
+		strs:   make(map[string]uint32),
+		nums:   make(map[uint64]uint32),
+		labels: make(map[int64]uint32),
+	}
+}
+
+// find looks an entry up in the overlay's own maps under a held lock.
+func (o *Overlay) find(e DictEntry) (uint32, bool) {
+	switch e.Kind {
+	case KindString:
+		id, ok := o.strs[e.Str]
+		return id, ok
+	case KindNumber:
+		id, ok := o.nums[e.Bits]
+		return id, ok
+	default:
+		id, ok := o.labels[e.Label]
+		return id, ok
+	}
+}
+
+// InternValue implements Interner: base IDs win, unseen values get
+// overlay-local high-bit IDs.
+func (o *Overlay) InternValue(v Value) uint32 {
+	if v.Kind == KindNull {
+		return NullID
+	}
+	if id, ok := o.base.LookupValue(v); ok {
+		return id
+	}
+	e := entryOf(v)
+	o.mu.RLock()
+	id, ok := o.find(e)
+	o.mu.RUnlock()
+	if ok {
+		return id
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if id, ok := o.find(e); ok {
+		return id
+	}
+	o.n++
+	id = overlayIDBit | o.n
+	switch e.Kind {
+	case KindString:
+		o.strs[e.Str] = id
+	case KindNumber:
+		o.nums[e.Bits] = id
+	default:
+		o.labels[e.Label] = id
+	}
+	return id
+}
+
+// LookupValue implements Interner.
+func (o *Overlay) LookupValue(v Value) (uint32, bool) {
+	if v.Kind == KindNull {
+		return NullID, true
+	}
+	if id, ok := o.base.LookupValue(v); ok {
+		return id, true
+	}
+	e := entryOf(v)
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	return o.find(e)
+}
+
+// Fingerprint summarizes the dictionary's entries in ID order. Two
+// dictionaries share a fingerprint only if they assign every ID identically,
+// which is what the persisted substrates check at load time to fail loudly
+// on a dict/index file mismatch (e.g. a torn save). The hash is memoized
+// against the entry count — valid because entries are append-only — so
+// repeated checks (each substrate of a loaded IndexSet) pay for one pass.
+func (d *Dict) Fingerprint() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.fpLen != len(d.entries) {
+		d.fp = FingerprintSnapshot(d.entries)
+		d.fpLen = len(d.entries)
+	}
+	return d.fp
+}
+
+// FingerprintSnapshot is Fingerprint over an explicit Snapshot, for callers
+// that must pin one consistent view across several writes.
+func FingerprintSnapshot(entries []DictEntry) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(x >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, e := range entries {
+		h.Write([]byte{byte(e.Kind)})
+		switch e.Kind {
+		case KindString:
+			put(uint64(len(e.Str)))
+			h.Write([]byte(e.Str))
+		case KindNumber:
+			put(e.Bits)
+		default:
+			put(uint64(e.Label))
+		}
+	}
+	return h.Sum64()
+}

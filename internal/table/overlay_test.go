@@ -1,0 +1,71 @@
+package table
+
+import "testing"
+
+func TestOverlayKeepsBaseClean(t *testing.T) {
+	base := NewDict()
+	known := base.InternValue(S("known"))
+	baseLen := base.Len()
+
+	ov := NewOverlay(base)
+	if got := ov.InternValue(S("known")); got != known {
+		t.Fatalf("overlay returned %d for a base value, want %d", got, known)
+	}
+	novel := ov.InternValue(S("novel"))
+	if novel&overlayIDBit == 0 {
+		t.Fatalf("overlay-local ID %d missing the high bit", novel)
+	}
+	if got := ov.InternValue(S("novel")); got != novel {
+		t.Error("overlay re-intern must be stable")
+	}
+	if got, ok := ov.LookupValue(S("novel")); !ok || got != novel {
+		t.Error("overlay lookup must see overlay-local values")
+	}
+	if _, ok := ov.LookupValue(S("nowhere")); ok {
+		t.Error("overlay lookup must miss values neither side has")
+	}
+	if base.Len() != baseLen {
+		t.Fatalf("overlay interning grew the base dictionary: %d -> %d", baseLen, base.Len())
+	}
+	if _, ok := base.LookupValue(S("novel")); ok {
+		t.Fatal("overlay value leaked into the base dictionary")
+	}
+	// Cross-kind classes apply in the overlay too.
+	if ov.InternValue(S("3.0")) != ov.InternValue(N(3)) {
+		t.Error("overlay must collapse numeric-text onto numbers")
+	}
+	if ov.InternValue(Null) != NullID {
+		t.Error("overlay null must be NullID")
+	}
+	// Two overlays over one base are independent for novel values but agree
+	// on base values.
+	ov2 := NewOverlay(base)
+	if ov2.InternValue(S("known")) != known {
+		t.Error("second overlay must resolve base values identically")
+	}
+	if _, ok := ov2.LookupValue(S("novel")); ok {
+		t.Error("overlays must not share local values")
+	}
+}
+
+func TestFingerprintTracksEntries(t *testing.T) {
+	a, b := NewDict(), NewDict()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("empty dictionaries must share a fingerprint")
+	}
+	a.InternValue(S("x"))
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("fingerprint must change when entries are added")
+	}
+	b.InternValue(S("x"))
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical entries must share a fingerprint")
+	}
+	b.InternValue(N(1))
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("diverged dictionaries must not share a fingerprint")
+	}
+	if FingerprintSnapshot(a.Snapshot()) != a.Fingerprint() {
+		t.Fatal("FingerprintSnapshot must agree with Fingerprint")
+	}
+}

@@ -1,0 +1,72 @@
+package table
+
+import "testing"
+
+// TestParseRejectsGoOnlyNumberSpellings pins the decimal-text contract:
+// spellings only Go's ParseFloat understands are not numbers under the
+// paper's syntactic equality and must stay strings.
+func TestParseRejectsGoOnlyNumberSpellings(t *testing.T) {
+	rejected := []string{
+		"0x1p4", "0X1P-2", "0x10", // hex floats / hex digits
+		"1_000", "1_0.5", "1e1_0", // digit-separator underscores
+		"inf", "Inf", "+inf", "-Inf", "nan", "NaN", // words
+	}
+	for _, raw := range rejected {
+		if v := Parse(raw); v.Kind != KindString {
+			t.Errorf("Parse(%q) = kind %d, want KindString", raw, v.Kind)
+		}
+		// Key must classify them the same way — no collision with the
+		// number they would parse to.
+		if k := S(raw).Key(); k[0] != 's' {
+			t.Errorf("S(%q).Key() = %q, want a string key", raw, k)
+		}
+	}
+	accepted := map[string]float64{
+		"42":      42,
+		"-3.5":    -3.5,
+		"+7":      7,
+		"1e5":     1e5,
+		"2.5E-3":  2.5e-3,
+		"1608000": 1608000,
+		".5":      0.5,
+	}
+	for raw, want := range accepted {
+		v := Parse(raw)
+		if v.Kind != KindNumber || v.Num != want {
+			t.Errorf("Parse(%q) = %+v, want number %v", raw, v, want)
+		}
+		if v.Str != raw {
+			t.Errorf("Parse(%q) lost the author's spelling: %q", raw, v.Str)
+		}
+	}
+	// Overflowing exponents stay strings (ParseFloat range error).
+	if v := Parse("1e999"); v.Kind != KindString {
+		t.Errorf("Parse(1e999) = kind %d, want KindString", v.Kind)
+	}
+}
+
+// TestKeyEscapingMakesRowKeysInjective pins the concrete collision the old
+// unescaped join allowed: cell text containing the separator could fake a
+// column boundary.
+func TestKeyEscapingMakesRowKeysInjective(t *testing.T) {
+	a := Row{S("a\x01sb"), S("c")}
+	b := Row{S("a"), S("b\x01sc")}
+	if a.Key() == b.Key() {
+		t.Fatal("rows with separator-embedding cells must not share a key")
+	}
+	if !a.Equal(a.Clone()) || a.Key() != a.Clone().Key() {
+		t.Fatal("key must be stable")
+	}
+	for _, s := range []string{"\x00", "\x01", "\x02", "mixed\x00\x01\x02end", "plain"} {
+		got, ok := keyUnescape(keyEscape(s))
+		if !ok || got != s {
+			t.Errorf("escape round trip broke for %q: got %q, ok=%v", s, got, ok)
+		}
+	}
+	if _, ok := keyUnescape("\x00x"); ok {
+		t.Error("malformed escape accepted")
+	}
+	if _, ok := keyUnescape("\x01"); ok {
+		t.Error("bare separator accepted")
+	}
+}

@@ -55,26 +55,49 @@ func N(f float64) Value {
 func Label(id int64) Value { return Value{Kind: KindLabel, ID: id} }
 
 func formatNum(f float64) string {
+	if f == 0 {
+		// Normalize -0 so Key agrees with Equal (which compares Num, where
+		// -0 == 0).
+		return "0"
+	}
 	// 'f' keeps large integers readable ("1608000", not "1.608e+06");
 	// extreme magnitudes fall back to scientific notation.
-	if f != 0 && (f < 1e-4 && f > -1e-4 || f > 1e15 || f < -1e15) {
+	if f < 1e-4 && f > -1e-4 || f > 1e15 || f < -1e15 {
 		return strconv.FormatFloat(f, 'g', -1, 64)
 	}
 	return strconv.FormatFloat(f, 'f', -1, 64)
 }
 
-// Parse interprets raw text as a cell value: empty text is null, numeric text
-// becomes a number, and anything else is a string.
+// parseDecimal parses raw as a plain decimal number: optional sign, digits
+// with an optional fraction, optional decimal exponent. Spellings only Go's
+// ParseFloat understands — hex floats ("0x1p4"), digit-separator underscores
+// ("1_000") and the Inf/NaN words — are not numbers under the paper's
+// syntactic equality and are rejected, so they stay KindString.
+func parseDecimal(raw string) (float64, bool) {
+	for i := 0; i < len(raw); i++ {
+		switch c := raw[i]; {
+		case c >= '0' && c <= '9':
+		case c == '+' || c == '-' || c == '.' || c == 'e' || c == 'E':
+		default:
+			return 0, false
+		}
+	}
+	f, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
+}
+
+// Parse interprets raw text as a cell value: empty text is null, decimal
+// numeric text becomes a number, and anything else is a string.
 func Parse(raw string) Value {
 	if raw == "" {
 		return Null
 	}
-	if f, err := strconv.ParseFloat(raw, 64); err == nil &&
-		!strings.EqualFold(raw, "nan") && !strings.EqualFold(raw, "inf") &&
-		!strings.EqualFold(raw, "+inf") && !strings.EqualFold(raw, "-inf") {
+	if f, ok := parseDecimal(raw); ok {
 		// Preserve the author's spelling so round-tripping is lossless.
-		v := Value{Kind: KindNumber, Str: raw, Num: f}
-		return v
+		return Value{Kind: KindNumber, Str: raw, Num: f}
 	}
 	return Value{Kind: KindString, Str: raw}
 }
@@ -106,7 +129,13 @@ func (v Value) Equal(w Value) bool {
 }
 
 // Key returns a canonical form usable as a map key; distinct keys imply
-// unequal values and vice versa.
+// unequal values and vice versa (numeric-text strings share the matching
+// number's key, mirroring Equal's cross-kind text comparison).
+//
+// Key output never contains a bare \x00, \x01 or \x02 outside the leading
+// kind marker: string bodies are escaped (see keyEscape), so keys can be
+// joined with \x01 into row keys (Row.Key, Table.RowKey) and with \x02 into
+// slot keys without two different rows ever building the same joined string.
 func (v Value) Key() string {
 	switch v.Kind {
 	case KindNull:
@@ -116,11 +145,64 @@ func (v Value) Key() string {
 	case KindNumber:
 		return "\x00#" + formatNum(v.Num)
 	default:
-		if f, err := strconv.ParseFloat(v.Str, 64); err == nil {
+		if f, ok := parseDecimal(v.Str); ok {
 			return "\x00#" + formatNum(f)
 		}
-		return "s" + v.Str
+		return "s" + keyEscape(v.Str)
 	}
+}
+
+// keyEscape rewrites the control bytes reserved by key joining — \x00 (kind
+// marker), \x01 (row-key separator), \x02 (slot separator) — as \x00-led
+// pairs, making Value.Key injective under \x01-joins. Almost every real
+// string has none and is returned unchanged.
+func keyEscape(s string) string {
+	i := 0
+	for i < len(s) && s[i] > '\x02' {
+		i++
+	}
+	if i == len(s) {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 4)
+	b.WriteString(s[:i])
+	for ; i < len(s); i++ {
+		if c := s[i]; c <= '\x02' {
+			b.WriteByte('\x00')
+			b.WriteByte('0' + c)
+		} else {
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// keyUnescape inverts keyEscape; malformed escapes (including bare control
+// bytes, which escaped bodies never contain) return false.
+func keyUnescape(s string) (string, bool) {
+	i := 0
+	for i < len(s) && s[i] > '\x02' {
+		i++
+	}
+	if i == len(s) {
+		return s, true
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c > '\x02' {
+			b.WriteByte(c)
+			continue
+		}
+		if c != '\x00' || i+1 >= len(s) || s[i+1] < '0' || s[i+1] > '2' {
+			return "", false
+		}
+		i++
+		b.WriteByte(s[i] - '0')
+	}
+	return b.String(), true
 }
 
 // Compare orders values deterministically: nulls first, then numbers by

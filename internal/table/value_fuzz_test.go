@@ -1,0 +1,111 @@
+package table
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// fuzzValue decodes a fuzzed (kind, str, num, id) quadruple into a Value
+// through the contract-honoring constructors (a Number's Str is always its
+// canonical text). Non-finite numbers are outside Parse's contract — N is
+// only ever built from parsed decimal text — and are folded to 0; NaN's
+// dictionary semantics are pinned separately in dict_test.go.
+func fuzzValue(kind uint8, str string, num float64, id int64) Value {
+	if math.IsInf(num, 0) || math.IsNaN(num) {
+		num = 0
+	}
+	switch kind % 5 {
+	case 0:
+		return Null
+	case 1:
+		return S(str)
+	case 2:
+		return N(num)
+	case 3:
+		return Parse(str)
+	default:
+		return Label(id)
+	}
+}
+
+// keyEquivalent is the independent oracle for Key()'s equivalence classes:
+// null≡null, labels by identity, and everything else through the numeric
+// collapse (numeric-text strings ≡ their number, ±0 ≡ 0, NaN ≡ NaN).
+func keyEquivalent(v, w Value) bool {
+	class := func(x Value) (isNum bool, bits uint64, s string) {
+		switch x.Kind {
+		case KindNumber:
+			return true, canonicalBits(x.Num), ""
+		default: // KindString
+			if f, ok := parseDecimal(x.Str); ok {
+				return true, canonicalBits(f), ""
+			}
+			return false, 0, x.Str
+		}
+	}
+	if v.Kind == KindNull || w.Kind == KindNull {
+		return v.Kind == w.Kind
+	}
+	if v.Kind == KindLabel || w.Kind == KindLabel {
+		return v.Kind == w.Kind && v.ID == w.ID
+	}
+	vn, vb, vs := class(v)
+	wn, wb, ws := class(w)
+	if vn != wn {
+		return false
+	}
+	if vn {
+		return vb == wb
+	}
+	return vs == ws
+}
+
+// FuzzValueKey asserts Value.Key is injective across kinds — two values get
+// the same key exactly when the equivalence oracle says so, equal values
+// never get distinct keys, and the shared dictionary agrees — and that the
+// '\x01'-joined Row.Key inherits that injectivity: joined keys collide only
+// when every component collides, regardless of embedded control bytes.
+func FuzzValueKey(f *testing.F) {
+	f.Add(uint8(1), "plain", 0.0, int64(0), uint8(2), "1.5", 1.5, int64(0))
+	f.Add(uint8(1), "1.0", 0.0, int64(0), uint8(2), "x", 1.0, int64(0))
+	f.Add(uint8(1), "a\x01sb", 0.0, int64(0), uint8(1), "a", 0.0, int64(1))
+	f.Add(uint8(3), "", 0.0, int64(5), uint8(1), "\x00L5", 0.0, int64(5))
+	f.Add(uint8(0), "", 0.0, int64(0), uint8(2), "-0", math.Copysign(0, -1), int64(0))
+	f.Fuzz(func(t *testing.T, k1 uint8, s1 string, n1 float64, id1 int64,
+		k2 uint8, s2 string, n2 float64, id2 int64) {
+		v, w := fuzzValue(k1, s1, n1, id1), fuzzValue(k2, s2, n2, id2)
+		vk, wk := v.Key(), w.Key()
+
+		if v.Equal(w) && vk != wk {
+			t.Fatalf("Equal values with distinct keys: %#v (%q) vs %#v (%q)", v, vk, w, wk)
+		}
+		if (vk == wk) != keyEquivalent(v, w) {
+			t.Fatalf("key collision oracle mismatch: %#v (%q) vs %#v (%q), oracle %v",
+				v, vk, w, wk, keyEquivalent(v, w))
+		}
+
+		// The dictionary must carve out exactly the same classes.
+		d := NewDict()
+		if (d.InternValue(v) == d.InternValue(w)) != (vk == wk) {
+			t.Fatalf("dict IDs diverge from keys: %#v vs %#v", v, w)
+		}
+
+		// Component keys must never leak a bare row separator, the property
+		// row-key injectivity rests on.
+		if strings.ContainsRune(vk, '\x01') || strings.ContainsRune(vk, '\x02') {
+			t.Fatalf("key %q contains a bare separator", vk)
+		}
+
+		// Row-level: two-cell rows joined both ways around collide only when
+		// the components collide pairwise, and never across widths.
+		rowVW := Row{v, w}.Key()
+		rowWV := Row{w, v}.Key()
+		if (rowVW == rowWV) != (vk == wk) {
+			t.Fatalf("row key collision without component collision: %q vs %q", rowVW, rowWV)
+		}
+		if (Row{v}).Key() == rowVW || (Row{w}).Key() == rowVW {
+			t.Fatalf("row keys collide across widths: %q", rowVW)
+		}
+	})
+}
