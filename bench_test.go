@@ -6,6 +6,9 @@ package gent
 // cmd/experiments tool exposes flags to run at larger scales.
 
 import (
+	"context"
+	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
 
@@ -14,6 +17,7 @@ import (
 	"gent/internal/discovery"
 	"gent/internal/experiments"
 	"gent/internal/index"
+	lakePkg "gent/internal/lake"
 	"gent/internal/matrix"
 	"gent/internal/table"
 	"gent/internal/tpch"
@@ -381,6 +385,77 @@ func BenchmarkMinHashTopK(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ix.TopK(src, 40)
+	}
+}
+
+// BenchmarkEpochApply pits incremental substrate maintenance against a full
+// rebuild after a k-table delta lands on the medium (distractor-heavy)
+// corpus — the v3 epoch lifecycle's cost model. "incremental" derives both
+// substrates (inverted postings + MinHash sketches) from the previous
+// epoch's via WithDelta; "rebuild" reconstructs them from the new snapshot.
+// Both start from a fully interned lake, so the comparison isolates index
+// maintenance. Small deltas must win by a wide margin (≥5× for k ≤ 10);
+// at delta sizes rivaling the corpus the rebuild naturally catches up.
+func BenchmarkEpochApply(b *testing.B) {
+	set := benchmarkSet(b)
+	for _, k := range []int{1, 10, 100} {
+		// A private lake so epoch mutations cannot leak into the shared set.
+		l := lakePkg.New()
+		muts := make([]lakePkg.Mutation, 0, set.SantosMed.Lake.Len())
+		for _, t := range set.SantosMed.Lake.Tables() {
+			muts = append(muts, lakePkg.Put(t))
+		}
+		if _, err := l.Apply(context.Background(), muts...); err != nil {
+			b.Fatal(err)
+		}
+		snapBase := l.Snapshot()
+		snapBase.EnsureInterned()
+		baseInv := index.BuildInverted(snapBase)
+		baseLSH := index.BuildMinHashLSH(snapBase)
+
+		// The k-table delta: fresh tables sharing part of the value space.
+		rng := rand.New(rand.NewSource(int64(k)))
+		adds := make([]lakePkg.Mutation, k)
+		for i := range adds {
+			t := table.New(fmt.Sprintf("delta_%d_%d", k, i), "dk", "dv", "dw")
+			for r := 0; r < 30; r++ {
+				t.AddRow(
+					table.S(fmt.Sprintf("key-%d", rng.Intn(400))),
+					table.S(fmt.Sprintf("val-%d", rng.Intn(400))),
+					table.N(float64(rng.Intn(100))),
+				)
+			}
+			adds[i] = lakePkg.Put(t)
+		}
+		if _, err := l.Apply(context.Background(), adds...); err != nil {
+			b.Fatal(err)
+		}
+		snapNew := l.Snapshot()
+		snapNew.EnsureInterned()
+		addedTables, _, ok := lakePkg.Diff(snapBase, snapNew)
+		if !ok || len(addedTables) != k {
+			b.Fatalf("delta diff: ok=%v n=%d", ok, len(addedTables))
+		}
+		forms := make([]*table.Interned, k)
+		for i, t := range addedTables {
+			forms[i] = snapNew.Interned(t.Name)
+		}
+
+		b.Run(fmt.Sprintf("delta=%d/incremental", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				inv := baseInv.WithDelta(forms, nil)
+				lsh := baseLSH.WithDelta(forms, nil)
+				if inv == nil || lsh == nil {
+					b.Fatal("delta refused")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("delta=%d/rebuild", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				index.BuildInverted(snapNew)
+				index.BuildMinHashLSH(snapNew)
+			}
+		})
 	}
 }
 

@@ -127,12 +127,15 @@ func main() {
 
 	session := core.NewReclaimer(l, cfg)
 	if *indexDir != "" {
-		// A persisted index that fails to load, that predates tables now in
-		// the lake (it can filter removed tables, but a missing table would
-		// silently never be retrieved), or whose value dictionary does not
-		// cover the lake's values (lake.ErrDictMismatch from UseIndexes) is
-		// rebuilt in place. A directory with no index files is a fresh build.
-		loaded := false
+		// A persisted index that fails to load, or whose value dictionary
+		// does not cover the lake's values (lake.ErrDictMismatch), is rebuilt
+		// in place. A set that merely predates tables now in the lake — the
+		// persisted epoch is a prefix of the lake's history: everything it
+		// indexed is unchanged, the lake only grew — is caught up with an
+		// incremental delta (the missing tables inserted via the same
+		// maintenance path the session uses between epochs) instead of the
+		// full rebuild. A directory with no index files is a fresh build.
+		loaded, caughtUp := false, 0
 		ix, err := index.LoadIndexSetDir(*indexDir)
 		switch {
 		case err != nil:
@@ -140,22 +143,38 @@ func main() {
 				fmt.Fprintf(os.Stderr, "warning: indexes at %s unusable (%v); rebuilding\n", *indexDir, err)
 			}
 		case ix.Inverted == nil || !ix.Inverted.Covers(l) || ix.LSH != nil && !ix.LSH.Covers(l):
-			fmt.Fprintf(os.Stderr, "warning: indexes at %s do not cover the lake; rebuilding\n", *indexDir)
+			if n, ok := catchUpIndexes(l, ix); ok {
+				caughtUp = n
+				loaded = true
+			} else {
+				fmt.Fprintf(os.Stderr, "warning: indexes at %s do not cover the lake and the gap is not add-only; rebuilding\n", *indexDir)
+			}
 		default:
 			if err := session.UseIndexes(ix); err != nil {
-				if !errors.Is(err, lake.ErrDictMismatch) {
+				if !errors.Is(err, lake.ErrDictMismatch) && !errors.Is(err, core.ErrSessionStarted) {
 					fatal(err)
 				}
-				fmt.Fprintf(os.Stderr, "warning: indexes at %s keyed under a stale dictionary (%v); rebuilding\n", *indexDir, err)
+				fmt.Fprintf(os.Stderr, "warning: indexes at %s unusable for this lake (%v); rebuilding\n", *indexDir, err)
 			} else {
 				loaded = true
 			}
 		}
-		if loaded {
+		switch {
+		case caughtUp > 0:
+			if err := session.UseIndexes(ix); err != nil {
+				fatal(err)
+			}
+			if err := ix.SaveDir(*indexDir); err != nil {
+				fatal(err)
+			}
+			if !*quiet {
+				fmt.Printf("indexes at %s caught up (+%d tables) and saved\n", *indexDir, caughtUp)
+			}
+		case loaded:
 			if !*quiet {
 				fmt.Printf("indexes loaded from %s\n", *indexDir)
 			}
-		} else {
+		default:
 			if err := session.BuildIndexes().SaveDir(*indexDir); err != nil {
 				fatal(err)
 			}
@@ -242,6 +261,29 @@ func main() {
 	} else if !*quiet {
 		fmt.Print(res.Reclaimed.String())
 	}
+}
+
+// catchUpIndexes applies the persisted-epoch delta: when every table the
+// set indexed is unchanged (its dictionary needs no value the covered
+// tables don't have; every kept name has its persisted schema) and the lake
+// only grew, the missing tables are inserted incrementally. ok=false means
+// the gap is not add-only — a schema changed, or covered tables hold values
+// the persisted dictionary has never seen — and the caller must rebuild.
+func catchUpIndexes(l *lake.Lake, ix *index.IndexSet) (added int, ok bool) {
+	covered, missing, ok := ix.Gap(l)
+	if !ok || len(missing) == 0 {
+		return 0, false
+	}
+	if ix.Dict != nil {
+		// Adopt the persisted dictionary scoped to the tables the set
+		// covers: values of the still-unindexed tables legitimately postdate
+		// it and will grow the (append-only) dictionary.
+		if err := l.AdoptDictCovering(ix.Dict, covered); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: indexes keyed under a stale dictionary (%v)\n", err)
+			return 0, false
+		}
+	}
+	return ix.CatchUp(l.Snapshot())
 }
 
 // progressLine renders one structured phase event for -progress.

@@ -47,6 +47,34 @@
 //	    // items arrive in completion order, memory bounded by workers
 //	}
 //	items := r.ReclaimAll(sources, workers)       // collected, input order
+//
+// # The v3, epoch-versioned surface
+//
+// Real lakes are autonomous — tables appear, change and vanish while the
+// server is running. v3 makes the lake an epoch-versioned catalog: mutations
+// go through Apply (Put, Drop, Rename), each batch producing a new
+// immutable Snapshot stamped with an Epoch, and a session tracks the lake
+// across epochs by maintaining its indexes incrementally (postings and
+// sketch deltas for exactly the tables that changed — no corpus rescan):
+//
+//	epoch, err := lake.Apply(ctx,
+//	    gent.Put(newTable),               // add or replace
+//	    gent.Drop("stale_export"),        // remove
+//	    gent.RenameTable("tmp", "final"), // move
+//	)
+//	res, err := r.ReclaimContext(ctx, src) // indexes caught up, not rebuilt
+//
+// Queries pin the snapshot they start on, RCU-style: a query in flight when
+// Apply lands completes on the epoch it started at — no locks on the query
+// path, no torn reads — and the next query sees the new epoch. Observer
+// events carry the pinned Epoch. Persisted index sets are stamped with
+// their epoch too; Reclaimer.UseIndexes accepts a set between epochs (and
+// refuses a stale stamp with ErrEpochMismatch, which wraps the v2
+// ErrSessionStarted), and cmd/gent -index-dir catches a merely-behind
+// persisted set up with a delta instead of rebuilding.
+//
+// The v2 mutation surface (Lake.Add, Lake.Remove) remains as shims over
+// Apply; v2 code keeps compiling and is now race-free.
 package gent
 
 import (
@@ -101,8 +129,17 @@ type (
 	// TupleStatus classifies one source tuple's reclamation outcome.
 	TupleStatus = core.TupleStatus
 	// Reclaimer is a reusable session over one lake: the discovery indexes
-	// are built once and shared across all of its queries.
+	// are built once per lake epoch — incrementally maintained across
+	// epochs — and shared across all of its queries.
 	Reclaimer = core.Reclaimer
+	// Epoch identifies one version of a lake's catalog; see Lake.Apply.
+	Epoch = lake.Epoch
+	// Snapshot is one immutable lake version: pin one (Lake.Snapshot) and
+	// every read is torn-free under concurrent mutation.
+	Snapshot = lake.Snapshot
+	// Mutation is one catalog edit for Lake.Apply; see Put, Drop,
+	// RenameTable.
+	Mutation = lake.Mutation
 	// BatchItem is one source's outcome within a batch or stream.
 	BatchItem = core.BatchItem
 	// IndexSet bundles a lake's persisted discovery indexes.
@@ -179,10 +216,29 @@ var (
 	// ErrNoCandidates: discovery found nothing (only under
 	// WithRequireCandidates).
 	ErrNoCandidates = core.ErrNoCandidates
-	// ErrSessionStarted: Reclaimer.UseIndexes was called after the session's
-	// first query.
+	// ErrSessionStarted: Reclaimer.UseIndexes was called after the current
+	// epoch's first query (v3 relaxed the v2 one-shot rule: a new lake epoch
+	// reopens the injection window).
 	ErrSessionStarted = core.ErrSessionStarted
+	// ErrEpochMismatch: the injected index set was stamped at a different
+	// lake epoch; it wraps ErrSessionStarted for v2 callers.
+	ErrEpochMismatch = core.ErrEpochMismatch
+	// ErrBadMutation: Lake.Apply rejected a mutation batch; the lake is
+	// unchanged.
+	ErrBadMutation = lake.ErrBadMutation
 )
+
+// Mutations for Lake.Apply — the v3 epoch-versioned mutation surface.
+
+// Put registers (or replaces) a table in the lake at the next epoch.
+func Put(t *Table) Mutation { return lake.Put(t) }
+
+// Drop removes the named table at the next epoch.
+func Drop(name string) Mutation { return lake.Drop(name) }
+
+// RenameTable moves a table to a new name at the next epoch, sharing the
+// stored rows (no copy, no re-interning).
+func RenameTable(oldName, newName string) Mutation { return lake.Rename(oldName, newName) }
 
 // Per-call options, layered over a Config by ReclaimContext,
 // Reclaimer.ReclaimContext, ReclaimStream and ReclaimAllContext.
@@ -259,10 +315,12 @@ func ReclaimContext(ctx context.Context, l *Lake, src *Table, cfg Config, opts .
 	return core.ReclaimContext(ctx, l, src, cfg, opts...)
 }
 
-// NewReclaimer opens a reusable reclamation session over a lake. Indexes are
-// built lazily on the first query and shared by every subsequent query —
-// Reclaim/ReclaimContext, the ReclaimAll batches, and ReclaimStream; inject
-// persisted ones with Reclaimer.UseIndexes before the first query.
+// NewReclaimer opens a reusable reclamation session over a lake. Indexes
+// are built lazily on the first query of each lake epoch — incrementally
+// maintained when the lake evolves via Apply — and shared by every query at
+// that epoch: Reclaim/ReclaimContext, the ReclaimAll batches, and
+// ReclaimStream. Inject persisted ones with Reclaimer.UseIndexes before an
+// epoch's first query.
 func NewReclaimer(l *Lake, cfg Config) *Reclaimer { return core.NewReclaimer(l, cfg) }
 
 // LoadIndexes reads a lake's persisted discovery indexes from dir (written

@@ -202,6 +202,95 @@ func TestPublicV2Surface(t *testing.T) {
 	}
 }
 
+// TestPublicV3Surface exercises the epoch-versioned lake lifecycle through
+// the public API: Apply batches, epoch monotonicity, snapshot pinning,
+// observer epoch stamps, and the relaxed UseIndexes contract.
+func TestPublicV3Surface(t *testing.T) {
+	ctx := context.Background()
+	l := NewLake()
+	names := NewTable("names", "id", "name")
+	names.AddRow(S("e1"), S("Ada"))
+	names.AddRow(S("e2"), S("Grace"))
+	e1, err := l.Apply(ctx, Put(names))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.IsZero() || e1 != l.Epoch() {
+		t.Fatalf("epoch after Apply = %v, lake at %v", e1, l.Epoch())
+	}
+
+	// A pinned snapshot survives later mutations.
+	pinned := l.Snapshot()
+	roles := NewTable("roles", "id", "role")
+	roles.AddRow(S("e1"), S("Engineer"))
+	roles.AddRow(S("e2"), S("Admiral"))
+	e2, err := l.Apply(ctx, Put(roles), RenameTable("names", "people"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Seq != e1.Seq+1 {
+		t.Fatalf("epochs not monotonic: %v then %v", e1, e2)
+	}
+	if pinned.Get("names") == nil || pinned.Get("roles") != nil {
+		t.Fatal("pinned snapshot saw the mutation")
+	}
+	if l.Get("people") == nil || l.Get("names") != nil {
+		t.Fatal("rename not applied")
+	}
+
+	// A session query at this epoch reclaims from the renamed catalog and
+	// every observer event carries the pinned epoch.
+	src := NewTable("target", "id", "name", "role")
+	src.Key = []int{0}
+	src.AddRow(S("e1"), S("Ada"), S("Engineer"))
+	src.AddRow(S("e2"), S("Grace"), S("Admiral"))
+	r := NewReclaimer(l, DefaultConfig())
+	var epochs []Epoch
+	res, err := r.ReclaimContext(ctx, src, WithObserver(ObserverFunc(func(ev ProgressEvent) {
+		epochs = append(epochs, ev.Epoch)
+	})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.PerfectReclamation {
+		t.Errorf("not reclaimed after rename: %+v", res.Report)
+	}
+	for _, e := range epochs {
+		if e != e2 {
+			t.Fatalf("observer event at %v, want %v", e, e2)
+		}
+	}
+
+	// Injection: refused mid-epoch (old sentinel), refused with a stale
+	// stamp after a new epoch (new sentinel wrapping the old), accepted
+	// between epochs with a current stamp.
+	ix := r.BuildIndexes()
+	if err := r.UseIndexes(ix); !errors.Is(err, ErrSessionStarted) {
+		t.Fatalf("mid-epoch injection: %v", err)
+	}
+	extra := NewTable("extra", "k", "v")
+	extra.AddRow(S("k1"), S("v1"))
+	if _, err := l.Apply(ctx, Put(extra)); err != nil {
+		t.Fatal(err)
+	}
+	err = r.UseIndexes(ix)
+	if !errors.Is(err, ErrEpochMismatch) || !errors.Is(err, ErrSessionStarted) {
+		t.Fatalf("stale-stamp injection: %v", err)
+	}
+	if err := r.UseIndexes(NewReclaimer(l, DefaultConfig()).BuildIndexes()); err != nil {
+		t.Fatalf("between-epoch injection: %v", err)
+	}
+
+	// Bad batches are atomic and typed.
+	before := l.Epoch()
+	if _, err := l.Apply(ctx, Put(extra), RenameTable("ghost", "x")); !errors.Is(err, ErrBadMutation) {
+		t.Fatalf("bad batch: %v", err)
+	}
+	if l.Epoch() != before {
+		t.Fatal("failed batch moved the epoch")
+	}
+}
+
 func TestPublicSaveLoad(t *testing.T) {
 	dir := t.TempDir()
 	tb := NewTable("x", "a", "b")

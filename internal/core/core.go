@@ -99,18 +99,22 @@ func Reclaim(l *lake.Lake, src *table.Table, cfg Config) (*Result, error) {
 // wrapping ctx.Err().
 func ReclaimContext(ctx context.Context, l *lake.Lake, src *table.Table, cfg Config, opts ...Option) (*Result, error) {
 	cfg = applyOptions(cfg, opts)
-	return reclaimPipeline(ctx, src, cfg, l.Dict(), func(ctx context.Context, keyed *table.Table) ([]*discovery.Candidate, error) {
-		return discovery.DiscoverContext(ctx, l, keyed, cfg.Discovery)
+	// Pin the run to the lake's snapshot at entry: every phase reads this
+	// catalog version, immune to concurrent Apply.
+	snap := l.Snapshot()
+	return reclaimPipeline(ctx, src, cfg, snap.Dict(), snap.Epoch(), func(ctx context.Context, keyed *table.Table) ([]*discovery.Candidate, error) {
+		return discovery.DiscoverSnapContext(ctx, snap, keyed, cfg.Discovery)
 	})
 }
 
 // reclaimPipeline runs Figure 2 with candidate retrieval delegated to
 // discover — a per-call fresh build (Reclaim) or a shared-substrate session
 // (Reclaimer). Everything downstream of discovery is identical between the
-// two paths. dict is the lake's value dictionary; traversal and integration
-// key their hot paths on its interned IDs (nil falls back to the
-// canonical-string reference paths).
-func reclaimPipeline(ctx context.Context, src *table.Table, cfg Config, dict *table.Dict,
+// two paths. dict is the pinned snapshot's value dictionary; traversal and
+// integration key their hot paths on its interned IDs (nil falls back to
+// the canonical-string reference paths). epoch is the pinned snapshot's
+// epoch, stamped on every observer event the run emits.
+func reclaimPipeline(ctx context.Context, src *table.Table, cfg Config, dict *table.Dict, epoch lake.Epoch,
 	discover func(context.Context, *table.Table) ([]*discovery.Candidate, error)) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -153,7 +157,7 @@ func reclaimPipeline(ctx context.Context, src *table.Table, cfg Config, dict *ta
 	if err := ctx.Err(); err != nil {
 		return fail(PhaseDiscovery, err)
 	}
-	emit(obs, ProgressEvent{Source: src.Name, Phase: PhaseDiscovery, Kind: EventPhaseStarted})
+	emit(obs, ProgressEvent{Source: src.Name, Epoch: epoch, Phase: PhaseDiscovery, Kind: EventPhaseStarted})
 	start := time.Now()
 	cands, err := discover(ctx, src)
 	res.Timing.Discover = time.Since(start)
@@ -161,7 +165,7 @@ func reclaimPipeline(ctx context.Context, src *table.Table, cfg Config, dict *ta
 		return fail(PhaseDiscovery, err)
 	}
 	res.CandidateCount = len(cands)
-	emit(obs, ProgressEvent{Source: src.Name, Phase: PhaseDiscovery, Kind: EventPhaseDone,
+	emit(obs, ProgressEvent{Source: src.Name, Epoch: epoch, Phase: PhaseDiscovery, Kind: EventPhaseDone,
 		Elapsed: res.Timing.Discover, Count: len(cands)})
 	if cfg.RequireCandidates && len(cands) == 0 {
 		return fail(PhaseDiscovery, ErrNoCandidates)
@@ -171,7 +175,7 @@ func reclaimPipeline(ctx context.Context, src *table.Table, cfg Config, dict *ta
 	if err := ctx.Err(); err != nil {
 		return fail(PhaseTraversal, err)
 	}
-	emit(obs, ProgressEvent{Source: src.Name, Phase: PhaseTraversal, Kind: EventPhaseStarted})
+	emit(obs, ProgressEvent{Source: src.Name, Epoch: epoch, Phase: PhaseTraversal, Kind: EventPhaseStarted})
 	start = time.Now()
 	var picked []*discovery.Candidate
 	if cfg.SkipTraversal {
@@ -185,7 +189,7 @@ func reclaimPipeline(ctx context.Context, src *table.Table, cfg Config, dict *ta
 		if obs != nil {
 			srcName := src.Name
 			topts.OnRound = func(round, pick int, score float64) {
-				emit(obs, ProgressEvent{Source: srcName, Phase: PhaseTraversal,
+				emit(obs, ProgressEvent{Source: srcName, Epoch: epoch, Phase: PhaseTraversal,
 					Kind: EventTraverseRound, Round: round, Pick: pick, Score: score})
 			}
 		}
@@ -200,14 +204,14 @@ func reclaimPipeline(ctx context.Context, src *table.Table, cfg Config, dict *ta
 	}
 	res.Timing.Traverse = time.Since(start)
 	res.Originating = picked
-	emit(obs, ProgressEvent{Source: src.Name, Phase: PhaseTraversal, Kind: EventPhaseDone,
+	emit(obs, ProgressEvent{Source: src.Name, Epoch: epoch, Phase: PhaseTraversal, Kind: EventPhaseDone,
 		Elapsed: res.Timing.Traverse, Count: len(picked)})
 
 	// Table Integration.
 	if err := ctx.Err(); err != nil {
 		return fail(PhaseIntegration, err)
 	}
-	emit(obs, ProgressEvent{Source: src.Name, Phase: PhaseIntegration, Kind: EventPhaseStarted})
+	emit(obs, ProgressEvent{Source: src.Name, Epoch: epoch, Phase: PhaseIntegration, Kind: EventPhaseStarted})
 	start = time.Now()
 	origTables := make([]*table.Table, len(picked))
 	for i, c := range picked {
@@ -219,17 +223,17 @@ func reclaimPipeline(ctx context.Context, src *table.Table, cfg Config, dict *ta
 		return fail(PhaseIntegration, err)
 	}
 	res.Reclaimed = reclaimed
-	emit(obs, ProgressEvent{Source: src.Name, Phase: PhaseIntegration, Kind: EventPhaseDone,
+	emit(obs, ProgressEvent{Source: src.Name, Epoch: epoch, Phase: PhaseIntegration, Kind: EventPhaseDone,
 		Elapsed: res.Timing.Integrate, Count: res.Reclaimed.NumRows()})
 
 	// Evaluation. Deliberately not preemptible: it is bounded local scoring,
 	// and a deadline firing here would otherwise discard a reclamation the
 	// caller already paid the whole pipeline for.
-	emit(obs, ProgressEvent{Source: src.Name, Phase: PhaseEvaluation, Kind: EventPhaseStarted})
+	emit(obs, ProgressEvent{Source: src.Name, Epoch: epoch, Phase: PhaseEvaluation, Kind: EventPhaseStarted})
 	start = time.Now()
 	res.Report = metrics.Evaluate(src, res.Reclaimed)
 	res.Timing.Evaluate = time.Since(start)
-	emit(obs, ProgressEvent{Source: src.Name, Phase: PhaseEvaluation, Kind: EventPhaseDone,
+	emit(obs, ProgressEvent{Source: src.Name, Epoch: epoch, Phase: PhaseEvaluation, Kind: EventPhaseDone,
 		Elapsed: res.Timing.Evaluate, Score: res.Report.EIS})
 	return res, nil
 }

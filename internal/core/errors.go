@@ -40,10 +40,34 @@ var (
 	// served "not found" without this guard.
 	ErrNoCandidates = errors.New("core: discovery found no candidate tables")
 	// ErrSessionStarted is returned by Reclaimer.UseIndexes once the session
-	// has started building or using its substrates; injected indexes would
-	// race the lazy-build guards. Inject before the first query.
-	ErrSessionStarted = errors.New("core: UseIndexes called after the session's first query; inject persisted indexes before querying")
+	// has built or served a substrate at the lake's current epoch; injecting
+	// then would mix substrates across that epoch's queries. Inject before
+	// the epoch's first query — v3 relaxed the v2 one-shot rule, so a new
+	// lake epoch reopens the injection window.
+	ErrSessionStarted = errors.New("core: UseIndexes called after the epoch's first query; inject indexes before querying at an epoch")
 )
+
+// ErrEpochMismatch is returned by Reclaimer.UseIndexes when the injected
+// set's epoch stamp does not match the lake's current epoch — the substrates
+// describe a catalog version the lake is not at, and serving them would
+// silently return wrong candidates. It wraps ErrSessionStarted, so v2
+// callers matching the old sentinel still catch the refusal.
+var ErrEpochMismatch = &sentinelError{
+	msg:   "core: injected indexes were built at a different lake epoch; rebuild or catch them up first",
+	cause: ErrSessionStarted,
+}
+
+// sentinelError is a sentinel that wraps an older sentinel for
+// backwards-compatible errors.Is matching.
+type sentinelError struct {
+	msg   string
+	cause error
+}
+
+func (e *sentinelError) Error() string { return e.msg }
+
+// Unwrap exposes the wrapped legacy sentinel to errors.Is.
+func (e *sentinelError) Unwrap() error { return e.cause }
 
 // Error is the pipeline's error type: the failing phase, the source it was
 // reclaiming, the phase timings that completed before the failure, and the

@@ -7,6 +7,7 @@ import (
 
 	"gent/internal/discovery"
 	"gent/internal/index"
+	"gent/internal/lake"
 	"gent/internal/matrix"
 	"gent/internal/table"
 )
@@ -58,7 +59,7 @@ func TestPipelineInternedMatchesStringReference(t *testing.T) {
 			// The reference run: nil dict (string-keyed matrix/integration)
 			// over string-keyed discovery. DiscoverWith selects its string
 			// path because the reference index carries no dictionary.
-			reference, err := reclaimPipeline(context.Background(), src, cfg, nil,
+			reference, err := reclaimPipeline(context.Background(), src, cfg, nil, lake.Epoch{},
 				func(ctx context.Context, keyed *table.Table) ([]*discovery.Candidate, error) {
 					return discovery.DiscoverWithContext(ctx, b.Lake, refIx, keyed, cfg.Discovery)
 				})

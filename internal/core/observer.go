@@ -1,6 +1,10 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"gent/internal/lake"
+)
 
 // EventKind classifies a ProgressEvent.
 type EventKind int
@@ -34,6 +38,9 @@ func (k EventKind) String() string {
 type ProgressEvent struct {
 	// Source names the source table being reclaimed.
 	Source string
+	// Epoch is the lake epoch the run is pinned to: every event of one run
+	// carries the same epoch, even if the lake is mutated mid-run.
+	Epoch lake.Epoch
 	// Phase is the pipeline stage the event describes.
 	Phase Phase
 	// Kind classifies the event.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -12,46 +13,64 @@ import (
 	"gent/internal/table"
 )
 
-// Reclaimer is a reusable reclamation session over one lake. The one-shot
-// Reclaim rebuilds the inverted index and the MinHash-LSH on every call; a
-// Reclaimer builds each substrate at most once — lazily, on the first query
-// that needs it — and serves every subsequent query from the shared copy, so
-// N queries pay for indexing once instead of N times. Prebuilt or persisted
-// indexes (index.LoadIndexSetDir) can be injected with UseIndexes before the
-// first query.
+// Reclaimer is a reusable reclamation session over one lake — the v3,
+// epoch-versioned session. The one-shot Reclaim rebuilds the inverted index
+// and the MinHash-LSH on every call; a Reclaimer builds each substrate at
+// most once per lake epoch — lazily, on the first query that needs it — and
+// serves every query at that epoch from the shared copy.
 //
-// A Reclaimer is safe for concurrent use. It assumes the lake is not
-// mutated while a query is in flight. Between queries, removing tables is
-// safe — stale index entries are filtered against the live lake, so results
-// match a fresh build — but tables added after an index is built are not
-// visible to retrieval until a new session is created.
+// The session tracks the lake: when lake.Apply publishes a new epoch, the
+// next query catches the substrates up incrementally (index.WithDelta over
+// the snapshot diff — add/remove postings and sketch deltas, no corpus
+// rescan), falling back to a full rebuild only when no maintainable
+// ancestor substrate exists. Queries are pinned RCU-style: each one resolves
+// the current epoch state once at entry and runs discovery, traversal and
+// integration against that immutable snapshot and its substrates, so
+// in-flight queries are never torn by concurrent mutations — they complete
+// on the epoch they started on.
+//
+// A Reclaimer is safe for concurrent use, including concurrently with lake
+// mutations. Prebuilt or persisted indexes (index.LoadIndexSetDir) can be
+// injected with UseIndexes before the first query of any epoch.
 type Reclaimer struct {
 	lake *lake.Lake
 	cfg  Config
 
-	// mu guards the injection window: started flips (under mu) before any
-	// substrate is built or served, and UseIndexes both checks it and writes
-	// ix under mu, so an injection can never race a concurrent first query's
-	// lazy build — it either happens-before the build or is refused. started
-	// is atomic so the per-query path can skip the lock once the one-time
-	// transition has happened.
-	mu      sync.Mutex
-	started atomic.Bool
-	invOnce sync.Once
-	lshOnce sync.Once
-	ix      index.IndexSet
+	// mu serializes epoch-state transitions (catch-up and injection); the
+	// per-query fast path is one atomic load plus a snapshot-pointer compare.
+	mu  sync.Mutex
+	cur atomic.Pointer[epochState]
 }
 
-// markStarted flips the session into its queried state, after which index
-// injection is refused. Only the first transition takes the lock; every
-// later call is one atomic load.
-func (r *Reclaimer) markStarted() {
-	if r.started.Load() {
-		return
-	}
-	r.mu.Lock()
-	r.started.Store(true)
-	r.mu.Unlock()
+// maxCatchUpChain bounds how many not-yet-materialized epoch states a
+// substrate delta may span (the snapshot diff bridges any gap in one step;
+// the bound only caps how much history the chain pins in memory before a
+// full rebuild is preferred).
+const maxCatchUpChain = 8
+
+// epochState is the session's view of one lake epoch: the pinned snapshot
+// plus the substrates built, maintained or injected for it. Substrates are
+// still lazy per epoch — built on the first query that needs them,
+// incrementally when an ancestor state has a maintainable copy.
+type epochState struct {
+	snap *lake.Snapshot
+	// prev links toward the ancestor states substrate catch-up derives from;
+	// cleared once both substrates are resolved (or at chain-trim time) so
+	// old snapshots do not accumulate.
+	prev atomic.Pointer[epochState]
+
+	// used flips (under Reclaimer.mu, via acquire) when a query claims this
+	// state — the point after which injection would mix substrates across
+	// queries of one epoch and is refused with ErrSessionStarted.
+	used atomic.Bool
+
+	invOnce sync.Once
+	invPtr  atomic.Pointer[index.Inverted]
+	lshOnce sync.Once
+	lshPtr  atomic.Pointer[index.MinHashLSH]
+	// injected substrates (UseIndexes) short-circuit the lazy builds.
+	injInv *index.Inverted
+	injLSH *index.MinHashLSH
 }
 
 // NewReclaimer creates a session over l with cfg as the default
@@ -60,37 +79,237 @@ func NewReclaimer(l *lake.Lake, cfg Config) *Reclaimer {
 	return &Reclaimer{lake: l, cfg: cfg}
 }
 
-// UseIndexes injects prebuilt or persisted substrates. Nil members of ix are
-// still built lazily. When ix carries a value dictionary (a persisted
-// ID-keyed set), the lake adopts it before interning anything, so the
-// persisted IDs keep meaning the same values; a lake.ErrDictMismatch from
-// that adoption means the lake holds values the persisted dictionary has
-// never seen — the indexes would silently miss them — and the caller should
-// rebuild instead (the cmd/gent -index-dir rebuild-with-warning path).
+// Lake returns the session's lake.
+func (r *Reclaimer) Lake() *lake.Lake { return r.lake }
+
+// Config returns the session's default configuration.
+func (r *Reclaimer) Config() Config { return r.cfg }
+
+// state resolves the session's state for the lake's current epoch, creating
+// (and chaining) a fresh one when the lake has moved on. The fast path — the
+// lake hasn't moved — is two atomic loads.
+func (r *Reclaimer) state() *epochState {
+	ls := r.lake.Snapshot()
+	if cur := r.cur.Load(); cur != nil && cur.snap == ls {
+		return cur
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stateLocked()
+}
+
+// stateLocked is state's slow path; r.mu must be held.
+func (r *Reclaimer) stateLocked() *epochState {
+	ls := r.lake.Snapshot()
+	cur := r.cur.Load()
+	if cur != nil && cur.snap == ls {
+		return cur
+	}
+	ns := &epochState{snap: ls}
+	ns.prev.Store(cur)
+	trimChain(ns)
+	r.cur.Store(ns)
+	return ns
+}
+
+// acquire resolves and *claims* the epoch state a query will run against.
+// The first claim of each state takes r.mu to flip used, so it is atomic
+// against UseIndexes: either the injection lands first (and re-resolving
+// under the lock returns the injected state, which this query then serves)
+// or the claim lands first (and the injection is refused with
+// ErrSessionStarted) — a query and an injection can never split one epoch
+// across two substrate sets. After the first claim, acquire is the same
+// lock-free fast path as state.
+func (r *Reclaimer) acquire() *epochState {
+	st := r.state()
+	if st.used.Load() {
+		return st
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st = r.stateLocked()
+	st.used.Store(true)
+	return st
+}
+
+// trimChain cuts the ancestor chain after maxCatchUpChain hops, or right
+// after the first state that already has every substrate built (nothing
+// older can contribute anything newer states need).
+func trimChain(head *epochState) {
+	n := 0
+	for s := head; s != nil; s = s.prev.Load() {
+		n++
+		if n > maxCatchUpChain || (s != head && s.invPtr.Load() != nil && s.lshPtr.Load() != nil) {
+			s.prev.Store(nil)
+			return
+		}
+	}
+}
+
+// inverted returns the state's exact-overlap substrate, building it on
+// first use: injected copy, incremental catch-up from the nearest ancestor
+// that has one, or a fresh build over the pinned snapshot.
+func (s *epochState) inverted() *index.Inverted {
+	s.invOnce.Do(func() {
+		if s.injInv != nil {
+			s.invPtr.Store(s.injInv)
+			return
+		}
+		for a := s.prev.Load(); a != nil; a = a.prev.Load() {
+			base := a.invPtr.Load()
+			if base == nil {
+				continue
+			}
+			if nix := deltaInverted(base, a.snap, s.snap); nix != nil {
+				s.invPtr.Store(nix)
+				return
+			}
+			break // unmaintainable (reference form or dict swap): rebuild
+		}
+		s.invPtr.Store(index.BuildInverted(s.snap))
+	})
+	s.dropPrevIfDone()
+	return s.invPtr.Load()
+}
+
+// lsh is inverted's analogue for the MinHash-LSH first stage.
+func (s *epochState) lsh() *index.MinHashLSH {
+	s.lshOnce.Do(func() {
+		if s.injLSH != nil {
+			s.lshPtr.Store(s.injLSH)
+			return
+		}
+		for a := s.prev.Load(); a != nil; a = a.prev.Load() {
+			base := a.lshPtr.Load()
+			if base == nil {
+				continue
+			}
+			if nix := deltaMinHash(base, a.snap, s.snap); nix != nil {
+				s.lshPtr.Store(nix)
+				return
+			}
+			break
+		}
+		s.lshPtr.Store(index.BuildMinHashLSH(s.snap))
+	})
+	s.dropPrevIfDone()
+	return s.lshPtr.Load()
+}
+
+// dropPrevIfDone releases the ancestor chain once both substrates exist:
+// nothing left to catch up from, so the old snapshots can be collected.
+func (s *epochState) dropPrevIfDone() {
+	if s.invPtr.Load() != nil && s.lshPtr.Load() != nil {
+		s.prev.Store(nil)
+	}
+}
+
+// deltaForms computes the interned-form delta bridging old -> new for a
+// substrate keyed under dict — the shared precondition of both substrate
+// catch-ups. ok is false when no table-level delta applies: the snapshot
+// diff refuses (dictionary adoption or an in-place edit in between), or the
+// substrate is not keyed under the new snapshot's dictionary (a string
+// reference form, or an injected index sketched under a foreign dictionary,
+// which must not have current-dictionary IDs mixed into it).
+func deltaForms(dict *table.Dict, old, new *lake.Snapshot) (added, removed []*table.Interned, ok bool) {
+	at, rt, ok := lake.Diff(old, new)
+	if !ok || dict == nil || dict != new.Dict() {
+		return nil, nil, false
+	}
+	return internForms(new, at), internForms(old, rt), true
+}
+
+// deltaInverted catches base (built at the old snapshot) up to new via the
+// snapshot diff; nil when no table-level delta can bridge the two.
+func deltaInverted(base *index.Inverted, old, new *lake.Snapshot) *index.Inverted {
+	added, removed, ok := deltaForms(base.Dict(), old, new)
+	if !ok {
+		return nil
+	}
+	return base.WithDelta(added, removed)
+}
+
+// deltaMinHash is deltaInverted for the LSH substrate.
+func deltaMinHash(base *index.MinHashLSH, old, new *lake.Snapshot) *index.MinHashLSH {
+	added, removed, ok := deltaForms(base.Dict(), old, new)
+	if !ok {
+		return nil
+	}
+	return base.WithDelta(added, removed)
+}
+
+// internForms resolves tables to their interned forms under the snapshot
+// they belong to (the forms a substrate over that snapshot was built from).
+func internForms(snap *lake.Snapshot, tables []*table.Table) []*table.Interned {
+	if len(tables) == 0 {
+		return nil
+	}
+	out := make([]*table.Interned, len(tables))
+	for i, t := range tables {
+		out[i] = snap.Interned(t.Name)
+	}
+	return out
+}
+
+// needsFirstStage reports whether opts engage the LSH retriever on snap.
+func needsFirstStage(snap *lake.Snapshot, opts discovery.Options) bool {
+	return opts.FirstStageTopK > 0 && snap.Len() > opts.FirstStageTopK
+}
+
+// indexSet assembles the substrates one query needs at this state, building
+// missing ones.
+func (s *epochState) indexSet(opts discovery.Options) *index.IndexSet {
+	ix := &index.IndexSet{Inverted: s.inverted()}
+	if needsFirstStage(s.snap, opts) {
+		ix.LSH = s.lsh()
+	}
+	return ix
+}
+
+// UseIndexes injects prebuilt or persisted substrates for the lake's
+// current epoch. Nil members of ix are still built lazily. When ix carries a
+// value dictionary (a persisted ID-keyed set), the lake adopts it before
+// interning anything, so the persisted IDs keep meaning the same values; a
+// lake.ErrDictMismatch from that adoption means the lake holds values the
+// persisted dictionary has never seen — the indexes would silently miss
+// them — and the caller should rebuild instead (the cmd/gent -index-dir
+// rebuild-with-warning path).
 //
-// Ordering contract: UseIndexes must be called before the session's first
-// query (or Warm/BuildIndexes). Once a substrate has been built or served,
-// injection would silently mix substrates across queries, so UseIndexes
-// returns ErrSessionStarted instead; the check and the injection happen
-// under one lock, so the guard holds even against a concurrent first query.
+// Ordering contract, relaxed from v2's one-shot rule: injection is allowed
+// between epochs — before the first query of the epoch the lake is
+// currently at. Once a substrate has been built or served at the current
+// epoch, injection would silently mix substrates across that epoch's
+// queries, so UseIndexes returns ErrSessionStarted; after the lake moves to
+// a new epoch, injection opens again. A set stamped with an epoch (as every
+// set persisted by this release is) must match the lake's current epoch
+// exactly, or UseIndexes refuses with ErrEpochMismatch — which wraps
+// ErrSessionStarted, so v2 callers matching the old sentinel still catch
+// it. In-flight queries pinned to older epochs are unaffected either way.
 func (r *Reclaimer) UseIndexes(ix *index.IndexSet) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.started.Load() {
+	ls := r.lake.Snapshot()
+	if cur := r.cur.Load(); cur != nil && cur.snap == ls && cur.used.Load() {
 		return ErrSessionStarted
 	}
 	if ix == nil {
 		return nil
 	}
+	if !ix.Epoch.IsZero() && ix.Epoch != ls.Epoch() {
+		return fmt.Errorf("%w: indexes stamped %v, lake at %v", ErrEpochMismatch, ix.Epoch, ls.Epoch())
+	}
 	if ix.Dict != nil {
 		if err := r.lake.AdoptDict(ix.Dict); err != nil {
 			return err
 		}
+		// Adoption may publish a fresh snapshot bound to the adopted
+		// dictionary; the injected state must pin that one.
+		ls = r.lake.Snapshot()
 		// The lake's dictionary is authoritative after adoption (it may be a
 		// superset the persisted one is a prefix of); rebind the substrates
 		// so their probes resolve through it and discovery's interned fast
 		// path recognizes the shared dictionary.
-		d := r.lake.Dict()
+		d := ls.Dict()
 		if ix.Inverted != nil {
 			ix.Inverted.RebindDict(d)
 		}
@@ -98,88 +317,68 @@ func (r *Reclaimer) UseIndexes(ix *index.IndexSet) error {
 			ix.LSH.RebindDict(d)
 		}
 	}
-	r.ix.Inverted = ix.Inverted
-	r.ix.LSH = ix.LSH
+	ns := &epochState{snap: ls, injInv: ix.Inverted, injLSH: ix.LSH}
+	// Publish the injected substrates immediately (the lazy Once still
+	// short-circuits onto them): a later epoch's catch-up walk reads invPtr/
+	// lshPtr, and an injected set must be deltable from, not silently
+	// skipped in favor of a full rebuild.
+	if ix.Inverted != nil {
+		ns.invPtr.Store(ix.Inverted)
+	}
+	if ix.LSH != nil {
+		ns.lshPtr.Store(ix.LSH)
+	}
+	ns.prev.Store(r.cur.Load())
+	trimChain(ns)
+	r.cur.Store(ns)
 	return nil
 }
 
-// Lake returns the session's lake.
-func (r *Reclaimer) Lake() *lake.Lake { return r.lake }
-
-// Config returns the session's default configuration.
-func (r *Reclaimer) Config() Config { return r.cfg }
-
-func (r *Reclaimer) inverted() *index.Inverted {
-	r.markStarted()
-	r.invOnce.Do(func() {
-		if r.ix.Inverted == nil {
-			r.ix.Inverted = index.BuildInverted(r.lake)
-		}
-	})
-	return r.ix.Inverted
-}
-
-func (r *Reclaimer) lsh() *index.MinHashLSH {
-	r.markStarted()
-	r.lshOnce.Do(func() {
-		if r.ix.LSH == nil {
-			r.ix.LSH = index.BuildMinHashLSH(r.lake)
-		}
-	})
-	return r.ix.LSH
-}
-
-// needsFirstStage reports whether opts engage the LSH retriever on this lake.
-func (r *Reclaimer) needsFirstStage(opts discovery.Options) bool {
-	return opts.FirstStageTopK > 0 && r.lake.Len() > opts.FirstStageTopK
-}
-
-// indexSet assembles the substrates one query needs, building missing ones.
-func (r *Reclaimer) indexSet(opts discovery.Options) *index.IndexSet {
-	s := &index.IndexSet{Inverted: r.inverted()}
-	if r.needsFirstStage(opts) {
-		s.LSH = r.lsh()
-	}
-	return s
-}
-
-// BuildIndexes eagerly builds both substrates — concurrently, their lazy
-// guards are independent — and returns them, e.g. to persist with
+// BuildIndexes eagerly builds (or catches up) both substrates for the
+// current epoch — concurrently, their lazy guards are independent — and
+// returns them stamped with the epoch, e.g. to persist with
 // IndexSet.SaveDir for later sessions over the same lake.
 func (r *Reclaimer) BuildIndexes() *index.IndexSet {
+	st := r.acquire()
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		r.inverted()
+		st.inverted()
 	}()
-	r.lsh()
+	st.lsh()
 	wg.Wait()
-	return &index.IndexSet{Inverted: r.ix.Inverted, LSH: r.ix.LSH, Dict: r.lake.Dict()}
+	return &index.IndexSet{
+		Inverted: st.invPtr.Load(),
+		LSH:      st.lshPtr.Load(),
+		Dict:     st.snap.Dict(),
+		Epoch:    st.snap.Epoch(),
+	}
 }
 
 // Warm eagerly builds the substrates the session's default configuration
 // needs and returns the receiver.
 func (r *Reclaimer) Warm() *Reclaimer { return r.WarmFor(r.cfg.Discovery) }
 
-// WarmFor eagerly builds the substrates that queries with the given
-// discovery options will need. Callers that remove tables from the lake
-// between queries (the T2D leave-one-out studies) must warm with the
-// options they will actually query with: a substrate built lazily
-// mid-iteration would capture the temporarily-shrunken corpus, and stale-
-// entry filtering can drop removed tables but never restore missing ones.
+// WarmFor eagerly builds (or incrementally catches up) the substrates that
+// queries with the given discovery options will need at the lake's current
+// epoch.
 func (r *Reclaimer) WarmFor(opts discovery.Options) *Reclaimer {
-	r.inverted()
-	if r.needsFirstStage(opts) {
-		r.lsh()
+	st := r.acquire()
+	st.inverted()
+	if needsFirstStage(st.snap, opts) {
+		st.lsh()
 	}
 	return r
 }
 
 // Candidates runs Table Discovery over the shared substrates — the
-// session-scoped analogue of discovery.Discover.
+// session-scoped analogue of discovery.Discover — pinned to the lake's
+// current epoch.
 func (r *Reclaimer) Candidates(src *table.Table, opts discovery.Options) []*discovery.Candidate {
-	return discovery.DiscoverWith(r.lake, r.indexSet(opts), src, opts)
+	st := r.acquire()
+	cands, _ := discovery.DiscoverWithSnapContext(context.Background(), st.snap, st.indexSet(opts), src, opts)
+	return cands
 }
 
 // CandidatesContext is Candidates under a context (the session-scoped
@@ -188,20 +387,21 @@ func (r *Reclaimer) Candidates(src *table.Table, opts discovery.Options) []*disc
 // like every v2 entry point, failures arrive as a *Error (here tagged
 // PhaseDiscovery) wrapping the cause.
 func (r *Reclaimer) CandidatesContext(ctx context.Context, src *table.Table, opts discovery.Options) ([]*discovery.Candidate, error) {
-	cands, err := r.rawCandidates(ctx, src, opts)
+	cands, err := r.rawCandidates(ctx, r.acquire(), src, opts)
 	if err != nil {
 		return nil, phaseError(PhaseDiscovery, src.Name, Timing{}, err)
 	}
 	return cands, nil
 }
 
-// rawCandidates is CandidatesContext without the error wrapping — the
-// pipeline calls it so its own phase tagging does not nest two *Errors.
-func (r *Reclaimer) rawCandidates(ctx context.Context, src *table.Table, opts discovery.Options) ([]*discovery.Candidate, error) {
+// rawCandidates is CandidatesContext without the error wrapping, against one
+// pinned epoch state — the pipeline calls it so its own phase tagging does
+// not nest two *Errors.
+func (r *Reclaimer) rawCandidates(ctx context.Context, st *epochState, src *table.Table, opts discovery.Options) ([]*discovery.Candidate, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return discovery.DiscoverWithContext(ctx, r.lake, r.indexSet(opts), src, opts)
+	return discovery.DiscoverWithSnapContext(ctx, st.snap, st.indexSet(opts), src, opts)
 }
 
 // Reclaim runs the full Gen-T pipeline for one Source Table with the
@@ -234,9 +434,13 @@ func (r *Reclaimer) ReclaimWithContext(ctx context.Context, src *table.Table, cf
 
 // reclaimConfigured runs the pipeline for one source under a fully-resolved
 // per-call configuration — the shared kernel of every Reclaimer query path.
+// The epoch state is resolved exactly once, before any phase: the whole
+// query — discovery, traversal, integration — runs against that snapshot
+// and its substrates, no matter what Apply does to the lake meanwhile.
 func (r *Reclaimer) reclaimConfigured(ctx context.Context, src *table.Table, cfg Config) (*Result, error) {
-	return reclaimPipeline(ctx, src, cfg, r.lake.Dict(), func(ctx context.Context, keyed *table.Table) ([]*discovery.Candidate, error) {
-		return r.rawCandidates(ctx, keyed, cfg.Discovery)
+	st := r.acquire()
+	return reclaimPipeline(ctx, src, cfg, st.snap.Dict(), st.snap.Epoch(), func(ctx context.Context, keyed *table.Table) ([]*discovery.Candidate, error) {
+		return r.rawCandidates(ctx, st, keyed, cfg.Discovery)
 	})
 }
 

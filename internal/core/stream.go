@@ -54,6 +54,10 @@ func (r *Reclaimer) batchConfig(nSrcs, workers int, opts []Option) (int, Config)
 // buffered awaiting the consumer plus workers more in flight (2×workers
 // held at once, worst case), and a slow consumer backpressures the pool.
 //
+// Each item pins the lake epoch current when its reclamation starts: items
+// in flight when lake.Apply lands complete on the snapshot they started on,
+// and later items see the new epoch (their observer events carry it).
+//
 // workers <= 0 uses GOMAXPROCS; opts layer over the session configuration.
 // Breaking out of the range cancels the remaining work; a canceled or
 // expired ctx stops dispatch, and in-flight sources yield items whose Err is

@@ -76,17 +76,26 @@ func Discover(l *lake.Lake, src *table.Table, opts Options) []*Candidate {
 // with nil candidates. The substrate builds themselves (inverted index,
 // MinHash-LSH) are not preemptible mid-build — cancellation is re-checked
 // between them, and sessions amortize them away entirely.
+//
+// The whole run is pinned to the lake's snapshot at entry: a concurrent
+// Apply on l cannot tear this query.
 func DiscoverContext(ctx context.Context, l *lake.Lake, src *table.Table, opts Options) ([]*Candidate, error) {
+	return DiscoverSnapContext(ctx, l.Snapshot(), src, opts)
+}
+
+// DiscoverSnapContext is DiscoverContext over one pinned lake snapshot —
+// the substrate builds and every probe read this exact catalog version.
+func DiscoverSnapContext(ctx context.Context, snap *lake.Snapshot, src *table.Table, opts Options) ([]*Candidate, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	pool := l
-	if opts.FirstStageTopK > 0 && l.Len() > opts.FirstStageTopK {
-		lsh := index.BuildMinHashLSH(l)
+	pool := snap
+	if opts.FirstStageTopK > 0 && snap.Len() > opts.FirstStageTopK {
+		lsh := index.BuildMinHashLSH(snap)
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		pool = firstStagePool(l, lsh, src, opts.FirstStageTopK)
+		pool = firstStagePool(snap, lsh, src, opts.FirstStageTopK)
 	}
 	ix := index.BuildInverted(pool)
 	if err := ctx.Err(); err != nil {
@@ -112,28 +121,36 @@ func DiscoverWith(l *lake.Lake, ix *index.IndexSet, src *table.Table, opts Optio
 }
 
 // DiscoverWithContext is DiscoverWith under a context, with the same
-// cancellation contract as DiscoverContext.
+// cancellation contract as DiscoverContext, pinned to the lake's snapshot
+// at entry.
 func DiscoverWithContext(ctx context.Context, l *lake.Lake, ix *index.IndexSet, src *table.Table, opts Options) ([]*Candidate, error) {
+	return DiscoverWithSnapContext(ctx, l.Snapshot(), ix, src, opts)
+}
+
+// DiscoverWithSnapContext is DiscoverWithContext over one pinned snapshot —
+// what the epoch-versioned session calls, with substrates maintained for
+// exactly this snapshot's epoch.
+func DiscoverWithSnapContext(ctx context.Context, snap *lake.Snapshot, ix *index.IndexSet, src *table.Table, opts Options) ([]*Candidate, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	inv := ix.Inverted
 	if inv == nil {
-		inv = index.BuildInverted(l)
+		inv = index.BuildInverted(snap)
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 	}
-	pool := l
-	if opts.FirstStageTopK > 0 && l.Len() > opts.FirstStageTopK {
+	pool := snap
+	if opts.FirstStageTopK > 0 && snap.Len() > opts.FirstStageTopK {
 		lsh := ix.LSH
 		if lsh == nil {
-			lsh = index.BuildMinHashLSH(l)
+			lsh = index.BuildMinHashLSH(snap)
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		pool = firstStagePool(l, lsh, src, opts.FirstStageTopK)
+		pool = firstStagePool(snap, lsh, src, opts.FirstStageTopK)
 	}
 	cands, err := setSimilarityContext(ctx, pool, inv, src, opts)
 	if err != nil {
@@ -143,18 +160,18 @@ func DiscoverWithContext(ctx context.Context, l *lake.Lake, ix *index.IndexSet, 
 }
 
 // firstStagePool restricts the search pool to the LSH retriever's top-k
-// tables. The pool shares the parent lake's value dictionary and interned
-// forms (IDs must keep meaning the same values as in the index); a ranked
-// name can be stale — the LSH index may have been built (or loaded from
-// disk) before tables were removed from the lake — and SubsetSharing skips
+// tables. The pool shares the parent snapshot's value dictionary and
+// interned forms (IDs must keep meaning the same values as in the index); a
+// ranked name can be stale — the LSH index may have been built (or loaded
+// from disk) before tables were removed from the lake — and Subset skips
 // such names rather than adding them.
-func firstStagePool(l *lake.Lake, lsh *index.MinHashLSH, src *table.Table, topK int) *lake.Lake {
+func firstStagePool(snap *lake.Snapshot, lsh *index.MinHashLSH, src *table.Table, topK int) *lake.Snapshot {
 	ranked := lsh.TopK(src, topK)
 	names := make([]string, 0, len(ranked))
 	for _, r := range ranked {
 		names = append(names, r.Table)
 	}
-	return l.SubsetSharing(names)
+	return snap.Subset(names)
 }
 
 // searchColumns probes the inverted index for every non-empty Source column
@@ -255,7 +272,7 @@ type perColumnCandidate struct {
 // original canonical-string sets are used. The two representations are
 // equivalence-tested to produce bit-identical candidates.
 func SetSimilarity(pool *lake.Lake, ix *index.Inverted, src *table.Table, opts Options) []*Candidate {
-	cands, _ := setSimilarityContext(context.Background(), pool, ix, src, opts)
+	cands, _ := setSimilarityContext(context.Background(), pool.Snapshot(), ix, src, opts)
 	return cands
 }
 
@@ -279,7 +296,7 @@ type simSets interface {
 
 // setSimilarityContext is SetSimilarity under a context; cancellation
 // preempts the per-column probe loop and the per-table verification scan.
-func setSimilarityContext(ctx context.Context, pool *lake.Lake, ix *index.Inverted, src *table.Table, opts Options) ([]*Candidate, error) {
+func setSimilarityContext(ctx context.Context, pool *lake.Snapshot, ix *index.Inverted, src *table.Table, opts Options) ([]*Candidate, error) {
 	var sets simSets
 	if d := ix.Dict(); d != nil && d == pool.Dict() {
 		sets = newIDSets(pool, ix, src, opts.Tau)
@@ -390,7 +407,7 @@ func setSimilarityContext(ctx context.Context, pool *lake.Lake, ix *index.Invert
 // implementation the interned path is equivalence-tested against, and the
 // fallback when the index is not ID-keyed under the pool's dictionary.
 type stringSets struct {
-	pool *lake.Lake
+	pool *lake.Snapshot
 	ix   *index.Inverted
 	src  *table.Table
 	tau  float64
@@ -437,7 +454,7 @@ func (s *stringSets) removeSubsumed(cands []*Candidate) []*Candidate {
 // runs on sorted ID slices, so no value string is hashed or built anywhere
 // in the search.
 type idSets struct {
-	pool *lake.Lake
+	pool *lake.Snapshot
 	ix   *index.Inverted
 	src  *table.Table
 	// q is the Source interned against the pool/index dictionary (overlaid).
@@ -448,7 +465,7 @@ type idSets struct {
 	internedOf map[*Candidate]*table.Interned
 }
 
-func newIDSets(pool *lake.Lake, ix *index.Inverted, src *table.Table, tau float64) *idSets {
+func newIDSets(pool *lake.Snapshot, ix *index.Inverted, src *table.Table, tau float64) *idSets {
 	return &idSets{
 		pool:       pool,
 		ix:         ix,

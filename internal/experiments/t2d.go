@@ -25,9 +25,9 @@ func Table4Context(ctx context.Context, corpus *benchmark.T2D, opts RunOptions) 
 	perMethod := make(map[Method][]Outcome)
 
 	// Warm the shared session, for the substrates this run's options engage,
-	// while the corpus is whole: each iteration removes its source from the
-	// lake, and discovery filters the (now stale) index entries of the
-	// removed table against the live lake.
+	// while the corpus is whole: each iteration's remove/restore lands as a
+	// pair of lake epochs, and the session's substrates follow them with
+	// small incremental deltas off this warm build.
 	session := sessionFor(corpus.Lake).WarmFor(opts.Discovery)
 
 	for _, name := range corpus.Reclaimable {
@@ -84,8 +84,8 @@ func T2DSelfReclamation(corpus *benchmark.T2D, opts RunOptions) T2DSelfResult {
 	cfg.Discovery = opts.Discovery
 	cfg.TraverseWorkers = opts.TraverseWorkers
 	// One warm session (for this run's options) serves all |corpus|
-	// leave-one-out queries; the removed source's stale index entries are
-	// filtered per query.
+	// leave-one-out queries; each remove/restore is an epoch pair the
+	// substrates follow incrementally.
 	session := sessionFor(corpus.Lake).WarmFor(opts.Discovery)
 	for _, name := range corpus.Lake.Names() {
 		src := corpus.Lake.Get(name).Clone()

@@ -1,0 +1,32 @@
+package index
+
+import (
+	"gent/internal/lake"
+	"gent/internal/table"
+)
+
+// Corpus is the read-only view of a table catalog the substrate builds run
+// over. Both *lake.Lake (the live, moving catalog) and *lake.Snapshot (one
+// pinned epoch) implement it; builds over a snapshot are immune to
+// concurrent mutation, which is what the epoch-versioned session uses.
+type Corpus interface {
+	// Names returns table names in deterministic iteration order.
+	Names() []string
+	// Tables returns the tables in the same order as Names.
+	Tables() []*table.Table
+	// Get returns the named table, or nil.
+	Get(name string) *table.Table
+	// Len returns the number of tables.
+	Len() int
+	// Dict returns the catalog's value dictionary.
+	Dict() *table.Dict
+	// Interned returns the named table's interned form, or nil when absent.
+	Interned(name string) *table.Interned
+	// EnsureInterned interns every table that has no cached form yet.
+	EnsureInterned()
+}
+
+var (
+	_ Corpus = (*lake.Lake)(nil)
+	_ Corpus = (*lake.Snapshot)(nil)
+)

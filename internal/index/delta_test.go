@@ -1,0 +1,410 @@
+package index
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"gent/internal/lake"
+	"gent/internal/table"
+)
+
+// randomTable builds a table whose values are drawn from a smallish shared
+// alphabet, so mutations genuinely overlap postings.
+func randomTable(rng *rand.Rand, name string) *table.Table {
+	ncols := 1 + rng.Intn(3)
+	cols := make([]string, ncols)
+	for c := range cols {
+		cols[c] = fmt.Sprintf("c%d", c)
+	}
+	t := table.New(name, cols...)
+	nrows := 1 + rng.Intn(12)
+	for r := 0; r < nrows; r++ {
+		row := make([]table.Value, ncols)
+		for c := range row {
+			switch rng.Intn(10) {
+			case 0:
+				row[c] = table.Null
+			case 1, 2:
+				row[c] = table.N(float64(rng.Intn(40)))
+			default:
+				row[c] = table.S(fmt.Sprintf("v%d", rng.Intn(120)))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// applyRandomMutation mutates the lake one random step (put-new,
+// replace-existing, drop, rename) and returns the epoch.
+func applyRandomMutation(t *testing.T, rng *rand.Rand, l *lake.Lake, nextID *int) {
+	t.Helper()
+	names := l.Names()
+	var mut lake.Mutation
+	switch op := rng.Intn(4); {
+	case op == 0 && len(names) > 0: // replace
+		mut = lake.Put(randomTable(rng, names[rng.Intn(len(names))]))
+	case op == 1 && len(names) > 1: // drop
+		mut = lake.Drop(names[rng.Intn(len(names))])
+	case op == 2 && len(names) > 0: // rename
+		*nextID++
+		mut = lake.Rename(names[rng.Intn(len(names))], fmt.Sprintf("rn%d", *nextID))
+	default: // put new
+		*nextID++
+		mut = lake.Put(randomTable(rng, fmt.Sprintf("t%d", *nextID)))
+	}
+	if _, err := l.Apply(context.Background(), mut); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// flatPostingsView canonicalizes an ID-keyed index's live postings for
+// comparison: per-ID sorted refs, empty entries dropped.
+func flatPostingsView(ix *Inverted) map[uint32][]ColumnRef {
+	flat := ix.flatIDPostings()
+	out := make(map[uint32][]ColumnRef, len(flat))
+	for id, refs := range flat {
+		if len(refs) == 0 {
+			continue
+		}
+		cp := append([]ColumnRef(nil), refs...)
+		sort.Slice(cp, func(i, j int) bool {
+			if cp[i].Table != cp[j].Table {
+				return cp[i].Table < cp[j].Table
+			}
+			return cp[i].Col < cp[j].Col
+		})
+		out[id] = cp
+	}
+	return out
+}
+
+// liveSigsView canonicalizes a MinHash index's live column sketches.
+func liveSigsView(ix *MinHashLSH) map[ColumnRef]signature {
+	flat := ix.flattened()
+	out := make(map[ColumnRef]signature, len(flat.sigs))
+	for ref, sig := range flat.sigs {
+		out[ref] = sig
+	}
+	return out
+}
+
+// TestInvertedDeltaMatchesRebuild drives a maintained inverted index through
+// a random mutation sequence, comparing it after every epoch against a
+// fresh build of the same snapshot — postings, column sizes, search output
+// and coverage all bit-identical.
+func TestInvertedDeltaMatchesRebuild(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		l := lake.New()
+		nextID := 0
+		for i := 0; i < 4; i++ {
+			nextID++
+			l.Add(randomTable(rng, fmt.Sprintf("t%d", nextID)))
+		}
+		prev := l.Snapshot()
+		maintained := BuildInverted(prev)
+		for step := 0; step < 30; step++ {
+			applyRandomMutation(t, rng, l, &nextID)
+			snap := l.Snapshot()
+			added, removed, ok := lake.Diff(prev, snap)
+			if !ok {
+				t.Fatal("diff broke within one lineage")
+			}
+			snap.EnsureInterned()
+			maintained = maintained.WithDelta(forms(snap, added), forms(prev, removed))
+			if maintained == nil {
+				t.Fatal("WithDelta returned nil for an ID-keyed index")
+			}
+			fresh := BuildInverted(snap)
+
+			if !reflect.DeepEqual(flatPostingsView(maintained), flatPostingsView(fresh)) {
+				t.Fatalf("seed %d step %d: postings diverged", seed, step)
+			}
+			if !reflect.DeepEqual(maintained.colSizes, fresh.colSizes) {
+				t.Fatalf("seed %d step %d: colSizes diverged", seed, step)
+			}
+			if !maintained.Covers(snap) {
+				t.Fatalf("seed %d step %d: maintained index does not cover the snapshot", seed, step)
+			}
+			// Output-level equivalence on a random probe.
+			probe := randomTable(rng, "probe")
+			q := table.InternTable(table.NewOverlay(snap.Dict()), probe)
+			for c := range probe.Cols {
+				got := maintained.SearchIDs(q.ColumnIDs(c))
+				want := fresh.SearchIDs(q.ColumnIDs(c))
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d step %d: SearchIDs diverged on col %d", seed, step, c)
+				}
+			}
+			prev = snap
+		}
+		if maintained.idOver == nil {
+			t.Logf("seed %d: maintained index ended compacted", seed)
+		}
+	}
+}
+
+// TestMinHashDeltaMatchesRebuild is the LSH analogue: sketches, tombstones
+// and compaction must leave TopK bit-identical to a fresh build at every
+// epoch.
+func TestMinHashDeltaMatchesRebuild(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		l := lake.New()
+		nextID := 0
+		for i := 0; i < 4; i++ {
+			nextID++
+			l.Add(randomTable(rng, fmt.Sprintf("t%d", nextID)))
+		}
+		prev := l.Snapshot()
+		maintained := BuildMinHashLSH(prev)
+		for step := 0; step < 30; step++ {
+			applyRandomMutation(t, rng, l, &nextID)
+			snap := l.Snapshot()
+			added, removed, ok := lake.Diff(prev, snap)
+			if !ok {
+				t.Fatal("diff broke within one lineage")
+			}
+			snap.EnsureInterned()
+			maintained = maintained.WithDelta(forms(snap, added), forms(prev, removed))
+			if maintained == nil {
+				t.Fatal("WithDelta returned nil for an ID-family index")
+			}
+			fresh := BuildMinHashLSH(snap)
+
+			if !reflect.DeepEqual(liveSigsView(maintained), liveSigsView(fresh)) {
+				t.Fatalf("seed %d step %d: live sketches diverged", seed, step)
+			}
+			sort.Strings(maintained.tables)
+			wantTables := append([]string(nil), fresh.tables...)
+			sort.Strings(wantTables)
+			if !reflect.DeepEqual(maintained.tables, wantTables) {
+				t.Fatalf("seed %d step %d: table lists diverged: %v vs %v",
+					seed, step, maintained.tables, wantTables)
+			}
+			if !maintained.Covers(snap) {
+				t.Fatalf("seed %d step %d: maintained LSH does not cover the snapshot", seed, step)
+			}
+			probe := randomTable(rng, "probe")
+			for _, k := range []int{1, 3, 10} {
+				got := maintained.TopK(probe, k)
+				want := fresh.TopK(probe, k)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d step %d: TopK(%d) diverged:\n got %v\nwant %v",
+						seed, step, k, got, want)
+				}
+			}
+			prev = snap
+		}
+	}
+}
+
+func forms(snap *lake.Snapshot, tables []*table.Table) []*table.Interned {
+	out := make([]*table.Interned, len(tables))
+	for i, tt := range tables {
+		out[i] = snap.Interned(tt.Name)
+	}
+	return out
+}
+
+// TestWithDeltaSharesAndPreserves: the delta must not mutate its receiver,
+// and untouched postings must be shared (no deep copy of the corpus).
+func TestWithDeltaSharesAndPreserves(t *testing.T) {
+	l := lake.New()
+	l.Add(mk("stay", "a", "b", "c"))
+	l.Add(mk("gone", "a", "x"))
+	snap := l.Snapshot()
+	base := BuildInverted(snap)
+	baseView := flatPostingsView(base)
+
+	l.Remove("gone")
+	l.Add(mk("new", "b", "y"))
+	snap2 := l.Snapshot()
+	snap2.EnsureInterned()
+	derived := base.WithDelta(
+		[]*table.Interned{snap2.Interned("new")},
+		[]*table.Interned{snap.Interned("gone")},
+	)
+	if derived == nil {
+		t.Fatal("WithDelta returned nil")
+	}
+	if !reflect.DeepEqual(flatPostingsView(base), baseView) {
+		t.Fatal("WithDelta mutated its receiver")
+	}
+	if !reflect.DeepEqual(flatPostingsView(derived), flatPostingsView(BuildInverted(snap2))) {
+		t.Fatal("derived index diverges from a fresh build")
+	}
+	// An ID only "stay" contributes must share its postings slice storage.
+	stayOnly, ok := snap.Dict().LookupValue(table.S("c"))
+	if !ok {
+		t.Fatal("value c not interned")
+	}
+	if &base.idRefs(stayOnly)[0] != &derived.idRefs(stayOnly)[0] {
+		t.Error("untouched postings were copied instead of shared")
+	}
+}
+
+// TestReferenceIndexNotMaintainable: the string-keyed reference forms refuse
+// deltas (callers must rebuild).
+func TestReferenceIndexNotMaintainable(t *testing.T) {
+	l := lake.New()
+	l.Add(mk("t", "a"))
+	snap := l.Snapshot()
+	snap.EnsureInterned()
+	it := snap.Interned("t")
+	if BuildInvertedReference(snap).WithDelta([]*table.Interned{it}, nil) != nil {
+		t.Error("reference inverted index accepted a delta")
+	}
+	if BuildMinHashLSHReference(snap).WithDelta([]*table.Interned{it}, nil) != nil {
+		t.Error("reference minhash index accepted a delta")
+	}
+}
+
+// TestGapAndCatchUp: a set persisted before the lake grew is caught up
+// add-only; schema changes make the gap non-add-only.
+func TestGapAndCatchUp(t *testing.T) {
+	l := lake.New()
+	l.Add(mk("t1", "a", "b"))
+	l.Add(mk("t2", "b", "c"))
+	set := BuildIndexSet(l.Snapshot())
+
+	// Lake grows by one table with novel values.
+	l.Add(mk("t3", "c", "zzz"))
+	snap := l.Snapshot()
+	covered, missing, ok := set.Gap(snap)
+	if !ok {
+		t.Fatal("add-only gap reported non-add-only")
+	}
+	if !reflect.DeepEqual(covered, []string{"t1", "t2"}) || !reflect.DeepEqual(missing, []string{"t3"}) {
+		t.Fatalf("gap = %v / %v", covered, missing)
+	}
+	added, ok := set.CatchUp(snap)
+	if !ok || added != 1 {
+		t.Fatalf("CatchUp = %d, %v", added, ok)
+	}
+	if set.Epoch != snap.Epoch() {
+		t.Fatalf("CatchUp stamped %v, want %v", set.Epoch, snap.Epoch())
+	}
+	if !set.Inverted.Covers(snap) || !set.LSH.Covers(snap) {
+		t.Fatal("caught-up set does not cover the lake")
+	}
+	fresh := BuildIndexSet(snap)
+	if !reflect.DeepEqual(flatPostingsView(set.Inverted), flatPostingsView(fresh.Inverted)) {
+		t.Fatal("caught-up postings diverge from a fresh build")
+	}
+	if !reflect.DeepEqual(liveSigsView(set.LSH), liveSigsView(fresh.LSH)) {
+		t.Fatal("caught-up sketches diverge from a fresh build")
+	}
+
+	// A schema change under a kept name is not add-only.
+	l2 := lake.New()
+	l2.Add(mk("t1", "a"))
+	set2 := BuildIndexSet(l2.Snapshot())
+	wider := table.New("t1", "a", "extra")
+	wider.AddRow(table.S("a"), table.S("e"))
+	l2.Add(wider)
+	if _, _, ok := set2.Gap(l2.Snapshot()); ok {
+		t.Fatal("schema change reported add-only")
+	}
+	if _, ok := set2.CatchUp(l2.Snapshot()); ok {
+		t.Fatal("CatchUp applied across a schema change")
+	}
+}
+
+// TestCatchUpRefusesEditedCoveredTable: a covered table whose contents
+// changed since the save — even an edit that reuses values already in the
+// persisted dictionary and preserves distinct counts — must fail the
+// catch-up (its postings are stale), not be served and re-stamped as
+// current.
+func TestCatchUpRefusesEditedCoveredTable(t *testing.T) {
+	l := lake.New()
+	l.Add(mk("edited", "a", "b"))
+	l.Add(mk("other", "b", "c"))
+	set := BuildIndexSet(l.Snapshot())
+
+	// Edit "edited" in place: swap a -> c. Every value is already in the
+	// persisted dictionary and the distinct count is unchanged, so neither
+	// the dictionary nor the schema can see it. The lake also grows, making
+	// the gap otherwise add-only.
+	l.Add(mk("edited", "c", "b"))
+	l.Add(mk("brand_new", "c"))
+	snap := l.Snapshot()
+	if _, _, ok := set.Gap(snap); !ok {
+		t.Fatal("gap should look add-only at the schema level")
+	}
+	if _, ok := set.CatchUp(snap); ok {
+		t.Fatal("CatchUp accepted a covered table with stale postings")
+	}
+
+	// Sanity: without the edit, the same growth catches up fine.
+	l2 := lake.New()
+	l2.Add(mk("edited", "a", "b"))
+	l2.Add(mk("other", "b", "c"))
+	set2 := BuildIndexSet(l2.Snapshot())
+	l2.Add(mk("brand_new", "c"))
+	if added, ok := set2.CatchUp(l2.Snapshot()); !ok || added != 1 {
+		t.Fatalf("clean add-only catch-up = %d, %v", added, ok)
+	}
+}
+
+// TestSaveDirClearsStaleEpochStamp: saving an unstamped set over a stamped
+// directory must not leave the old epoch.gob to be paired with the fresh
+// substrates.
+func TestSaveDirClearsStaleEpochStamp(t *testing.T) {
+	l := lake.New()
+	l.Add(mk("t", "a"))
+	dir := t.TempDir()
+	stamped := BuildIndexSet(l.Snapshot())
+	if err := stamped.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	unstamped := BuildIndexSet(l.Snapshot())
+	unstamped.Epoch = lake.Epoch{}
+	if err := unstamped.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndexSetDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Epoch.IsZero() {
+		t.Fatalf("stale epoch stamp survived: %v", loaded.Epoch)
+	}
+}
+
+// TestEpochStampRoundTrip: SaveDir persists the epoch stamp and
+// LoadIndexSetDir restores it; pre-epoch directories load with a zero
+// stamp.
+func TestEpochStampRoundTrip(t *testing.T) {
+	l := lake.New()
+	l.Add(mk("t", "a", "b"))
+	snap := l.Snapshot()
+	set := BuildIndexSet(snap)
+	if set.Epoch != snap.Epoch() {
+		t.Fatalf("BuildIndexSet stamped %v, want %v", set.Epoch, snap.Epoch())
+	}
+	dir := t.TempDir()
+	if err := set.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndexSetDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Epoch != snap.Epoch() {
+		t.Fatalf("loaded epoch %v, want %v", loaded.Epoch, snap.Epoch())
+	}
+}
+
+func mk(name string, vals ...string) *table.Table {
+	t := table.New(name, "a")
+	for _, v := range vals {
+		t.AddRow(table.S(v))
+	}
+	return t
+}

@@ -27,11 +27,18 @@ type IndexSet struct {
 	// (lake.AdoptDict) before interning anything, so the persisted IDs keep
 	// meaning the same values.
 	Dict *table.Dict
+	// Epoch is the lake epoch the substrates were built or last maintained
+	// at; the zero Epoch means unknown (a hand-built or pre-epoch set). It is
+	// persisted beside the substrates, so a later session over the same lake
+	// lineage can tell at a glance whether the set is current, and
+	// catch up with a delta when it is merely behind.
+	Epoch lake.Epoch
 }
 
-// BuildIndexSet builds both substrates over the lake, each with a parallel
-// per-table scan, and the two builds themselves running concurrently.
-func BuildIndexSet(l *lake.Lake) *IndexSet {
+// BuildIndexSet builds both substrates over the corpus, each with a parallel
+// per-table scan, and the two builds themselves running concurrently. When
+// the corpus is a *lake.Snapshot the set is stamped with its epoch.
+func BuildIndexSet(l Corpus) *IndexSet {
 	s := &IndexSet{}
 	var wg sync.WaitGroup
 	wg.Add(2)
@@ -45,15 +52,113 @@ func BuildIndexSet(l *lake.Lake) *IndexSet {
 	}()
 	wg.Wait()
 	s.Dict = l.Dict()
+	if snap, ok := l.(*lake.Snapshot); ok {
+		s.Epoch = snap.Epoch()
+	}
 	return s
 }
 
+// Gap classifies how this set relates to a corpus: the corpus tables the
+// substrates already cover and the tables missing entirely. ok reports an
+// add-only gap — every covered table is indexed under exactly its current
+// schema in every present substrate, so CatchUp can close the gap with a
+// pure insertion delta. A partially-covered table (schema change under a
+// kept name) makes the gap non-add-only: ok is false and the caller must
+// rebuild.
+func (s *IndexSet) Gap(c Corpus) (covered, missing []string, ok bool) {
+	if s.Inverted == nil {
+		return nil, c.Names(), false
+	}
+	lshHas := map[string]bool(nil)
+	if s.LSH != nil {
+		lshHas = make(map[string]bool, len(s.LSH.tables))
+		for _, name := range s.LSH.tables {
+			lshHas[name] = true
+		}
+	}
+	for _, t := range c.Tables() {
+		switch {
+		case s.Inverted.coversTable(t):
+			if lshHas != nil && !lshHas[t.Name] {
+				return nil, nil, false // substrates disagree: not add-only
+			}
+			covered = append(covered, t.Name)
+		case !s.Inverted.hasTable(t.Name):
+			if lshHas != nil && lshHas[t.Name] {
+				return nil, nil, false
+			}
+			missing = append(missing, t.Name)
+		default:
+			return nil, nil, false // schema changed under a kept name
+		}
+	}
+	return covered, missing, true
+}
+
+// CatchUp incrementally extends the set to cover snap, inserting the tables
+// Gap reports missing through the same WithDelta maintenance the
+// epoch-versioned session uses, then restamps Dict and Epoch from snap. It
+// returns the number of tables added and whether the catch-up applied;
+// ok=false (gap not add-only, a string-keyed reference substrate — not
+// maintainable — or a covered table whose indexed postings no longer match
+// its contents) leaves the caller on the full rebuild path. The snapshot's
+// dictionary must already incorporate the set's (lake.AdoptDict /
+// AdoptDictCovering) so the persisted IDs keep meaning the same values.
+//
+// Covered tables are verified exactly, not just by schema: one pass over
+// the live postings accumulates each covered column's indexed distinct
+// count and an order-independent ID-set hash, which must match the
+// snapshot's interned form — so a value-level edit to an already-indexed
+// table (even one that reuses dictionary values and preserves counts)
+// fails the catch-up instead of being silently served and re-persisted as
+// current.
+func (s *IndexSet) CatchUp(snap *lake.Snapshot) (added int, ok bool) {
+	covered, missing, ok := s.Gap(snap)
+	if !ok || s.Inverted == nil || s.Inverted.Dict() == nil ||
+		s.LSH != nil && s.LSH.dict == nil {
+		return 0, false
+	}
+	snap.EnsureInterned()
+	if !s.Inverted.verifyTables(snap, covered) {
+		return 0, false
+	}
+	if len(missing) == 0 {
+		s.Dict = snap.Dict()
+		s.Epoch = snap.Epoch()
+		return 0, true
+	}
+	forms := make([]*table.Interned, 0, len(missing))
+	for _, name := range missing {
+		forms = append(forms, snap.Interned(name))
+	}
+	// Rebind to the snapshot's (authoritative, possibly grown) dictionary
+	// before inserting forms interned under it.
+	s.Inverted.RebindDict(snap.Dict())
+	inv := s.Inverted.WithDelta(forms, nil)
+	if inv == nil {
+		return 0, false
+	}
+	var lsh *MinHashLSH
+	if s.LSH != nil {
+		s.LSH.RebindDict(snap.Dict())
+		if lsh = s.LSH.WithDelta(forms, nil); lsh == nil {
+			return 0, false
+		}
+	}
+	s.Inverted = inv
+	s.LSH = lsh
+	s.Dict = snap.Dict()
+	s.Epoch = snap.Epoch()
+	return len(missing), true
+}
+
 // On-disk layout of a persisted IndexSet: one file per substrate plus the
-// shared value dictionary under the set's directory.
+// shared value dictionary and the epoch stamp under the set's directory.
 const (
 	invertedFileName = "inverted.gob"
 	minhashFileName  = "minhash.gob"
 	dictFileName     = "dict.gob"
+	epochFileName    = "epoch.gob"
 )
 
 // SaveDir persists the set's non-nil members under dir (created if needed).
@@ -116,6 +221,21 @@ func (s *IndexSet) SaveDir(dir string) error {
 			return err
 		}
 	}
+	epochPath := filepath.Join(dir, epochFileName)
+	if s.Epoch.IsZero() {
+		// An unstamped save must not leave an older stamp behind to be
+		// paired with these fresh substrates.
+		if err := os.Remove(epochPath); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("index: %w", err)
+		}
+	} else {
+		err := saveFile(epochPath, func(w io.Writer) error {
+			return saveEpoch(w, s.Epoch, fp)
+		})
+		if err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -152,6 +272,22 @@ func LoadIndexSetDir(dir string) (*IndexSet, error) {
 	}
 	if s.Inverted == nil && s.LSH == nil {
 		return nil, fmt.Errorf("%w under %s", ErrNoIndexFiles, dir)
+	}
+	epochPath := filepath.Join(dir, epochFileName)
+	if _, err := os.Stat(epochPath); err == nil {
+		var fp uint64
+		if s.Dict != nil {
+			fp = s.Dict.Fingerprint()
+		}
+		e, err := loadEpochFile(epochPath, fp)
+		if err != nil {
+			return nil, err
+		}
+		s.Epoch = e
+	} else if !os.IsNotExist(err) {
+		// A stamp that exists but cannot be read must not silently load the
+		// set as unstamped — that would bypass the epoch-mismatch guard.
+		return nil, fmt.Errorf("index: %w", err)
 	}
 	return s, nil
 }

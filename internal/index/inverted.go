@@ -19,7 +19,6 @@ import (
 	"sort"
 	"sync"
 
-	"gent/internal/lake"
 	"gent/internal/table"
 )
 
@@ -33,11 +32,22 @@ type ColumnRef struct {
 // enabling exact set-overlap search (the JOSIE role in the paper). The
 // primary form keys postings by dictionary ID; a reference form keyed by
 // canonical value strings is kept behind the same interface.
+//
+// An ID-keyed index is incrementally maintainable: WithDelta derives a new
+// index with tables added or removed without rescanning the rest of the
+// corpus. Maintained indexes layer an override map over a shared immutable
+// base (searches merge the two), and the layers are compacted back into one
+// map when the override grows past a fraction of the base — so a chain of
+// small deltas stays as fast to search as a fresh build.
 type Inverted struct {
 	// dict is the value dictionary idPostings is keyed under; nil for a
 	// string-keyed reference (or legacy persisted) index.
 	dict       *table.Dict
 	idPostings map[uint32][]ColumnRef
+	// idOver overrides idPostings per ID for incrementally maintained
+	// indexes: a present entry (even an empty slice) wins over the base.
+	// Both maps are immutable once the index is published.
+	idOver map[uint32][]ColumnRef
 	// postings is the string-keyed reference form.
 	postings map[string][]ColumnRef
 	// colSizes caches each column's distinct-value count for containment
@@ -46,16 +56,16 @@ type Inverted struct {
 }
 
 // BuildInverted indexes every distinct non-null value ID of every table
-// column, interning the lake first if needed. Tables are scanned
+// column, interning the corpus first if needed. Tables are scanned
 // concurrently on a bounded worker pool; the per-table partial postings are
-// merged in lake order, so the result is identical to a sequential build.
-func BuildInverted(l *lake.Lake) *Inverted {
+// merged in corpus order, so the result is identical to a sequential build.
+func BuildInverted(l Corpus) *Inverted {
 	return buildInverted(l, runtime.GOMAXPROCS(0))
 }
 
 // BuildInvertedReference is the retained string-keyed build — the reference
 // implementation the ID-keyed index is equivalence-tested against.
-func BuildInvertedReference(l *lake.Lake) *Inverted {
+func BuildInvertedReference(l Corpus) *Inverted {
 	return buildInvertedReference(l, runtime.GOMAXPROCS(0))
 }
 
@@ -99,7 +109,7 @@ func scanTable(t *table.Table) tablePostings {
 	return tp
 }
 
-func buildInverted(l *lake.Lake, workers int) *Inverted {
+func buildInverted(l Corpus, workers int) *Inverted {
 	l.EnsureInterned()
 	tables := l.Tables()
 	parts := make([]tablePostings, len(tables))
@@ -123,7 +133,7 @@ func buildInverted(l *lake.Lake, workers int) *Inverted {
 	return ix
 }
 
-func buildInvertedReference(l *lake.Lake, workers int) *Inverted {
+func buildInvertedReference(l Corpus, workers int) *Inverted {
 	tables := l.Tables()
 	parts := make([]tablePostings, len(tables))
 	forEachTable(len(tables), workers, func(i int) { parts[i] = scanTable(tables[i]) })
@@ -195,6 +205,17 @@ func (ix *Inverted) RebindDict(d *table.Dict) {
 	}
 }
 
+// idRefs returns the live postings of one ID, merging the override layer of
+// a maintained index over its base.
+func (ix *Inverted) idRefs(id uint32) []ColumnRef {
+	if ix.idOver != nil {
+		if refs, ok := ix.idOver[id]; ok {
+			return refs
+		}
+	}
+	return ix.idPostings[id]
+}
+
 // SearchSet returns, for a query value set (canonical keys), every lake
 // column overlapping it, ranked by overlap count (ties by table name and
 // column for determinism). On an ID-keyed index, query keys are translated
@@ -205,7 +226,7 @@ func (ix *Inverted) SearchSet(query map[string]bool) []Overlap {
 	if ix.dict != nil {
 		for v := range query {
 			if id, ok := ix.dict.LookupKey(v); ok {
-				for _, ref := range ix.idPostings[id] {
+				for _, ref := range ix.idRefs(id) {
 					counts[ref]++
 				}
 			}
@@ -227,7 +248,7 @@ func (ix *Inverted) SearchSet(query map[string]bool) []Overlap {
 func (ix *Inverted) SearchIDs(query []uint32) []Overlap {
 	counts := make(map[ColumnRef]int)
 	for _, id := range query {
-		for _, ref := range ix.idPostings[id] {
+		for _, ref := range ix.idRefs(id) {
 			counts[ref]++
 		}
 	}
@@ -265,7 +286,7 @@ func (ix *Inverted) SearchColumn(t *table.Table, col int) []Overlap {
 // ColumnSize returns the distinct-value count of an indexed column.
 func (ix *Inverted) ColumnSize(ref ColumnRef) int { return ix.colSizes[ref] }
 
-// Covers reports whether every table of the lake appears in the index with
+// Covers reports whether every table of the corpus appears in the index with
 // its current column count. A persisted index may serve a lake it covers —
 // stale entries for removed tables are filtered against the live lake at
 // query time — but a table missing from the index (or indexed under an old
@@ -273,16 +294,220 @@ func (ix *Inverted) ColumnSize(ref ColumnRef) int { return ix.colSizes[ref] }
 // an already-indexed column are not detectable here (for an ID-keyed index,
 // lake.AdoptDict additionally detects values the persisted dictionary has
 // never seen); rebuild the index after editing table contents.
-func (ix *Inverted) Covers(l *lake.Lake) bool {
+func (ix *Inverted) Covers(l Corpus) bool {
 	for _, t := range l.Tables() {
-		for c := range t.Cols {
-			if _, ok := ix.colSizes[ColumnRef{Table: t.Name, Col: c}]; !ok {
-				return false
-			}
-		}
-		if _, ok := ix.colSizes[ColumnRef{Table: t.Name, Col: len(t.Cols)}]; ok {
-			return false // indexed with more columns than the table now has
+		if !ix.coversTable(t) {
+			return false
 		}
 	}
 	return true
+}
+
+// coversTable reports whether t is indexed under exactly its current schema.
+func (ix *Inverted) coversTable(t *table.Table) bool {
+	for c := range t.Cols {
+		if _, ok := ix.colSizes[ColumnRef{Table: t.Name, Col: c}]; !ok {
+			return false
+		}
+	}
+	if _, ok := ix.colSizes[ColumnRef{Table: t.Name, Col: len(t.Cols)}]; ok {
+		return false // indexed with more columns than the table now has
+	}
+	return true
+}
+
+// hasTable reports whether any column of the named table is indexed.
+func (ix *Inverted) hasTable(name string) bool {
+	_, ok := ix.colSizes[ColumnRef{Table: name, Col: 0}]
+	return ok
+}
+
+// verifyTables exactly checks the named tables' postings against their
+// current interned forms in snap: one pass over the live postings
+// accumulates each column's indexed distinct count and an order-independent
+// ID-set hash (XOR of a mixed ID hash), compared against the interned
+// column sets. A mismatch means the table's contents changed since it was
+// indexed — its postings are stale even though its schema still matches.
+// The corpus must be interned already. Always false on a string-keyed
+// reference index.
+func (ix *Inverted) verifyTables(c Corpus, names []string) bool {
+	if ix.dict == nil {
+		return false
+	}
+	want := make(map[string]bool, len(names))
+	for _, name := range names {
+		want[name] = true
+	}
+	type colSum struct {
+		n    int
+		hash uint64
+	}
+	indexed := make(map[ColumnRef]colSum)
+	scan := func(postings map[uint32][]ColumnRef, over map[uint32][]ColumnRef) {
+		for id, refs := range postings {
+			if over != nil {
+				if _, overridden := over[id]; overridden {
+					continue
+				}
+			}
+			for _, ref := range refs {
+				if want[ref.Table] {
+					cs := indexed[ref]
+					cs.n++
+					cs.hash ^= hashID(id, 0)
+					indexed[ref] = cs
+				}
+			}
+		}
+	}
+	scan(ix.idPostings, ix.idOver)
+	if ix.idOver != nil {
+		scan(ix.idOver, nil)
+	}
+	for _, name := range names {
+		it := c.Interned(name)
+		if it == nil {
+			return false
+		}
+		for c := range it.Table.Cols {
+			ids := it.ColumnIDs(c)
+			var cs colSum
+			for _, id := range ids {
+				cs.n++
+				cs.hash ^= hashID(id, 0)
+			}
+			if indexed[ColumnRef{Table: name, Col: c}] != cs {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// overCompactionSlack is the override-layer size (relative to the base, plus
+// a small absolute allowance) past which WithDelta flattens the two layers
+// back into one map. Compaction copies the whole index once, so it must be
+// rare; the slack fraction bounds the steady-state search overhead (one
+// extra map lookup per probed ID) times the memory held by overridden
+// entries.
+const overCompactionSlack = 64
+
+// WithDelta returns a new index reflecting the receiver with the removed
+// tables' postings stripped and the added tables' postings inserted; the
+// receiver is unchanged, and the two indexes share the storage of untouched
+// postings. A replaced table (same name, new contents) appears in both
+// slices: its old interned form under removed, its new one under added.
+//
+// The removed forms must be the ones the receiver was built or maintained
+// with — they tell the delta exactly which IDs the table had contributed.
+// Only ID-keyed indexes are maintainable; WithDelta returns nil on a
+// string-keyed reference index, and callers fall back to a full rebuild.
+func (ix *Inverted) WithDelta(added, removed []*table.Interned) *Inverted {
+	if ix.dict == nil {
+		return nil
+	}
+	removedNames := make(map[string]bool, len(removed))
+	touched := make(map[uint32]bool)
+	for _, it := range removed {
+		removedNames[it.Table.Name] = true
+		for c := range it.Table.Cols {
+			for _, id := range it.ColumnIDs(c) {
+				touched[id] = true
+			}
+		}
+	}
+
+	nix := &Inverted{
+		dict:       ix.dict,
+		idPostings: ix.idPostings,
+		colSizes:   make(map[ColumnRef]int, len(ix.colSizes)),
+	}
+	over := make(map[uint32][]ColumnRef, len(ix.idOver)+len(touched))
+	for id, refs := range ix.idOver {
+		over[id] = refs
+	}
+	for ref, n := range ix.colSizes {
+		if !removedNames[ref.Table] {
+			nix.colSizes[ref] = n
+		}
+	}
+
+	// Slices created by this call are exclusively owned and may be appended
+	// to in place; anything inherited from the receiver (base or previous
+	// override layer) is shared and must be copied on first touch.
+	owned := make(map[uint32]bool, len(touched))
+
+	// Removals first: rewrite every touched ID's postings without the
+	// removed tables' refs, copying (never mutating) the shared slices.
+	for id := range touched {
+		cur, ok := over[id]
+		if !ok {
+			cur = ix.idPostings[id]
+		}
+		kept := make([]ColumnRef, 0, len(cur))
+		for _, ref := range cur {
+			if !removedNames[ref.Table] {
+				kept = append(kept, ref)
+			}
+		}
+		over[id] = kept
+		owned[id] = true
+	}
+	// Then additions, copying each current postings slice once and
+	// appending in place afterwards.
+	for _, it := range added {
+		t := it.Table
+		for c := range t.Cols {
+			ref := ColumnRef{Table: t.Name, Col: c}
+			ids := it.ColumnIDs(c)
+			nix.colSizes[ref] = len(ids)
+			for _, id := range ids {
+				if owned[id] {
+					over[id] = append(over[id], ref)
+					continue
+				}
+				cur, ok := over[id]
+				if !ok {
+					cur = ix.idPostings[id]
+				}
+				nw := make([]ColumnRef, len(cur), len(cur)+len(added))
+				copy(nw, cur)
+				over[id] = append(nw, ref)
+				owned[id] = true
+			}
+		}
+	}
+
+	if len(over) > len(nix.idPostings)/2+overCompactionSlack {
+		nix.idPostings = flattenPostings(nix.idPostings, over)
+	} else {
+		nix.idOver = over
+	}
+	return nix
+}
+
+// flattenPostings merges an override layer into a copy of the base,
+// dropping entries whose live postings are empty.
+func flattenPostings(base, over map[uint32][]ColumnRef) map[uint32][]ColumnRef {
+	flat := make(map[uint32][]ColumnRef, len(base)+len(over))
+	for id, refs := range base {
+		flat[id] = refs
+	}
+	for id, refs := range over {
+		if len(refs) == 0 {
+			delete(flat, id)
+		} else {
+			flat[id] = refs
+		}
+	}
+	return flat
+}
+
+// flatIDPostings returns the single-layer view of the postings — the base
+// itself when there is no override layer.
+func (ix *Inverted) flatIDPostings() map[uint32][]ColumnRef {
+	if ix.idOver == nil {
+		return ix.idPostings
+	}
+	return flattenPostings(ix.idPostings, ix.idOver)
 }

@@ -6,7 +6,6 @@ import (
 	"runtime"
 	"sort"
 
-	"gent/internal/lake"
 	"gent/internal/table"
 )
 
@@ -97,27 +96,42 @@ func estimateJaccard(a, b signature) float64 {
 // primary build sketches interned value IDs; the reference build sketches
 // value strings. Either way, query columns are sketched with the same hash
 // family the index was built with.
+//
+// An ID-family index is incrementally maintainable: WithDelta inserts the
+// added tables' sketches into an override layer and tombstones the removed
+// tables' columns instead of rewriting the shared bucket maps; retrieval
+// skips tombstoned columns, and when the dead weight grows past a fraction
+// of the index the layers are compacted — tombstones dropped, overrides
+// folded in — without re-sketching a single column (signatures determine
+// their band keys).
 type MinHashLSH struct {
 	// dict, when non-nil, marks an ID-family index and translates query
 	// values to IDs at TopK time.
 	dict    *table.Dict
 	sigs    map[ColumnRef]signature
 	buckets map[uint64][]ColumnRef
-	tables  []string
+	// sigsOver/bucketsOver hold columns inserted (or re-inserted) since the
+	// base was built; a column present in sigsOver supersedes any base
+	// occurrence. dead tombstones base columns of removed tables. All maps
+	// are immutable once the index is published.
+	sigsOver    map[ColumnRef]signature
+	bucketsOver map[uint64][]ColumnRef
+	dead        map[ColumnRef]bool
+	tables      []string
 }
 
-// BuildMinHashLSH sketches and buckets every column of the lake over
-// interned value IDs, interning the lake first if needed. Sketching — the
+// BuildMinHashLSH sketches and buckets every column of the corpus over
+// interned value IDs, interning the corpus first if needed. Sketching — the
 // dominant cost — fans out per table on a bounded worker pool; bucket
-// merging stays in lake order so the index is identical to a sequential
+// merging stays in corpus order so the index is identical to a sequential
 // build.
-func BuildMinHashLSH(l *lake.Lake) *MinHashLSH {
+func BuildMinHashLSH(l Corpus) *MinHashLSH {
 	return buildMinHashLSH(l, runtime.GOMAXPROCS(0))
 }
 
 // BuildMinHashLSHReference is the retained string-hashing build — the
 // reference implementation for the ID-family sketches.
-func BuildMinHashLSHReference(l *lake.Lake) *MinHashLSH {
+func BuildMinHashLSHReference(l Corpus) *MinHashLSH {
 	return buildMinHashLSHReference(l, runtime.GOMAXPROCS(0))
 }
 
@@ -153,7 +167,7 @@ func sketchInterned(it *table.Interned) tableSketches {
 	return ts
 }
 
-func buildMinHashLSH(l *lake.Lake, workers int) *MinHashLSH {
+func buildMinHashLSH(l Corpus, workers int) *MinHashLSH {
 	l.EnsureInterned()
 	tables := l.Tables()
 	parts := make([]tableSketches, len(tables))
@@ -165,7 +179,7 @@ func buildMinHashLSH(l *lake.Lake, workers int) *MinHashLSH {
 	return ix
 }
 
-func buildMinHashLSHReference(l *lake.Lake, workers int) *MinHashLSH {
+func buildMinHashLSHReference(l Corpus, workers int) *MinHashLSH {
 	tables := l.Tables()
 	parts := make([]tableSketches, len(tables))
 	forEachTable(len(tables), workers, func(i int) { parts[i] = sketchTable(tables[i]) })
@@ -246,6 +260,31 @@ func (ix *MinHashLSH) querySketch(query *table.Table, qc int, ov *table.Overlay)
 	return sketchIDs(ids), true
 }
 
+// sigOf returns a column's live signature, preferring the override layer.
+func (ix *MinHashLSH) sigOf(ref ColumnRef) signature {
+	if ix.sigsOver != nil {
+		if sig, ok := ix.sigsOver[ref]; ok {
+			return sig
+		}
+	}
+	return ix.sigs[ref]
+}
+
+// liveInBase reports whether a base-bucket occurrence of ref is current: not
+// tombstoned, and not superseded by an override (whose banding lives in the
+// override buckets).
+func (ix *MinHashLSH) liveInBase(ref ColumnRef) bool {
+	if ix.dead != nil && ix.dead[ref] {
+		return false
+	}
+	if ix.sigsOver != nil {
+		if _, over := ix.sigsOver[ref]; over {
+			return false
+		}
+	}
+	return true
+}
+
 // TopK retrieves the k lake tables most relevant to the query table: for
 // each query column, LSH candidates are scored by estimated Jaccard, and a
 // table's score is the sum of its best per-query-column estimates.
@@ -261,23 +300,33 @@ func (ix *MinHashLSH) TopK(query *table.Table, k int) []Ranked {
 			continue
 		}
 		seen := make(map[ColumnRef]bool)
+		score := func(ref ColumnRef) {
+			if seen[ref] {
+				return
+			}
+			seen[ref] = true
+			j := estimateJaccard(qsig, ix.sigOf(ref))
+			if j == 0 {
+				return
+			}
+			m := best[ref.Table]
+			if m == nil {
+				m = make(map[int]float64)
+				best[ref.Table] = m
+			}
+			if j > m[qc] {
+				m[qc] = j
+			}
+		}
 		for _, bk := range bandKeys(qsig) {
 			for _, ref := range ix.buckets[bk] {
-				if seen[ref] {
-					continue
+				if ix.liveInBase(ref) {
+					score(ref)
 				}
-				seen[ref] = true
-				j := estimateJaccard(qsig, ix.sigs[ref])
-				if j == 0 {
-					continue
-				}
-				m := best[ref.Table]
-				if m == nil {
-					m = make(map[int]float64)
-					best[ref.Table] = m
-				}
-				if j > m[qc] {
-					m[qc] = j
+			}
+			if ix.bucketsOver != nil {
+				for _, ref := range ix.bucketsOver[bk] {
+					score(ref)
 				}
 			}
 		}
@@ -302,6 +351,10 @@ func (ix *MinHashLSH) TopK(query *table.Table, k int) []Ranked {
 	return out
 }
 
+// Dict returns the value dictionary an ID-family index sketches through,
+// nil for a string-family reference index.
+func (ix *MinHashLSH) Dict() *table.Dict { return ix.dict }
+
 // RebindDict points an ID-family index at d, which must assign every ID the
 // signatures were sketched from identically; see Inverted.RebindDict. No-op
 // on a string-family index.
@@ -311,12 +364,12 @@ func (ix *MinHashLSH) RebindDict(d *table.Dict) {
 	}
 }
 
-// Covers reports whether every table of the lake was present when this
-// index was built. Stale entries for since-removed tables are tolerated
-// (they are filtered against the live lake at query time), but a lake table
-// absent from the sketches would silently never surface in first-stage
-// retrieval.
-func (ix *MinHashLSH) Covers(l *lake.Lake) bool {
+// Covers reports whether every table of the corpus was present when this
+// index was built or maintained. Stale entries for since-removed tables are
+// tolerated (they are filtered against the live lake at query time), but a
+// lake table absent from the sketches would silently never surface in
+// first-stage retrieval.
+func (ix *MinHashLSH) Covers(l Corpus) bool {
 	have := make(map[string]bool, len(ix.tables))
 	for _, name := range ix.tables {
 		have[name] = true
@@ -327,4 +380,141 @@ func (ix *MinHashLSH) Covers(l *lake.Lake) bool {
 		}
 	}
 	return true
+}
+
+// WithDelta returns a new index reflecting the receiver with the removed
+// tables' sketches tombstoned and the added tables' columns sketched and
+// inserted; the receiver is unchanged, and the two indexes share the base
+// sketch and bucket storage. A replaced table appears in both slices, old
+// interned form under removed, new under added (see Inverted.WithDelta).
+// Only ID-family indexes are maintainable; WithDelta returns nil on a
+// string-family reference index.
+func (ix *MinHashLSH) WithDelta(added, removed []*table.Interned) *MinHashLSH {
+	if ix.dict == nil {
+		return nil
+	}
+	nix := &MinHashLSH{
+		dict:        ix.dict,
+		sigs:        ix.sigs,
+		buckets:     ix.buckets,
+		sigsOver:    make(map[ColumnRef]signature, len(ix.sigsOver)+8*len(added)),
+		bucketsOver: make(map[uint64][]ColumnRef, len(ix.bucketsOver)),
+		dead:        make(map[ColumnRef]bool, len(ix.dead)),
+	}
+	for ref, sig := range ix.sigsOver {
+		nix.sigsOver[ref] = sig
+	}
+	for bk, refs := range ix.bucketsOver {
+		nix.bucketsOver[bk] = refs
+	}
+	for ref := range ix.dead {
+		nix.dead[ref] = true
+	}
+
+	removedNames := make(map[string]bool, len(removed))
+	stripOver := make(map[ColumnRef]bool)
+	for _, it := range removed {
+		removedNames[it.Table.Name] = true
+		for c := range it.Table.Cols {
+			ref := ColumnRef{Table: it.Table.Name, Col: c}
+			if sig, over := nix.sigsOver[ref]; over {
+				// The column lives in the override layer: remove it for real
+				// (its band keys come straight from its signature).
+				delete(nix.sigsOver, ref)
+				stripOver[ref] = true
+				for _, bk := range bandKeys(sig) {
+					nix.bucketsOver[bk] = stripRefs(nix.bucketsOver[bk], stripOver)
+				}
+				delete(stripOver, ref)
+			}
+			if _, inBase := nix.sigs[ref]; inBase {
+				// Tombstone any base occurrence too — an override was only
+				// masking it, and deleting the override alone would
+				// resurrect the stale base sketch.
+				nix.dead[ref] = true
+			}
+		}
+	}
+
+	for _, it := range added {
+		ts := sketchInterned(it)
+		for i, ref := range ts.refs {
+			sig := ts.sigs[i]
+			delete(nix.dead, ref) // a re-added column is live via the override
+			nix.sigsOver[ref] = sig
+			for _, bk := range bandKeys(sig) {
+				cur := nix.bucketsOver[bk]
+				nw := make([]ColumnRef, len(cur), len(cur)+1)
+				copy(nw, cur)
+				nix.bucketsOver[bk] = append(nw, ref)
+			}
+		}
+	}
+
+	nix.tables = make([]string, 0, len(ix.tables)+len(added))
+	inTables := make(map[string]bool, len(ix.tables)+len(added))
+	for _, name := range ix.tables {
+		if !removedNames[name] && !inTables[name] {
+			nix.tables = append(nix.tables, name)
+			inTables[name] = true
+		}
+	}
+	for _, it := range added {
+		if !inTables[it.Table.Name] {
+			nix.tables = append(nix.tables, it.Table.Name)
+			inTables[it.Table.Name] = true
+		}
+	}
+
+	if len(nix.dead)+len(nix.sigsOver) > len(nix.sigs)/2+overCompactionSlack {
+		return nix.compacted()
+	}
+	return nix
+}
+
+// stripRefs returns refs without the members of drop, copying only when a
+// removal actually happens.
+func stripRefs(refs []ColumnRef, drop map[ColumnRef]bool) []ColumnRef {
+	kept := make([]ColumnRef, 0, len(refs))
+	for _, ref := range refs {
+		if !drop[ref] {
+			kept = append(kept, ref)
+		}
+	}
+	return kept
+}
+
+// compacted folds the override layer and tombstones into a fresh
+// single-layer index. No column is re-sketched: live signatures determine
+// their band keys.
+func (ix *MinHashLSH) compacted() *MinHashLSH {
+	flat := &MinHashLSH{
+		dict:    ix.dict,
+		sigs:    make(map[ColumnRef]signature, len(ix.sigs)+len(ix.sigsOver)),
+		buckets: make(map[uint64][]ColumnRef, len(ix.buckets)),
+		tables:  ix.tables,
+	}
+	for ref, sig := range ix.sigs {
+		if ix.liveInBase(ref) {
+			flat.sigs[ref] = sig
+		}
+	}
+	for ref, sig := range ix.sigsOver {
+		flat.sigs[ref] = sig
+	}
+	for ref, sig := range flat.sigs {
+		for _, bk := range bandKeys(sig) {
+			flat.buckets[bk] = append(flat.buckets[bk], ref)
+		}
+	}
+	return flat
+}
+
+// flattened returns the single-layer view of the index — the receiver
+// itself when it has no maintenance layers.
+func (ix *MinHashLSH) flattened() *MinHashLSH {
+	if len(ix.sigsOver) == 0 && len(ix.dead) == 0 {
+		return ix
+	}
+	return ix.compacted()
 }

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"gent/internal/lake"
 	"gent/internal/table"
 )
 
@@ -72,7 +73,7 @@ func (ix *Inverted) save(w io.Writer, fp uint64) error {
 	d := invertedDisk{ColSizes: ix.colSizes}
 	if ix.dict != nil {
 		d.Version = invertedFormatID
-		d.IDPostings = ix.idPostings
+		d.IDPostings = ix.flatIDPostings()
 		d.DictFingerprint = fp
 	} else {
 		d.Version = invertedFormatString
@@ -129,12 +130,13 @@ func (ix *MinHashLSH) Save(w io.Writer) error {
 }
 
 func (ix *MinHashLSH) save(w io.Writer, fp uint64) error {
+	flat := ix.flattened() // fold any incremental-maintenance layers
 	d := minhashDisk{
 		Version:  minhashFormatVersion,
-		Interned: ix.dict != nil,
-		Sigs:     ix.sigs,
-		Buckets:  ix.buckets,
-		Tables:   ix.tables,
+		Interned: flat.dict != nil,
+		Sigs:     flat.sigs,
+		Buckets:  flat.buckets,
+		Tables:   flat.tables,
 	}
 	if d.Interned {
 		d.DictFingerprint = fp
@@ -169,6 +171,57 @@ func LoadMinHashLSH(r io.Reader, dict *table.Dict) (*MinHashLSH, error) {
 		ix.dict = dict
 	}
 	return ix, nil
+}
+
+// epochDisk is the serializable form of an IndexSet's epoch stamp.
+// DictFingerprint pins the stamp to the dictionary snapshot the set was
+// saved with — the same fingerprint every ID-keyed substrate file carries —
+// so a stamp left behind by an older save can never pass itself off as
+// describing newer substrates.
+type epochDisk struct {
+	Version         int
+	Seq             uint64
+	Chain           uint64
+	DictFingerprint uint64
+}
+
+const epochFormatVersion = 1
+
+// saveEpoch writes the lake epoch the set was built or maintained at.
+func saveEpoch(w io.Writer, e lake.Epoch, fp uint64) error {
+	return gob.NewEncoder(w).Encode(epochDisk{
+		Version:         epochFormatVersion,
+		Seq:             e.Seq,
+		Chain:           e.Chain,
+		DictFingerprint: fp,
+	})
+}
+
+// loadEpoch reads an epoch stamp written by saveEpoch; fp must match the
+// fingerprint the stamp was saved under (0 matches 0: a dict-less set).
+func loadEpoch(r io.Reader, fp uint64) (lake.Epoch, error) {
+	var d epochDisk
+	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+		return lake.Epoch{}, fmt.Errorf("index: decoding epoch stamp: %w", err)
+	}
+	if d.Version != epochFormatVersion {
+		return lake.Epoch{}, fmt.Errorf("index: epoch stamp format v%d, want v%d",
+			d.Version, epochFormatVersion)
+	}
+	if d.DictFingerprint != fp {
+		return lake.Epoch{}, fmt.Errorf("%w (epoch stamp)", ErrDictFingerprint)
+	}
+	return lake.Epoch{Seq: d.Seq, Chain: d.Chain}, nil
+}
+
+// loadEpochFile reads an epoch stamp file.
+func loadEpochFile(path string, fp uint64) (lake.Epoch, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return lake.Epoch{}, fmt.Errorf("index: %w", err)
+	}
+	defer f.Close()
+	return loadEpoch(f, fp)
 }
 
 // dictDisk is the serializable form of a value dictionary.

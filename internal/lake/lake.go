@@ -2,14 +2,24 @@
 // key-less, metadata-unreliable tables, with an in-memory store, a CSV
 // directory backend, and the corpus statistics the paper reports in Table I.
 //
+// The catalog is epoch-versioned. Mutations go through Apply (Put, Drop,
+// Rename), each batch producing a new immutable Snapshot stamped with an
+// Epoch; readers pin the snapshot they start on (one atomic load, no locks)
+// and are immune to concurrent mutation. The legacy Add/Remove/Get/Names
+// surface is retained as shims over the snapshot layer.
+//
 // Every lake owns a table.Dict — the lake-wide value dictionary — and caches
 // an interned (columnar ID) form of each table. Interning happens once, the
 // first time a substrate build asks for it (or eagerly via EnsureInterned),
 // and every later index build, discovery probe or alignment runs on the
-// cached IDs instead of re-hashing value strings.
+// cached IDs instead of re-hashing value strings. The dictionary is
+// append-only across epochs: a Drop tombstones its values (they keep their
+// IDs) and never renumbers, which is what lets substrates be maintained
+// incrementally from epoch to epoch.
 package lake
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -18,105 +28,111 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"gent/internal/table"
 )
 
-// Lake is a catalog of data lake tables addressed by name.
+// Lake is an epoch-versioned catalog of data lake tables addressed by name.
+// All methods are safe for concurrent use: mutations (Apply and the legacy
+// Add/Remove shims) serialize on an internal lock and publish immutable
+// snapshots; readers are lock-free.
 type Lake struct {
-	byName map[string]*table.Table
-	names  []string // insertion order, for deterministic iteration
-
-	// im guards the value dictionary and the per-table interned forms.
-	im       sync.Mutex
-	dict     *table.Dict
-	interned map[string]*table.Interned
+	// mu serializes mutations (Apply, AdoptDict); readers never take it.
+	mu   sync.Mutex
+	snap atomic.Pointer[Snapshot]
 }
 
-// New returns an empty lake with a fresh value dictionary.
+// internState is the dictionary plus the per-table interned-form cache a
+// lineage of snapshots shares. The cache is keyed by table pointer, so a
+// replaced table (new pointer, same name) can never serve a stale form, and
+// every snapshot that contains a given pointer shares one interned form.
+type internState struct {
+	mu    sync.Mutex
+	dict  *table.Dict
+	cache map[*table.Table]*table.Interned
+}
+
+func newInternState(d *table.Dict) *internState {
+	return &internState{dict: d, cache: make(map[*table.Table]*table.Interned)}
+}
+
+// New returns an empty lake, at the zero Epoch, with a fresh value
+// dictionary.
 func New() *Lake {
-	return &Lake{
-		byName:   make(map[string]*table.Table),
-		dict:     table.NewDict(),
-		interned: make(map[string]*table.Interned),
-	}
+	l := &Lake{}
+	l.snap.Store(&Snapshot{
+		byName: make(map[string]*table.Table),
+		ist:    newInternState(table.NewDict()),
+	})
+	return l
 }
 
-// Add registers a table; re-adding a name replaces the previous table (lakes
-// are autonomous — tables change under us) and drops its cached interned
-// form. Dictionary entries are never removed (IDs are stable), so stale
-// values merely keep their IDs.
+// Add registers a table; re-adding a name replaces the previous table.
+//
+// Deprecated: Add is the v2 mutation shim — one Apply(Put(t)) per call. Use
+// Apply directly to batch mutations into one epoch and to observe errors.
 func (l *Lake) Add(t *table.Table) {
-	if _, exists := l.byName[t.Name]; !exists {
-		l.names = append(l.names, t.Name)
+	if _, err := l.Apply(context.Background(), Put(t)); err != nil {
+		// Only a nil table or an empty name can get here. v2 panicked on nil
+		// (a nil dereference) and silently stored an empty name; Apply's
+		// validation now rejects both loudly.
+		panic(err)
 	}
-	l.byName[t.Name] = t
-	l.im.Lock()
-	delete(l.interned, t.Name)
-	l.im.Unlock()
-}
-
-// Get returns the named table, or nil.
-func (l *Lake) Get(name string) *table.Table { return l.byName[name] }
-
-// Len returns the number of tables.
-func (l *Lake) Len() int { return len(l.names) }
-
-// Names returns table names in insertion order.
-func (l *Lake) Names() []string { return append([]string(nil), l.names...) }
-
-// Tables returns all tables in insertion order.
-func (l *Lake) Tables() []*table.Table {
-	out := make([]*table.Table, 0, len(l.names))
-	for _, n := range l.names {
-		out = append(out, l.byName[n])
-	}
-	return out
 }
 
 // Remove drops the named table if present.
+//
+// Deprecated: Remove is the v2 mutation shim — one Apply(Drop(name)) per
+// call. Use Apply directly to batch mutations into one epoch.
 func (l *Lake) Remove(name string) {
-	if _, ok := l.byName[name]; !ok {
+	if name == "" {
 		return
 	}
-	delete(l.byName, name)
-	for i, n := range l.names {
-		if n == name {
-			l.names = append(l.names[:i], l.names[i+1:]...)
-			break
-		}
-	}
-	l.im.Lock()
-	delete(l.interned, name)
-	l.im.Unlock()
+	l.Apply(context.Background(), Drop(name))
 }
+
+// Get returns the named table in the current snapshot, or nil. Callers that
+// read more than once while the lake may be mutated should pin a Snapshot
+// instead.
+func (l *Lake) Get(name string) *table.Table { return l.Snapshot().Get(name) }
+
+// Len returns the number of tables in the current snapshot.
+func (l *Lake) Len() int { return l.Snapshot().Len() }
+
+// Names returns the current snapshot's table names in insertion order.
+func (l *Lake) Names() []string { return l.Snapshot().Names() }
+
+// Tables returns the current snapshot's tables in insertion order.
+func (l *Lake) Tables() []*table.Table { return l.Snapshot().Tables() }
 
 // Dict returns the lake's value dictionary.
-func (l *Lake) Dict() *table.Dict {
-	l.im.Lock()
-	defer l.im.Unlock()
-	return l.dict
+func (l *Lake) Dict() *table.Dict { return l.Snapshot().Dict() }
+
+// EnsureInterned interns every table of the current snapshot that has no
+// cached interned form yet.
+func (l *Lake) EnsureInterned() { l.Snapshot().EnsureInterned() }
+
+// Interned returns the interned form of the named table in the current
+// snapshot, interning any not-yet-interned tables first; nil when the table
+// is absent.
+func (l *Lake) Interned(name string) *table.Interned { return l.Snapshot().Interned(name) }
+
+// ensure interns every listed table missing from the cache, with the
+// deterministic two-phase intern: tables pre-intern against private scratch
+// dictionaries on a worker pool (the dominant cost — hashing every cell —
+// parallelizes), then merge into the shared dictionary serially in list
+// order, which assigns exactly the IDs a fully serial pass would have.
+func (st *internState) ensure(names []string, byName map[string]*table.Table) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.ensureLocked(names, byName)
 }
 
-// EnsureInterned interns every table that has no cached interned form yet,
-// in name insertion order. It is idempotent and safe for concurrent use;
-// substrate builds call it once up front so per-table scans afterwards are
-// lock-free reads of immutable forms.
-func (l *Lake) EnsureInterned() {
-	l.im.Lock()
-	defer l.im.Unlock()
-	l.ensureInternedLocked()
-}
-
-// ensureInternedLocked runs the deterministic two-phase intern: tables
-// pre-intern against private scratch dictionaries on a worker pool (the
-// dominant cost — hashing every cell — parallelizes), then merge into the
-// shared dictionary serially in name order, which assigns exactly the IDs a
-// fully serial pass would have.
-func (l *Lake) ensureInternedLocked() {
+func (st *internState) ensureLocked(names []string, byName map[string]*table.Table) {
 	missing := make([]string, 0)
-	for _, n := range l.names {
-		if _, ok := l.interned[n]; !ok {
+	for _, n := range names {
+		if _, ok := st.cache[byName[n]]; !ok {
 			missing = append(missing, n)
 		}
 	}
@@ -130,7 +146,7 @@ func (l *Lake) ensureInternedLocked() {
 	}
 	if workers <= 1 {
 		for i, n := range missing {
-			pres[i] = table.PreInternTable(l.byName[n])
+			pres[i] = table.PreInternTable(byName[n])
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -140,7 +156,7 @@ func (l *Lake) ensureInternedLocked() {
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					pres[i] = table.PreInternTable(l.byName[missing[i]])
+					pres[i] = table.PreInternTable(byName[missing[i]])
 				}
 			}()
 		}
@@ -151,20 +167,68 @@ func (l *Lake) ensureInternedLocked() {
 		wg.Wait()
 	}
 	for i, n := range missing {
-		l.interned[n] = pres[i].Merge(l.dict)
+		st.cache[byName[n]] = pres[i].Merge(st.dict)
 	}
 }
 
-// Interned returns the interned form of the named table, interning any
-// not-yet-interned tables first; nil when the table is absent.
-func (l *Lake) Interned(name string) *table.Interned {
-	l.im.Lock()
-	defer l.im.Unlock()
-	if it, ok := l.interned[name]; ok {
+// internedOf returns t's cached interned form, interning all of the
+// snapshot's missing tables on a miss.
+func (st *internState) internedOf(t *table.Table, names []string, byName map[string]*table.Table) *table.Interned {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if it, ok := st.cache[t]; ok {
 		return it
 	}
-	l.ensureInternedLocked()
-	return l.interned[name]
+	st.ensureLocked(names, byName)
+	if it, ok := st.cache[t]; ok {
+		return it
+	}
+	// t belongs to an older snapshot and was swept; re-intern it alone. The
+	// dictionary is append-only, so the form is identical to the swept one.
+	it := table.PreInternTable(t).Merge(st.dict)
+	st.cache[t] = it
+	return it
+}
+
+// sweep evicts cached forms of tables absent from the live catalog, plus
+// any explicitly listed ones (same-pointer in-place edits, which the
+// liveness check cannot see). Pinned snapshots that still need an evicted
+// form re-intern on demand (same IDs — the dictionary never shrinks), so
+// sweeping only bounds memory, never changes results.
+func (st *internState) sweep(live map[string]*table.Table, evict []*table.Table) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for t := range st.cache {
+		if live[t.Name] != t {
+			delete(st.cache, t)
+		}
+	}
+	for _, t := range evict {
+		delete(st.cache, t)
+	}
+}
+
+// retarget republishes renamed tables' cached interned forms under their
+// shallow copies ([old, new] pairs), so a rename costs no re-interning. It
+// runs only after the whole Apply batch has validated.
+func (st *internState) retarget(pairs [][2]*table.Table) {
+	if len(pairs) == 0 {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, p := range pairs {
+		if it, ok := st.cache[p[0]]; ok {
+			st.cache[p[1]] = it.Retargeted(p[1])
+		}
+	}
+}
+
+// interned reports whether anything has been interned (or adopted) yet.
+func (st *internState) used() bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.cache) > 0 || st.dict.Len() > 0
 }
 
 // ErrDictMismatch reports that an adopted dictionary does not cover the
@@ -175,66 +239,75 @@ var ErrDictMismatch = errors.New("lake: values missing from adopted dictionary")
 // AdoptDict makes the lake compatible with a persisted dictionary, so
 // persisted ID-keyed indexes stay meaningful over this lake. If the lake has
 // not interned anything yet, d becomes the lake's dictionary and every table
-// is interned against it; ErrDictMismatch reports lake values d has never
-// seen — the persisted indexes would silently miss them, so callers should
-// rebuild (the lake stays consistent: the dictionary only grew). If the lake
-// is already interned, adoption succeeds exactly when d is a prefix of the
-// lake's dictionary (a snapshot of it, as a set persisted from this very
-// lake is) — every persisted ID already means the same value here and the
-// lake's own dictionary remains authoritative; use Dict() for lookups after
-// a successful adoption.
+// of the current snapshot is interned against it; ErrDictMismatch reports
+// lake values d has never seen — the persisted indexes would silently miss
+// them, so callers should rebuild (the lake stays consistent: the dictionary
+// only grew). If the lake is already interned, adoption succeeds exactly
+// when d is a prefix of the lake's dictionary (a snapshot of it, as a set
+// persisted from this very lake is) — every persisted ID already means the
+// same value here and the lake's own dictionary remains authoritative; use
+// Dict() for lookups after a successful adoption.
+//
+// Adoption does not bump the epoch — the catalog is unchanged — but it does
+// publish a fresh snapshot bound to d; snapshots pinned before the adoption
+// keep the dictionary they started with.
 func (l *Lake) AdoptDict(d *table.Dict) error {
-	l.im.Lock()
-	defer l.im.Unlock()
-	if len(l.interned) > 0 || l.dict.Len() > 0 {
-		if d.PrefixOf(l.dict) {
+	return l.adoptDict(d, nil)
+}
+
+// AdoptDictCovering is AdoptDict for a dictionary that only claims to cover
+// the named tables — the persisted-index catch-up path, where tables added
+// to the lake since the indexes were saved legitimately carry values the
+// dictionary has never seen. Only the covered tables are interned eagerly
+// and checked for coverage; the rest intern lazily (growing the dictionary
+// past the adopted prefix, as any new epoch would).
+func (l *Lake) AdoptDictCovering(d *table.Dict, covered []string) error {
+	return l.adoptDict(d, covered)
+}
+
+func (l *Lake) adoptDict(d *table.Dict, covered []string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	s := l.snap.Load()
+	if s.ist.used() {
+		if d.PrefixOf(s.ist.dict) {
 			return nil
 		}
 		return fmt.Errorf("%w: lake interned under a diverged dictionary", ErrDictMismatch)
 	}
-	l.dict = d
+	ns := &Snapshot{epoch: s.epoch, names: s.names, byName: s.byName, fps: s.fps, ist: newInternState(d)}
+	l.snap.Store(ns)
 	baseline := d.Len()
-	l.ensureInternedLocked()
+	if covered == nil {
+		ns.EnsureInterned()
+	} else {
+		ns.ist.ensure(covered, ns.byName)
+	}
 	if grown := d.Len() - baseline; grown > 0 {
 		return fmt.Errorf("%w: %d lake values absent", ErrDictMismatch, grown)
 	}
 	return nil
 }
 
-// SubsetSharing returns a lake over the named subset of l's tables that
-// shares l's dictionary and interned forms — the pool shape first-stage
-// retrieval hands to Set Similarity, where IDs must keep meaning the same
-// values as in the full lake's index. Unknown and duplicate names are
-// skipped.
+// SubsetSharing returns a lake over the named subset of the current
+// snapshot's tables that shares the lake's dictionary and interned forms.
+// Unknown and duplicate names are skipped.
+//
+// Deprecated: use Snapshot().Subset, which pins the version being
+// subsetted; SubsetSharing subsets whatever the current snapshot happens to
+// be.
 func (l *Lake) SubsetSharing(names []string) *Lake {
-	l.im.Lock()
-	defer l.im.Unlock()
-	p := &Lake{
-		byName:   make(map[string]*table.Table, len(names)),
-		dict:     l.dict,
-		interned: make(map[string]*table.Interned, len(names)),
-	}
-	for _, n := range names {
-		t := l.byName[n]
-		if t == nil {
-			continue
-		}
-		if _, dup := p.byName[n]; dup {
-			continue
-		}
-		p.byName[n] = t
-		p.names = append(p.names, n)
-		if it, ok := l.interned[n]; ok {
-			p.interned[n] = it
-		}
-	}
-	return p
+	sub := l.Snapshot().Subset(names)
+	nl := &Lake{}
+	nl.snap.Store(sub)
+	return nl
 }
 
 // LoadDir reads every *.csv file under dir (recursively) into a lake,
 // parsing files concurrently. Unreadable or malformed files are skipped and
 // reported in the returned error list — a real lake always has a few broken
-// tables and discovery must survive them.
+// tables and discovery must survive them. The whole directory lands as one
+// Apply batch: the lake is at epoch Seq 1, with tables in sorted-name order.
 func LoadDir(dir string) (*Lake, []error) {
 	var paths []string
 	var errs []error
@@ -284,15 +357,25 @@ func LoadDir(dir string) (*Lake, []error) {
 		}
 	}
 
-	l := New()
+	tables := make([]*table.Table, 0, len(results))
 	for _, r := range results {
 		if r.err != nil {
 			errs = append(errs, r.err)
 			continue
 		}
-		l.Add(r.t)
+		tables = append(tables, r.t)
 	}
-	sort.Strings(l.names)
+	sort.Slice(tables, func(i, j int) bool { return tables[i].Name < tables[j].Name })
+	l := New()
+	if len(tables) > 0 {
+		muts := make([]Mutation, len(tables))
+		for i, t := range tables {
+			muts[i] = Put(t)
+		}
+		if _, err := l.Apply(context.Background(), muts...); err != nil {
+			errs = append(errs, err)
+		}
+	}
 	return l, errs
 }
 

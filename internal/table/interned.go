@@ -43,6 +43,13 @@ func InternTable(d Interner, t *Table) *Interned {
 // analogue of Table.ColumnSet. Callers must not mutate the returned slice.
 func (it *Interned) ColumnIDs(c int) []uint32 { return it.sets[c] }
 
+// Retargeted returns an interned form with the same IDs bound to t, which
+// must be cell-aligned with it.Table — e.g. a renamed shallow copy sharing
+// the original's rows. No cell is re-hashed.
+func (it *Interned) Retargeted(t *Table) *Interned {
+	return &Interned{Table: t, Cols: it.Cols, sets: it.sets}
+}
+
 // PreInterned is a table interned against a private scratch dictionary: the
 // parallel half of a deterministic two-phase lake intern. Several tables can
 // pre-intern concurrently with no shared state; Merge then folds each into
