@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: gent/internal/table
+cpu: AMD EPYC 7B13
+BenchmarkValueKey/string-8         	12345678	        97.31 ns/op	      16 B/op	       1 allocs/op
+BenchmarkValueKey/number-8         	 2000000	       512.0 ns/op	       0 B/op	       0 allocs/op
+--- BENCH: BenchmarkWithLogOutput
+    some_test.go:10: noise that must be ignored
+PASS
+ok  	gent/internal/table	3.456s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU != "AMD EPYC 7B13" {
+		t.Errorf("header = %q/%q/%q", rep.Goos, rep.Goarch, rep.CPU)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if r.Name != "ValueKey/string-8" || r.NsPerOp != 97.31 || r.AllocsPerOp != 1 || r.MBPerOp != 16.0/1e6 {
+		t.Errorf("first result = %+v", r)
+	}
+	r = rep.Results[1]
+	if r.Name != "ValueKey/number-8" || r.NsPerOp != 512 || r.AllocsPerOp != 0 || r.MBPerOp != 0 {
+		t.Errorf("second result = %+v", r)
+	}
+}
+
+func TestParseRejectsMangledLine(t *testing.T) {
+	_, err := parse(strings.NewReader("BenchmarkBroken-8 10 abc ns/op\n"))
+	if err == nil {
+		t.Fatal("want error for unparseable value")
+	}
+}

@@ -1,6 +1,7 @@
 package gent_test
 
 import (
+	"context"
 	"fmt"
 
 	"gent"
@@ -14,12 +15,14 @@ func ExampleReclaim() {
 	names := gent.NewTable("names", "id", "name")
 	names.AddRow(gent.S("e1"), gent.S("Ada"))
 	names.AddRow(gent.S("e2"), gent.S("Grace"))
-	l.Add(names)
 
 	roles := gent.NewTable("roles", "id", "role")
 	roles.AddRow(gent.S("e1"), gent.S("Engineer"))
 	roles.AddRow(gent.S("e2"), gent.S("Admiral"))
-	l.Add(roles)
+
+	if _, err := l.Apply(context.Background(), gent.Put(names), gent.Put(roles)); err != nil {
+		panic(err)
+	}
 
 	src := gent.NewTable("target", "id", "name", "role")
 	src.Key = []int{0}
@@ -68,7 +71,9 @@ func ExampleResult_Explain() {
 	l := gent.NewLake()
 	part := gent.NewTable("part", "id", "v")
 	part.AddRow(gent.S("k1"), gent.S("v1"))
-	l.Add(part)
+	if _, err := l.Apply(context.Background(), gent.Put(part)); err != nil {
+		panic(err)
+	}
 
 	src := gent.NewTable("s", "id", "v")
 	src.Key = []int{0}

@@ -27,7 +27,6 @@ func main() {
 	add(ethnicity, gent.S("Microsoft"), gent.N(2020), gent.N(53), gent.N(20), gent.N(12))
 	add(ethnicity, gent.S("Amazon"), gent.N(2021), gent.N(54), gent.N(21), gent.N(12))
 	add(ethnicity, gent.S("Google"), gent.N(2021), gent.N(51), gent.N(24), gent.N(7))
-	l.Add(ethnicity)
 
 	// Worldwide headcounts per company and year.
 	employees := gent.NewTable("world_employees", "company", "year", "total_emps")
@@ -35,20 +34,23 @@ func main() {
 	add(employees, gent.S("Microsoft"), gent.N(2020), gent.N(166000))
 	add(employees, gent.S("Amazon"), gent.N(2021), gent.N(1608000))
 	add(employees, gent.S("Google"), gent.N(2021), gent.N(156500))
-	l.Add(employees)
 
 	// The user's own US-only diversity report — numbers that *contradict*
 	// the article because they cover a different population.
 	usReport := gent.NewTable("us_diversity_report",
 		"company", "pct_white", "pct_asian", "pct_black", "total_emps")
 	add(usReport, gent.S("Microsoft"), gent.N(48.7), gent.N(35.4), gent.N(5.7), gent.N(103000))
-	l.Add(usReport)
 
 	// Unrelated lake noise.
 	stocks := gent.NewTable("stock_prices", "company", "price")
 	add(stocks, gent.S("Microsoft"), gent.N(310))
 	add(stocks, gent.S("Amazon"), gent.N(3300))
-	l.Add(stocks)
+
+	// Publish the lake in one epoch turn via the v3 mutation surface.
+	if _, err := l.Apply(context.Background(),
+		gent.Put(ethnicity), gent.Put(employees), gent.Put(usReport), gent.Put(stocks)); err != nil {
+		panic(err)
+	}
 
 	// The news article's table (the Source to reclaim), keyed by company.
 	article := gent.NewTable("news_article",

@@ -24,19 +24,22 @@ func main() {
 	a.AddRow(gent.S("id0"), gent.S("Smith"), gent.S("Bachelors"))
 	a.AddRow(gent.S("id1"), gent.S("Brown"), gent.Null)
 	a.AddRow(gent.S("id2"), gent.S("Wang"), gent.S("High School"))
-	l.Add(a)
 
 	b := gent.NewTable("ages", "person", "years")
 	b.AddRow(gent.S("Smith"), gent.N(27))
 	b.AddRow(gent.S("Brown"), gent.N(24))
 	b.AddRow(gent.S("Wang"), gent.N(32))
-	l.Add(b)
 
 	c := gent.NewTable("genders", "person", "sex")
 	c.AddRow(gent.S("Smith"), gent.S("Male"))
 	c.AddRow(gent.S("Brown"), gent.S("Male"))
 	c.AddRow(gent.S("Wang"), gent.S("Male"))
-	l.Add(c)
+
+	// One Apply publishes all three tables as a single epoch turn — the v3
+	// mutation surface (the v1 Add shim is deprecated).
+	if _, err := l.Apply(context.Background(), gent.Put(a), gent.Put(b), gent.Put(c)); err != nil {
+		panic(err)
+	}
 
 	// The Source Table the analyst wants to verify (key: ID). Note the
 	// correct null — Smith's gender is genuinely unknown.

@@ -304,7 +304,7 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 // call; use a Reclaimer to amortize them over many queries. It is
 // ReclaimContext under context.Background() with no options.
 func Reclaim(l *Lake, src *Table, cfg Config) (*Result, error) {
-	return core.Reclaim(l, src, cfg)
+	return ReclaimContext(context.Background(), l, src, cfg)
 }
 
 // ReclaimContext is Reclaim under a context and per-call options layered

@@ -1,0 +1,17 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"gent/internal/analysis/analysistest"
+	"gent/internal/analysis/ctxflow"
+)
+
+func TestLibraryContextFlow(t *testing.T) {
+	analysistest.Run(t, ctxflow.Analyzer, "a")
+}
+
+// main packages own their roots: Background/TODO is how a process starts.
+func TestMainPackageExempt(t *testing.T) {
+	analysistest.Run(t, ctxflow.Analyzer, "mainpkg")
+}

@@ -1,0 +1,73 @@
+package a
+
+import "context"
+
+func DoContext(ctx context.Context) error { return ctx.Err() }
+
+// Minting a root mid-library detaches the work from the caller.
+func Mint() error {
+	ctx := context.Background() // want `context.Background in library code`
+	return DoContext(ctx)
+}
+
+func Todo() error {
+	return DoContext(context.TODO()) // want `context.TODO in library code`
+}
+
+// The compat-shim shape: no ctx parameter, Background fed straight into a
+// context-first call.
+func Shim() error {
+	return DoContext(context.Background())
+}
+
+// Having a ctx and ignoring it is never a shim.
+func Drops(ctx context.Context) error {
+	return DoContext(context.Background()) // want `discards this function's ctx parameter`
+}
+
+// Nil-ctx defaulting re-roots an absent context in place.
+func Defaulted(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return DoContext(ctx)
+}
+
+func WorkContext(ctx context.Context) error { return ctx.Err() }
+
+func Work() error { // want `Work has a WorkContext sibling but does not delegate`
+	return DoContext(context.Background())
+}
+
+func GoodContext(ctx context.Context) error { return ctx.Err() }
+
+func Good() error {
+	return GoodContext(context.Background())
+}
+
+type T struct{}
+
+func (t *T) RunContext(ctx context.Context) error { return ctx.Err() }
+
+func (t *T) Run() error { // want `Run has a RunContext sibling but does not delegate`
+	return DoContext(context.Background())
+}
+
+// Same-named functions on different receivers are not siblings.
+type U struct{}
+
+func (u *U) Run() error {
+	return DoContext(context.Background())
+}
+
+func runContext(ctx context.Context) error { return ctx.Err() }
+
+// Unexported pairs carry no API promise; only delegation is waived, roots
+// are still checked.
+func run() error {
+	return runContext(context.Background())
+}
+
+func Suppressed() error {
+	return DoContext(context.TODO()) //lint:allow ctxflow migration staging area
+}

@@ -1,0 +1,8 @@
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background() // exempt: roots belong in main
+	_ = ctx
+}

@@ -1,0 +1,56 @@
+// Package deprecatedlake bans the racy v1 lake mutation/read shims outside
+// the lake package itself.
+//
+// Lake.Add, Remove, Get and Names predate the epoch-versioned catalog: until
+// PR 5 they raced an unsynchronized byName map, and even as shims over
+// Apply/Snapshot they read or mutate the lake one call at a time with no
+// epoch pinning — a sequence of Get calls can observe two different lake
+// versions. Library code, commands and tests must use Apply(Put/Drop/...)
+// and pinned Snapshots; only internal/lake itself (the shim definitions and
+// the tests that pin their compat contract) is exempt. Deliberate
+// reference-path uses elsewhere carry //lint:allow deprecatedlake with a
+// reason.
+package deprecatedlake
+
+import (
+	"go/ast"
+
+	"gent/internal/analysis/framework"
+)
+
+const lakePath = "gent/internal/lake"
+
+// shims are the v1 methods on *lake.Lake this analyzer bans.
+var shims = map[string]bool{"Add": true, "Remove": true, "Get": true, "Names": true}
+
+var Analyzer = &framework.Analyzer{
+	Name: "deprecatedlake",
+	Doc: "flags calls to the v1 lake shims (Lake.Add/Remove/Get/Names) outside internal/lake; " +
+		"use Lake.Apply with Put/Drop/Rename mutations and pinned Snapshots instead",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	if pass.Pkg.PkgPath == lakePath || pass.Pkg.PkgPath == lakePath+"_test" {
+		return nil // the shims themselves, and their compat tests
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.CalleeFunc(call)
+			if fn == nil || !shims[fn.Name()] {
+				return true
+			}
+			if !framework.IsMethodOn(fn, lakePath, "Lake", fn.Name()) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"Lake.%s is a v1 shim: batch mutations through Lake.Apply (or read via a pinned Snapshot)", fn.Name())
+			return true
+		})
+	}
+	return nil
+}

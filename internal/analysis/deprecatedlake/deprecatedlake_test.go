@@ -1,0 +1,18 @@
+package deprecatedlake_test
+
+import (
+	"testing"
+
+	"gent/internal/analysis/analysistest"
+	"gent/internal/analysis/deprecatedlake"
+)
+
+func TestShimCalls(t *testing.T) {
+	analysistest.Run(t, deprecatedlake.Analyzer, "a")
+}
+
+// The shims' own external test package is exempt: it pins the v1 compat
+// contract on purpose.
+func TestLakeTestPackageExempt(t *testing.T) {
+	analysistest.Run(t, deprecatedlake.Analyzer, "gent/internal/lake_test")
+}

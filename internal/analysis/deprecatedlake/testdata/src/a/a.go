@@ -1,0 +1,32 @@
+package a
+
+import (
+	"context"
+
+	"gent/internal/lake"
+	"gent/internal/table"
+)
+
+func Mutate(l *lake.Lake, t *table.Table) {
+	l.Add(t)                                                              // want `Lake.Add is a v1 shim`
+	l.Remove("old")                                                       // want `Lake.Remove is a v1 shim`
+	if _, err := l.Apply(context.Background(), lake.Put(t)); err != nil { // v3 surface: fine
+		panic(err)
+	}
+}
+
+func Read(l *lake.Lake) *table.Table {
+	names := l.Names() // want `Lake.Names is a v1 shim`
+	_ = names
+	snap := l.Snapshot()
+	_ = snap.Get("x") // pinned snapshot read: fine
+	return l.Get("x") // want `Lake.Get is a v1 shim`
+}
+
+// Reference keeps deliberate v1 calls alive under the shared directive, in
+// both of its placements.
+func Reference(l *lake.Lake, t *table.Table) {
+	l.Add(t) //lint:allow deprecatedlake v1 reference path kept for comparison
+	//lint:allow deprecatedlake directive on the preceding line also suppresses
+	l.Remove("x")
+}

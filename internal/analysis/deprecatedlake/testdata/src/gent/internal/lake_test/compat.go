@@ -1,0 +1,16 @@
+// The lake's own (external) test package exercises the v1 shims on
+// purpose — it is what pins their compat contract — so nothing here is
+// flagged.
+package lake_test
+
+import (
+	"gent/internal/lake"
+	"gent/internal/table"
+)
+
+func Compat(l *lake.Lake, t *table.Table) []string {
+	l.Add(t)
+	l.Remove("x")
+	_ = l.Get("y")
+	return l.Names()
+}

@@ -1,0 +1,89 @@
+// Package directive parses the repo's lint-suppression comments.
+//
+// A directive has the form
+//
+//	//lint:allow <analyzer>[,<analyzer>...] [reason]
+//
+// and suppresses findings from the named analyzers on the directive's own
+// line and on the line immediately after it — so it works both as an
+// end-of-line annotation and as a standalone comment above the offending
+// statement. Suppressions are deliberate, reviewed exceptions (reference
+// implementations, shim-compat tests); the reason text is free-form but
+// strongly encouraged.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const prefix = "//lint:allow"
+
+// Map indexes the suppression directives of one package's files.
+type Map struct {
+	// byLine: filename -> line -> analyzer names allowed there.
+	byLine map[string]map[int][]string
+}
+
+// Bad is a malformed directive (no analyzer names); drivers surface these
+// as findings in their own right so a typo cannot silently suppress nothing.
+type Bad struct {
+	Pos    token.Position
+	Reason string
+}
+
+// Parse collects the //lint:allow directives of files.
+func Parse(fset *token.FileSet, files []*ast.File) (*Map, []Bad) {
+	m := &Map{byLine: make(map[string]map[int][]string)}
+	var bad []Bad
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, prefix) {
+					continue
+				}
+				rest := c.Text[len(prefix):]
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:allowed — not ours
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					bad = append(bad, Bad{
+						Pos:    fset.Position(c.Pos()),
+						Reason: "lint:allow directive names no analyzer",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.Split(fields[0], ",") {
+					if name == "" {
+						continue
+					}
+					m.add(pos.Filename, pos.Line, name)
+					m.add(pos.Filename, pos.Line+1, name)
+				}
+			}
+		}
+	}
+	return m, bad
+}
+
+func (m *Map) add(file string, line int, analyzer string) {
+	lines := m.byLine[file]
+	if lines == nil {
+		lines = make(map[int][]string)
+		m.byLine[file] = lines
+	}
+	lines[line] = append(lines[line], analyzer)
+}
+
+// Allows reports whether a finding from analyzer at file:line is suppressed.
+func (m *Map) Allows(analyzer, file string, line int) bool {
+	for _, name := range m.byLine[file][line] {
+		if name == analyzer {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,265 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// listPackage is the slice of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	Error      *struct{ Err string }
+}
+
+// Load resolves patterns (e.g. "./...") from dir into type-checked Packages
+// ready for analysis. It shells out to `go list -test -deps -export -json`,
+// so dependencies — the standard library included — are imported from
+// compiler export data in the build cache rather than re-type-checked from
+// source, and test-augmented package variants come back with their _test.go
+// files in place.
+//
+// For a package with in-package tests, only the test-augmented variant is
+// returned (it is a strict superset of the plain package's files); external
+// _test packages are returned separately. Synthesized ".test" main packages
+// are dropped.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	byPath := make(map[string]*listPackage, len(pkgs))
+	augmented := make(map[string]bool) // plain paths that have an in-package test variant
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+		if p.ForTest != "" && p.ForTest == strippedPath(p.ImportPath) {
+			augmented[p.ForTest] = true
+		}
+	}
+
+	fset := token.NewFileSet()
+	var out []*Package
+	for _, p := range pkgs {
+		switch {
+		case p.DepOnly, p.Standard:
+			continue
+		case strings.HasSuffix(p.ImportPath, ".test"):
+			continue // synthesized test main
+		case augmented[p.ImportPath]:
+			continue // superseded by its test-augmented variant
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("load %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkg, err := typecheck(fset, p, byPath)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-test", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// strippedPath removes a test-variant bracket suffix:
+// "p [p.test]" -> "p".
+func strippedPath(importPath string) string {
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+// typecheck parses p's files and type-checks them against export data.
+func typecheck(fset *token.FileSet, p *listPackage, byPath map[string]*listPackage) (*Package, error) {
+	files, err := parseFiles(fset, p.Dir, append(append([]string{}, p.GoFiles...), p.CgoFiles...))
+	if err != nil {
+		return nil, fmt.Errorf("load %s: %v", p.ImportPath, err)
+	}
+	pkg := &Package{
+		ImportPath: p.ImportPath,
+		PkgPath:    strippedPath(p.ImportPath),
+		ForTest:    p.ForTest,
+		Dir:        p.Dir,
+		Fset:       fset,
+		Files:      files,
+	}
+	pkg.Types, pkg.Info, pkg.TypeErrors = check(fset, pkg.PkgPath, files, exportImporter(fset, importsOf(p, byPath)))
+	return pkg, nil
+}
+
+// importsOf maps p's imports as written in source to the export-data files
+// that satisfy them, resolving test-variant brackets and the standard
+// library's vendored paths. Transitive dependencies are layered in as a
+// fallback so lazy export-data readers can chase indirect references.
+func importsOf(p *listPackage, byPath map[string]*listPackage) map[string]string {
+	m := make(map[string]string)
+	// Fallback layer: every known package under its source path. Plain
+	// paths only — bracket variants would collide with their base package.
+	for path, dep := range byPath {
+		if path == strippedPath(path) && dep.Export != "" {
+			m[sourcePath(path)] = dep.Export
+		}
+	}
+	// Direct layer: p's own imports, including bracket-variant resolution
+	// (an external test package importing the augmented form of its
+	// package under test).
+	for _, imp := range p.Imports {
+		if dep := byPath[imp]; dep != nil && dep.Export != "" {
+			m[sourcePath(strippedPath(imp))] = dep.Export
+		}
+	}
+	return m
+}
+
+// sourcePath maps a resolved import path to the path as written in import
+// statements (the standard library vendors some dependencies under
+// "vendor/").
+func sourcePath(path string) string {
+	return strings.TrimPrefix(path, "vendor/")
+}
+
+// ListExports resolves patterns from dir and returns the export-data file
+// of every package in their dependency closure, keyed by import path as
+// written in source. Test harnesses use this to type-check out-of-module
+// code (testdata packages) against the real module's packages.
+func ListExports(dir string, patterns ...string) (map[string]string, error) {
+	pkgs, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" && p.ImportPath == strippedPath(p.ImportPath) {
+			exports[sourcePath(p.ImportPath)] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// LoadDirPackage parses every .go file directly under dir as one package
+// with the given import path, type-checked against exports. This is the
+// analysistest entry point: testdata packages live outside the module
+// proper but may import its real packages.
+func LoadDirPackage(dir, pkgPath string, exports map[string]string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{
+		ImportPath: pkgPath,
+		PkgPath:    pkgPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+	}
+	pkg.Types, pkg.Info, pkg.TypeErrors = check(fset, pkgPath, files, exportImporter(fset, exports))
+	return pkg, nil
+}
+
+// exportImporter satisfies go/types imports from compiler export data.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}
+
+func parseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// check runs the go/types checker, collecting rather than failing on type
+// errors, and returns the full Info analyzers need.
+func check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, []error) {
+	var terrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { terrs = append(terrs, err) },
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	tpkg, _ := conf.Check(path, fset, files, info)
+	return tpkg, info, terrs
+}

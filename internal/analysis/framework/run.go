@@ -1,0 +1,52 @@
+package framework
+
+import (
+	"fmt"
+	"sort"
+
+	"gent/internal/analysis/directive"
+)
+
+// Run executes every analyzer over every package, applies //lint:allow
+// suppression, and returns all diagnostics (suppressed ones flagged, not
+// dropped) in stable position order. Malformed directives are reported as
+// findings of the pseudo-analyzer "directive" and cannot be suppressed.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		dirs, bad := directive.Parse(pkg.Fset, pkg.Files)
+		for _, b := range bad {
+			diags = append(diags, Diagnostic{Analyzer: "directive", Pos: b.Pos, Message: b.Reason})
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Pkg:      pkg,
+				report: func(d Diagnostic) {
+					d.Suppressed = dirs.Allows(d.Analyzer, d.Pos.Filename, d.Pos.Line)
+					diags = append(diags, d)
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}

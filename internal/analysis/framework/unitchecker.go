@@ -1,0 +1,111 @@
+package framework
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+)
+
+// unitConfig is the JSON work-unit description cmd/go writes for a vet tool
+// (the x/tools unitchecker protocol): one package's files, plus maps from
+// import paths to the export data of its already-compiled dependencies.
+// Fields the gentlint suite does not need (facts, cgo preprocessing) are
+// accepted and ignored.
+type unitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	ModulePath                string
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit analyzes one go vet work unit described by cfgFile and returns the
+// process exit code: 0 clean, 2 when there are findings (matching cmd/vet),
+// 1 on tool failure. Diagnostics go to w (cmd/go relays the tool's stderr).
+//
+// The suite is fact-free, so the vetx output demanded by the protocol is
+// always an empty file, and dependencies' facts (PackageVetx) are ignored.
+func RunUnit(cfgFile string, analyzers []*Analyzer, w io.Writer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(w, "gentlint:", err)
+		return 1
+	}
+	cfg := new(unitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		fmt.Fprintf(w, "gentlint: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(w, "gentlint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(w, "gentlint:", err)
+		return 1
+	}
+	exports := make(map[string]string, len(cfg.PackageFile))
+	for path, file := range cfg.PackageFile {
+		exports[sourcePath(path)] = file
+	}
+	for src, resolved := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[resolved]; ok {
+			exports[src] = file
+		}
+	}
+	pkg := &Package{
+		ImportPath: cfg.ImportPath,
+		PkgPath:    strippedPath(cfg.ImportPath),
+		Dir:        cfg.Dir,
+		Fset:       fset,
+		Files:      files,
+	}
+	pkg.Types, pkg.Info, pkg.TypeErrors = check(fset, pkg.PkgPath, files, exportImporter(fset, exports))
+	if len(pkg.TypeErrors) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(w, "gentlint: %s: %v\n", cfg.ImportPath, terr)
+		}
+		return 1
+	}
+	diags, err := Run([]*Package{pkg}, analyzers)
+	if err != nil {
+		fmt.Fprintln(w, "gentlint:", err)
+		return 1
+	}
+	exit := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		fmt.Fprintf(w, "%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+		exit = 2
+	}
+	return exit
+}

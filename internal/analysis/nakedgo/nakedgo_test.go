@@ -1,0 +1,17 @@
+package nakedgo_test
+
+import (
+	"testing"
+
+	"gent/internal/analysis/analysistest"
+	"gent/internal/analysis/nakedgo"
+)
+
+func TestLibraryGoroutines(t *testing.T) {
+	analysistest.Run(t, nakedgo.Analyzer, "a")
+}
+
+// package main is exempt: short-lived commands may fire and forget.
+func TestMainPackageExempt(t *testing.T) {
+	analysistest.Run(t, nakedgo.Analyzer, "mainpkg")
+}

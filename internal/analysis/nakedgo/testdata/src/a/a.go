@@ -1,0 +1,77 @@
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// A named function passed to go hides its teardown from the spawner.
+func Naked() {
+	go work() // want `not visibly tied`
+}
+
+func NakedLit() {
+	go func() { work() }() // want `not visibly tied`
+}
+
+func Pooled(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// The collector goroutine joins the pool before closing the channel — the
+// stream.go shape from PR 3.
+func Collector(n int) <-chan int {
+	out := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+func CtxAware(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+		work()
+	}()
+}
+
+// The spawner drains the channel the goroutine sends on: join by receive.
+func Joined() int {
+	res := make(chan int, 1)
+	go func() { res <- 1 }()
+	return <-res
+}
+
+// Sends on a channel nobody in the enclosing body receives from: the
+// goroutine may block forever after the caller returns.
+func Unjoined() chan int {
+	res := make(chan int)
+	go func() { res <- 1 }() // want `not visibly tied`
+	return res
+}
+
+func Signaled() <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	return done
+}
+
+func Detached() {
+	go work() //lint:allow nakedgo process-lifetime janitor, torn down by exit
+}

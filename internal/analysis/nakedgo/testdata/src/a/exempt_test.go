@@ -1,0 +1,7 @@
+package a
+
+// Test files are exempt: the testing package fails loudly on leaked
+// goroutines and short-lived fire-and-forget helpers are idiomatic there.
+func helperSpawn() {
+	go work()
+}

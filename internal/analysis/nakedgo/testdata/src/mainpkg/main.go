@@ -1,0 +1,8 @@
+package main
+
+func work() {}
+
+func main() {
+	go work() // exempt: package main
+	select {}
+}

@@ -1,0 +1,191 @@
+// Package phaseerr polices how errors cross phase boundaries.
+//
+// The pipeline's error contract (PR 3): every failure surfaced from a phase
+// is a *core.Error carrying the Phase it arose in and wrapping its cause, so
+// callers can match both with errors.As / errors.Is. Two constructions break
+// that contract silently:
+//
+//   - a core.Error composite literal that omits Phase or Err — it type-checks
+//     but produces an untagged error (or one that unwraps to nil), and
+//     errors.Is can no longer reach the cause;
+//   - fmt.Errorf formatting an error with %v/%s instead of wrapping with %w —
+//     the chain is flattened to text and sentinel matching breaks.
+//
+// The analyzer enforces both inside the pipeline packages (internal/core,
+// discovery, matrix, integrate). Test files are exempt (tests format errors
+// for t.Fatalf legitimately).
+package phaseerr
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strconv"
+
+	"gent/internal/analysis/framework"
+)
+
+var phasePackages = map[string]bool{
+	"gent/internal/core":      true,
+	"gent/internal/discovery": true,
+	"gent/internal/matrix":    true,
+	"gent/internal/integrate": true,
+}
+
+var Analyzer = &framework.Analyzer{
+	Name: "phaseerr",
+	Doc: "enforces the phase-boundary error contract in the pipeline packages: core.Error literals " +
+		"must set Phase and Err, and fmt.Errorf must wrap error operands with %w",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	if !phasePackages[pass.Pkg.PkgPath] {
+		return nil
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, f := range pass.Pkg.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				checkErrorLit(pass, n)
+			case *ast.CallExpr:
+				checkErrorf(pass, n, errType)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorLit flags core.Error composite literals that omit the Phase tag
+// or the wrapped cause.
+func checkErrorLit(pass *framework.Pass, lit *ast.CompositeLit) {
+	t := pass.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return
+	}
+	obj := named.Obj()
+	if obj.Name() != "Error" || obj.Pkg() == nil || obj.Pkg().Path() != "gent/internal/core" {
+		return
+	}
+	strct, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	if len(lit.Elts) == strct.NumFields() {
+		if _, keyed := lit.Elts[0].(*ast.KeyValueExpr); !keyed {
+			return // positional literal with every field present
+		}
+	}
+	set := make(map[string]bool)
+	for _, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				set[id.Name] = true
+			}
+		}
+	}
+	for _, field := range []string{"Phase", "Err"} {
+		if !set[field] {
+			pass.Reportf(lit.Pos(), "core.Error literal does not set %s; phase-boundary errors must carry the phase tag and wrap their cause", field)
+		}
+	}
+}
+
+// checkErrorf flags fmt.Errorf calls whose error-typed operands are
+// formatted (%v, %s, ...) rather than wrapped (%w).
+func checkErrorf(pass *framework.Pass, call *ast.CallExpr, errType *types.Interface) {
+	fn := pass.CalleeFunc(call)
+	if fn == nil || fn.Name() != "Errorf" || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.Pkg.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	for _, v := range parseVerbs(format) {
+		argIdx := 1 + v.arg // call.Args offset: format string is Args[0]
+		if v.verb == 'w' || v.verb == 'T' || argIdx >= len(call.Args) {
+			continue
+		}
+		t := pass.TypeOf(call.Args[argIdx])
+		if t == nil || !types.Implements(t, errType) {
+			continue
+		}
+		pass.Reportf(call.Args[argIdx].Pos(),
+			"error operand formatted with %%%c; wrap it with %%w so errors.Is/As reach the cause across the phase boundary", v.verb)
+	}
+}
+
+// verb is one formatting directive and the operand index it consumes
+// (0-based over the variadic operands).
+type verb struct {
+	verb rune
+	arg  int
+}
+
+// parseVerbs maps format verbs to operand indexes, handling %%, flags,
+// *-widths and [n] argument indexes.
+func parseVerbs(format string) []verb {
+	var out []verb
+	arg := 0
+	rs := []rune(format)
+	for i := 0; i < len(rs); i++ {
+		if rs[i] != '%' {
+			continue
+		}
+		i++
+		// flags
+		for i < len(rs) && (rs[i] == '+' || rs[i] == '-' || rs[i] == '#' || rs[i] == ' ' || rs[i] == '0') {
+			i++
+		}
+		// width
+		i, arg = skipNumOrStar(rs, i, arg)
+		// precision
+		if i < len(rs) && rs[i] == '.' {
+			i++
+			i, arg = skipNumOrStar(rs, i, arg)
+		}
+		// explicit argument index
+		if i < len(rs) && rs[i] == '[' {
+			j := i + 1
+			for j < len(rs) && rs[j] != ']' {
+				j++
+			}
+			if j < len(rs) {
+				if n, err := strconv.Atoi(string(rs[i+1 : j])); err == nil && n >= 1 {
+					arg = n - 1
+				}
+				i = j + 1
+			}
+		}
+		if i >= len(rs) || rs[i] == '%' {
+			continue // %% or trailing %
+		}
+		out = append(out, verb{verb: rs[i], arg: arg})
+		arg++
+	}
+	return out
+}
+
+func skipNumOrStar(rs []rune, i, arg int) (int, int) {
+	if i < len(rs) && rs[i] == '*' {
+		return i + 1, arg + 1
+	}
+	for i < len(rs) && rs[i] >= '0' && rs[i] <= '9' {
+		i++
+	}
+	return i, arg
+}

@@ -1,0 +1,19 @@
+package phaseerr_test
+
+import (
+	"testing"
+
+	"gent/internal/analysis/analysistest"
+	"gent/internal/analysis/phaseerr"
+)
+
+// The contract holds inside the pipeline packages; the testdata package
+// declares itself as gent/internal/discovery to be in scope.
+func TestPhaseBoundaryErrors(t *testing.T) {
+	analysistest.Run(t, phaseerr.Analyzer, "gent/internal/discovery")
+}
+
+// Packages outside the pipeline are free to format errors however they like.
+func TestOutOfScopePackage(t *testing.T) {
+	analysistest.Run(t, phaseerr.Analyzer, "a")
+}

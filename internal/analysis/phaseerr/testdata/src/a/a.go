@@ -1,0 +1,9 @@
+// Package a is outside the pipeline packages: the phase-boundary error
+// contract does not apply here.
+package a
+
+import "fmt"
+
+func Formats(err error) error {
+	return fmt.Errorf("outer: %v", err)
+}

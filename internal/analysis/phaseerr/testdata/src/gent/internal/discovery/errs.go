@@ -1,0 +1,62 @@
+package discovery
+
+import (
+	"errors"
+	"fmt"
+
+	"gent/internal/core"
+)
+
+var errBase = errors.New("discovery: base")
+
+func Wraps(err error) error {
+	return fmt.Errorf("discovery: probe: %w", err) // %w keeps the chain: fine
+}
+
+func Formats(err error) error {
+	return fmt.Errorf("discovery: probe: %v", err) // want `formatted with %v`
+}
+
+func FormatsString(col int, err error) error {
+	return fmt.Errorf("column %d: %s", col, err) // want `formatted with %s`
+}
+
+func Indexed(tries int, err error) error {
+	return fmt.Errorf("%[2]v after %[1]d tries", tries, err) // want `formatted with %v`
+}
+
+func TypeOnly(err error) error {
+	return fmt.Errorf("unexpected cause type %T", err) // %T prints the type, wraps nothing: fine
+}
+
+func NonErrorOperands(name string, n int) error {
+	return fmt.Errorf("table %q has %d columns", name, n) // fine
+}
+
+func Tagged(p core.Phase, err error) error {
+	return &core.Error{Phase: p, Source: "s", Err: err} // fine
+}
+
+func Constructor(p core.Phase, err error) error {
+	return newError(p, err) // fine: not a literal
+}
+
+func newError(p core.Phase, err error) error {
+	return &core.Error{Phase: p, Err: err}
+}
+
+func MissingPhase(err error) error {
+	return &core.Error{Err: err} // want `does not set Phase`
+}
+
+func MissingErr(p core.Phase) error {
+	return &core.Error{Phase: p} // want `does not set Err`
+}
+
+func Empty() error {
+	return &core.Error{} // want `does not set Phase` `does not set Err`
+}
+
+func Suppressed(err error) error {
+	return fmt.Errorf("reference formatting: %v", err) //lint:allow phaseerr reference path
+}

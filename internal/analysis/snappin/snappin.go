@@ -1,0 +1,94 @@
+// Package snappin enforces the one-pin-per-query-path snapshot rule.
+//
+// The v3 engine is RCU-shaped: a query pins (snapshot, substrates, epoch)
+// once at entry and completes on that version, even if Lake.Apply lands
+// mid-flight. A function that loads the snapshot or the session's epoch
+// state twice can observe two different lake versions inside one logical
+// operation — the stale-read anomaly class PR 5 was built to kill. This
+// analyzer flags any library function whose body contains more than one
+// load-bearing call to Lake.Snapshot, Lake.Epoch, Reclaimer.state or
+// Reclaimer.acquire: pin once, pass the pinned value down.
+//
+// internal/lake itself is exempt (the mutator legitimately re-reads its own
+// published snapshot under lock), as are _test.go files (tests observe
+// epochs on purpose). An intentional double load — e.g. a double-checked
+// locking slow path — carries //lint:allow snappin with the reason.
+package snappin
+
+import (
+	"go/ast"
+
+	"gent/internal/analysis/framework"
+)
+
+const (
+	lakePath = "gent/internal/lake"
+	corePath = "gent/internal/core"
+)
+
+var Analyzer = &framework.Analyzer{
+	Name: "snappin",
+	Doc: "flags functions that load a lake snapshot or session epoch state more than once; " +
+		"a query path must pin one snapshot at entry and complete on it",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	if pass.Pkg.PkgPath == lakePath || pass.Pkg.IsMain() || pass.Pkg.IsExample() {
+		// The lake mutator re-reads its own published snapshot under lock;
+		// commands and examples observe epochs across mutations on purpose.
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil && !pass.InTestFile(fd.Pos()) {
+				checkFunc(pass, fd.Body)
+			}
+		}
+	}
+	return nil
+}
+
+// checkFunc counts the pin sites of one function body, recursing into
+// nested function literals as their own scopes (a worker closure runs on
+// its own schedule; its loads don't share a "query entry" with its parent).
+func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
+	var pins []*ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkFunc(pass, n.Body)
+			return false
+		case *ast.CallExpr:
+			if isPinLoad(pass, n) {
+				pins = append(pins, n)
+			}
+		}
+		return true
+	})
+	if len(pins) < 2 {
+		return
+	}
+	for _, call := range pins[1:] {
+		pass.Reportf(call.Pos(),
+			"second snapshot/epoch-state load in this function; pin once at entry and pass the pinned value down")
+	}
+}
+
+// isPinLoad reports whether call loads a lake version: Lake.Snapshot,
+// Lake.Epoch, or the session state resolvers Reclaimer.state /
+// Reclaimer.acquire.
+func isPinLoad(pass *framework.Pass, call *ast.CallExpr) bool {
+	fn := pass.CalleeFunc(call)
+	if fn == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "Snapshot", "Epoch":
+		return framework.IsMethodOn(fn, lakePath, "Lake", fn.Name())
+	case "state", "acquire":
+		return framework.IsMethodOn(fn, corePath, "Reclaimer", fn.Name())
+	}
+	return false
+}

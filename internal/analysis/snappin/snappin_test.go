@@ -1,0 +1,19 @@
+package snappin_test
+
+import (
+	"testing"
+
+	"gent/internal/analysis/analysistest"
+	"gent/internal/analysis/snappin"
+)
+
+func TestSnapshotLoads(t *testing.T) {
+	analysistest.Run(t, snappin.Analyzer, "a")
+}
+
+// Reclaimer.state/acquire are unexported, so the epoch-state half of the
+// rule is only reachable from inside gent/internal/core — which is exactly
+// the import path this testdata package declares.
+func TestEpochStateLoads(t *testing.T) {
+	analysistest.Run(t, snappin.Analyzer, "gent/internal/core")
+}

@@ -1,0 +1,31 @@
+package a
+
+import "gent/internal/lake"
+
+func TwoLoads(l *lake.Lake) {
+	_ = l.Snapshot()
+	_ = l.Snapshot() // want `second snapshot/epoch-state load`
+}
+
+func Pinned(l *lake.Lake) {
+	snap := l.Snapshot()
+	_ = snap.Get("a")
+	_ = snap.Get("b") // reads off the pinned snapshot: fine
+}
+
+func EpochMix(l *lake.Lake) {
+	_ = l.Snapshot()
+	_ = l.Epoch() // want `second snapshot/epoch-state load`
+}
+
+// A nested function literal is its own query scope: a worker closure loads
+// on its own schedule and does not share its parent's entry pin.
+func Closures(l *lake.Lake) func() {
+	_ = l.Snapshot()
+	return func() { _ = l.Snapshot() }
+}
+
+func DoubleChecked(l *lake.Lake) {
+	_ = l.Snapshot()
+	_ = l.Snapshot() //lint:allow snappin double-checked slow path re-resolves under the lock
+}

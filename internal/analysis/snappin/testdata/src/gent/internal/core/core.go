@@ -1,0 +1,19 @@
+// A stand-in for the session package: the analyzer matches
+// Reclaimer.state/acquire by receiver and package path, which only code in
+// gent/internal/core can call.
+package core
+
+type epochState struct{}
+
+type Reclaimer struct{}
+
+func (r *Reclaimer) state() *epochState { return nil }
+
+func (r *Reclaimer) acquire() *epochState { return r.state() } // one resolve: fine
+
+func (r *Reclaimer) query() {
+	_ = r.state()
+	_ = r.acquire() // want `second snapshot/epoch-state load`
+}
+
+var _ = (&Reclaimer{}).query

@@ -66,7 +66,7 @@ func TestQueryResultsHaveValidKeys(t *testing.T) {
 }
 
 func TestMakeVariantsJointlyComplete(t *testing.T) {
-	orig := tpch.Generate(tpch.Small).Get("customer")
+	orig := tpch.Generate(tpch.Small).Snapshot().Get("customer")
 	v := MakeVariants(orig, protectedJoinCols, 0.5, 0.5, newRand(3))
 	// The two nullified variants must jointly cover every original value.
 	n1, n2 := v.Nullified[0], v.Nullified[1]
@@ -102,7 +102,7 @@ func TestMakeVariantsJointlyComplete(t *testing.T) {
 }
 
 func TestNullifyRate(t *testing.T) {
-	orig := tpch.Generate(tpch.Small).Get("orders")
+	orig := tpch.Generate(tpch.Small).Snapshot().Get("orders")
 	protected := map[int]bool{0: true}
 	got, mask := Nullify(orig, 0.3, protected, newRand(5), nil)
 	nulls := 0
@@ -170,9 +170,9 @@ func TestBuildT2D(t *testing.T) {
 		t.Errorf("%d reclaimable tables, want 5", len(c.Reclaimable))
 	}
 	for _, name := range c.Reclaimable {
-		base := c.Lake.Get(name)
-		p1 := c.Lake.Get(name + "_part1")
-		p2 := c.Lake.Get(name + "_part2")
+		base := c.Lake.Snapshot().Get(name)
+		p1 := c.Lake.Snapshot().Get(name + "_part1")
+		p2 := c.Lake.Snapshot().Get(name + "_part2")
 		if base == nil || p1 == nil || p2 == nil {
 			t.Fatalf("reclaimable %s missing parts", name)
 		}
@@ -185,7 +185,7 @@ func TestBuildT2D(t *testing.T) {
 		t.Errorf("%d duplicate clusters, want 3", len(c.Duplicates))
 	}
 	for base, dups := range c.Duplicates {
-		if !table.EqualRows(c.Lake.Get(base), c.Lake.Get(dups[0])) {
+		if !table.EqualRows(c.Lake.Snapshot().Get(base), c.Lake.Snapshot().Get(dups[0])) {
 			t.Errorf("duplicate of %s is not identical", base)
 		}
 	}

@@ -1,6 +1,7 @@
 package benchmark
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -23,6 +24,7 @@ var vocabPools = [][]string{
 // volume with overlapping vocabulary but no reclaimable content.
 func AddDistractors(l *lake.Lake, n, avgRows int, seed int64) {
 	r := rand.New(rand.NewSource(seed))
+	muts := make([]lake.Mutation, 0, n)
 	for i := 0; i < n; i++ {
 		ncols := 2 + r.Intn(4)
 		cols := make([]string, ncols)
@@ -46,7 +48,11 @@ func AddDistractors(l *lake.Lake, n, avgRows int, seed int64) {
 			}
 			t.Rows = append(t.Rows, row)
 		}
-		l.Add(t)
+		muts = append(muts, lake.Put(t))
+	}
+	// The distractor volume lands as one epoch turn, not n.
+	if _, err := l.Apply(context.Background(), muts...); err != nil {
+		panic(err)
 	}
 }
 
@@ -68,6 +74,7 @@ type T2D struct {
 func BuildT2D(nTables, nReclaimable, nDuplicatePairs int, seed int64) *T2D {
 	r := rand.New(rand.NewSource(seed))
 	out := &T2D{Lake: lake.New(), Duplicates: make(map[string][]string)}
+	var muts []lake.Mutation
 
 	mkEntity := func(id int, rows int) *table.Table {
 		t := table.New(fmt.Sprintf("t2d%04d", id),
@@ -88,15 +95,14 @@ func BuildT2D(nTables, nReclaimable, nDuplicatePairs int, seed int64) *T2D {
 	for i := 0; i < nReclaimable; i++ {
 		base := mkEntity(id, 8+r.Intn(20))
 		id++
-		out.Lake.Add(base)
+		muts = append(muts, lake.Put(base))
 		out.Reclaimable = append(out.Reclaimable, base.Name)
 		// Vertical splits that jointly cover the base table.
 		left := base.Project("entity", "label", "category")
 		left.Name = fmt.Sprintf("%s_part1", base.Name)
 		right := base.Project("entity", "score", "origin")
 		right.Name = fmt.Sprintf("%s_part2", base.Name)
-		out.Lake.Add(left)
-		out.Lake.Add(right)
+		muts = append(muts, lake.Put(left), lake.Put(right))
 		id += 0
 	}
 	for i := 0; i < nDuplicatePairs; i++ {
@@ -104,14 +110,18 @@ func BuildT2D(nTables, nReclaimable, nDuplicatePairs int, seed int64) *T2D {
 		id++
 		dup := t.Clone()
 		dup.Name = t.Name + "_copy"
-		out.Lake.Add(t)
-		out.Lake.Add(dup)
+		muts = append(muts, lake.Put(t), lake.Put(dup))
 		out.Duplicates[t.Name] = []string{dup.Name}
 	}
-	for out.Lake.Len() < nTables {
+	// Every mutation is one Put with a fresh name, so the pending batch
+	// size is the eventual table count.
+	for len(muts) < nTables {
 		t := mkEntity(id, 3+r.Intn(12))
 		id++
-		out.Lake.Add(t)
+		muts = append(muts, lake.Put(t))
+	}
+	if _, err := out.Lake.Apply(context.Background(), muts...); err != nil {
+		panic(err)
 	}
 	return out
 }

@@ -139,7 +139,7 @@ func GenerateQueries(seed int64) []*Query {
 			Tables:  []string{base},
 			KeyCols: spec.key,
 			run: func(l *lake.Lake) *table.Table {
-				t := l.Get(base)
+				t := l.Snapshot().Get(base)
 				return unionBranches(t, numeric, nUnion, proj)
 			},
 		})
@@ -157,7 +157,8 @@ func GenerateQueries(seed int64) []*Query {
 			Tables:  spec.tables,
 			KeyCols: spec.key,
 			run: func(l *lake.Lake) *table.Table {
-				j := applyJoin(l.Get(spec.tables[0]), l.Get(spec.tables[1]), kind)
+				snap := l.Snapshot()
+				j := applyJoin(snap.Get(spec.tables[0]), snap.Get(spec.tables[1]), kind)
 				return unionBranches(j, "", nUnion, proj)
 			},
 		})
@@ -175,8 +176,9 @@ func GenerateQueries(seed int64) []*Query {
 			Tables:  spec.tables,
 			KeyCols: spec.key,
 			run: func(l *lake.Lake) *table.Table {
-				j := table.InnerJoin(l.Get(spec.tables[0]), l.Get(spec.tables[1]))
-				j = applyJoin(j, l.Get(spec.tables[2]), kind)
+				snap := l.Snapshot()
+				j := table.InnerJoin(snap.Get(spec.tables[0]), snap.Get(spec.tables[1]))
+				j = applyJoin(j, snap.Get(spec.tables[2]), kind)
 				return unionBranches(j, "", nUnion, proj)
 			},
 		})

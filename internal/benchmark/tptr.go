@@ -1,6 +1,7 @@
 package benchmark
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -71,13 +72,19 @@ func BuildTPTR(name string, opts TPTROptions) (*TPTR, error) {
 	}
 
 	variantsOf := make(map[string][]string)
+	osnap := originals.Snapshot()
+	var muts []lake.Mutation
 	for _, tn := range tpch.TableNames {
-		orig := originals.Get(tn)
+		orig := osnap.Get(tn)
 		v := MakeVariants(orig, protectedJoinCols, opts.NullRate, opts.ErrRate, r)
 		for _, vt := range v.All() {
-			b.Lake.Add(vt)
+			muts = append(muts, lake.Put(vt))
 			variantsOf[tn] = append(variantsOf[tn], vt.Name)
 		}
+	}
+	// All variants land as one epoch turn.
+	if _, err := b.Lake.Apply(context.Background(), muts...); err != nil {
+		return nil, fmt.Errorf("benchmark: %s: %w", name, err)
 	}
 
 	queries := GenerateQueries(opts.Seed)
@@ -107,8 +114,9 @@ func BuildTPTR(name string, opts TPTROptions) (*TPTR, error) {
 func (b *TPTR) IntegratingTables(sourceName string) []*table.Table {
 	names := b.IntegratingSets[sourceName]
 	out := make([]*table.Table, 0, len(names))
+	snap := b.Lake.Snapshot()
 	for _, n := range names {
-		if t := b.Lake.Get(n); t != nil {
+		if t := snap.Get(n); t != nil {
 			out = append(out, t)
 		}
 	}

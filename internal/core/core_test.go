@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"gent/internal/lake"
+	"gent/internal/lake/laketest"
 	"gent/internal/matrix"
 	"gent/internal/table"
 )
@@ -27,12 +28,12 @@ func buildScenario() (*table.Table, *lake.Lake) {
 	left := src.Project("pid", "name", "city")
 	left.Name = "hr_names"
 	left.Key = nil
-	l.Add(left)
+	laketest.Add(l, left)
 
 	right := src.Project("pid", "salary")
 	right.Name = "hr_salaries"
 	right.Key = nil
-	l.Add(right)
+	laketest.Add(l, right)
 
 	// Erroneous variant: same keys, wrong salaries.
 	bad := src.Project("pid", "salary")
@@ -41,11 +42,11 @@ func buildScenario() (*table.Table, *lake.Lake) {
 	for _, r := range bad.Rows {
 		r[1] = table.N(r[1].Num + 7777)
 	}
-	l.Add(bad)
+	laketest.Add(l, bad)
 
 	noise := table.New("noise", "a", "b")
 	noise.AddRow(table.S("x"), table.S("y"))
-	l.Add(noise)
+	laketest.Add(l, noise)
 	return src, l
 }
 

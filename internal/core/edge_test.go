@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"gent/internal/lake"
+	"gent/internal/lake/laketest"
 	"gent/internal/table"
 )
 
@@ -13,7 +14,7 @@ func TestReclaimEmptySourceWithDeclaredKey(t *testing.T) {
 	l := lake.New()
 	filler := table.New("f", "k", "v")
 	filler.AddRow(table.S("x"), table.S("y"))
-	l.Add(filler)
+	laketest.Add(l, filler)
 	res, err := Reclaim(l, src, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -33,7 +34,7 @@ func TestReclaimSourceWithAllNullColumn(t *testing.T) {
 	cand := src.Project("k", "v")
 	cand.Name = "cand"
 	cand.Key = nil
-	l.Add(cand)
+	laketest.Add(l, cand)
 	res, err := Reclaim(l, src, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -54,11 +55,11 @@ func TestReclaimLakeWithContradictoryDuplicates(t *testing.T) {
 	good := src.Clone()
 	good.Name = "good"
 	good.Key = nil
-	l.Add(good)
+	laketest.Add(l, good)
 	bad := table.New("bad", "k", "v")
 	bad.AddRow(table.S("k1"), table.S("wrong1"))
 	bad.AddRow(table.S("k2"), table.S("wrong2"))
-	l.Add(bad)
+	laketest.Add(l, bad)
 	res, err := Reclaim(l, src, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -89,11 +90,11 @@ func TestReclaimWideSource(t *testing.T) {
 	left := src.Project(cols[:12]...)
 	left.Name = "left"
 	left.Key = nil
-	l.Add(left)
+	laketest.Add(l, left)
 	right := src.Project(append([]string{"k"}, cols[12:]...)...)
 	right.Name = "right"
 	right.Key = nil
-	l.Add(right)
+	laketest.Add(l, right)
 	res, err := Reclaim(l, src, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"gent/internal/lake"
+	"gent/internal/lake/laketest"
 	"gent/internal/matrix"
 	"gent/internal/table"
 )
@@ -19,7 +20,7 @@ import (
 // table — the add/replace/drop mix the incremental maintenance must handle.
 func mutateLake(t *testing.T, l *lake.Lake, wave int) {
 	t.Helper()
-	names := l.Names()
+	names := l.Snapshot().Names()
 	if len(names) < 4 {
 		t.Fatal("lake too small to mutate")
 	}
@@ -28,7 +29,7 @@ func mutateLake(t *testing.T, l *lake.Lake, wave int) {
 	if replacedName == dropped {
 		replacedName = names[(wave+4)%len(names)]
 	}
-	replaced := l.Get(replacedName).Clone()
+	replaced := l.Snapshot().Get(replacedName).Clone()
 	if n := len(replaced.Rows); n > 1 {
 		replaced.Rows = replaced.Rows[:1+n/2]
 	}
@@ -124,9 +125,9 @@ func TestSessionTracksInPlaceEdit(t *testing.T) {
 	if _, err := session.Reclaim(src); err != nil {
 		t.Fatal(err)
 	}
-	victim := b.Lake.Get(b.Lake.Names()[0])
+	victim := b.Lake.Snapshot().Get(b.Lake.Snapshot().Names()[0])
 	victim.Rows = victim.Rows[:len(victim.Rows)/2] // in-place edit
-	b.Lake.Add(victim)
+	laketest.Add(b.Lake, victim)
 	want, err := NewReclaimer(b.Lake, cfg).Reclaim(src)
 	if err != nil {
 		t.Fatal(err)

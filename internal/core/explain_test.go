@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"gent/internal/lake"
+	"gent/internal/lake/laketest"
 	"gent/internal/table"
 )
 
@@ -21,11 +22,11 @@ func explainScenario() (*table.Table, *lake.Lake) {
 	t1.AddRow(table.S("k1"), table.S("a1"))
 	t1.AddRow(table.S("k2"), table.S("a2"))
 	t1.AddRow(table.S("k3"), table.S("WRONG"))
-	l.Add(t1)
+	laketest.Add(l, t1)
 	t2 := table.New("facts_b", "k", "b")
 	t2.AddRow(table.S("k1"), table.S("b1"))
 	t2.AddRow(table.S("k3"), table.S("b3"))
-	l.Add(t2)
+	laketest.Add(l, t2)
 	return src, l
 }
 
@@ -97,7 +98,7 @@ func TestExplainPerfectReclamation(t *testing.T) {
 	dup := src.Clone()
 	dup.Name = "copy"
 	dup.Key = nil
-	l.Add(dup)
+	laketest.Add(l, dup)
 	res, err := Reclaim(l, src, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)

@@ -304,7 +304,7 @@ func (r *Reclaimer) UseIndexes(ix *index.IndexSet) error {
 		}
 		// Adoption may publish a fresh snapshot bound to the adopted
 		// dictionary; the injected state must pin that one.
-		ls = r.lake.Snapshot()
+		ls = r.lake.Snapshot() //lint:allow snappin AdoptDict republished the snapshot; re-pin deliberately
 		// The lake's dictionary is authoritative after adoption (it may be a
 		// superset the persisted one is a prefix of); rebind the substrates
 		// so their probes resolve through it and discovery's interned fast
@@ -376,8 +376,7 @@ func (r *Reclaimer) WarmFor(opts discovery.Options) *Reclaimer {
 // session-scoped analogue of discovery.Discover — pinned to the lake's
 // current epoch.
 func (r *Reclaimer) Candidates(src *table.Table, opts discovery.Options) []*discovery.Candidate {
-	st := r.acquire()
-	cands, _ := discovery.DiscoverWithSnapContext(context.Background(), st.snap, st.indexSet(opts), src, opts)
+	cands, _ := r.CandidatesContext(context.Background(), src, opts)
 	return cands
 }
 
@@ -407,14 +406,14 @@ func (r *Reclaimer) rawCandidates(ctx context.Context, st *epochState, src *tabl
 // Reclaim runs the full Gen-T pipeline for one Source Table with the
 // session's default configuration.
 func (r *Reclaimer) Reclaim(src *table.Table) (*Result, error) {
-	return r.ReclaimWith(src, r.cfg)
+	return r.ReclaimContext(context.Background(), src)
 }
 
 // ReclaimWith is Reclaim under a per-call configuration — ablations and
 // parameter sweeps reuse the session's indexes, which depend only on the
 // lake, across configurations.
 func (r *Reclaimer) ReclaimWith(src *table.Table, cfg Config) (*Result, error) {
-	return r.reclaimConfigured(context.Background(), src, cfg)
+	return r.ReclaimWithContext(context.Background(), src, cfg)
 }
 
 // ReclaimContext is Reclaim under a context and per-call options layered

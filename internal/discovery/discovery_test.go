@@ -7,6 +7,7 @@ import (
 
 	"gent/internal/index"
 	"gent/internal/lake"
+	"gent/internal/lake/laketest"
 	"gent/internal/table"
 )
 
@@ -29,24 +30,24 @@ func exampleLake() *lake.Lake {
 	a.AddRow(table.S("id0"), table.S("Smith"), table.S("Bachelors"))
 	a.AddRow(table.S("id1"), table.S("Brown"), table.Null)
 	a.AddRow(table.S("id2"), table.S("Wang"), table.S("High School"))
-	l.Add(a)
+	laketest.Add(l, a)
 
 	b := table.New("lakeB", "person", "years")
 	b.AddRow(table.S("Smith"), table.N(27))
 	b.AddRow(table.S("Brown"), table.N(24))
 	b.AddRow(table.S("Wang"), table.N(32))
-	l.Add(b)
+	laketest.Add(l, b)
 
 	c := table.New("lakeC", "person", "sex")
 	c.AddRow(table.S("Smith"), table.S("Male"))
 	c.AddRow(table.S("Brown"), table.S("Male"))
 	c.AddRow(table.S("Wang"), table.S("Male"))
-	l.Add(c)
+	laketest.Add(l, c)
 
 	noise := table.New("noise", "fruit", "color")
 	noise.AddRow(table.S("apple"), table.S("red"))
 	noise.AddRow(table.S("pear"), table.S("green"))
-	l.Add(noise)
+	laketest.Add(l, noise)
 	return l
 }
 
@@ -153,9 +154,9 @@ func TestDiversifyDemotesDuplicates(t *testing.T) {
 		}
 		return t
 	}
-	l.Add(mk("dup1", 0, 8))
-	l.Add(mk("dup2", 0, 8))
-	l.Add(mk("tail", 6, 10)) // contributes k8, k9 that the dups lack
+	laketest.Add(l, mk("dup1", 0, 8))
+	laketest.Add(l, mk("dup2", 0, 8))
+	laketest.Add(l, mk("tail", 6, 10)) // contributes k8, k9 that the dups lack
 
 	opts := DefaultOptions()
 	cands := SetSimilarity(l, index.BuildInverted(l), src, opts)
@@ -191,7 +192,7 @@ func TestDiscoverWithFirstStage(t *testing.T) {
 		for j := 0; j < 10; j++ {
 			n.AddRow(table.S(fmt.Sprintf("x%d", r.Intn(500))), table.N(float64(r.Intn(500))))
 		}
-		l.Add(n)
+		laketest.Add(l, n)
 	}
 	opts := DefaultOptions()
 	opts.FirstStageTopK = 10
@@ -216,7 +217,7 @@ func TestMaxCandidatesCap(t *testing.T) {
 		t2.AddRow(table.S(fmt.Sprintf("k%d", i)), table.S(fmt.Sprintf("v%d", i)))
 		t2.AddRow(table.S(fmt.Sprintf("k%d", i+1)), table.S(fmt.Sprintf("v%d", i+1)))
 		t2.AddRow(table.S(fmt.Sprintf("extra%d", n)), table.S(fmt.Sprintf("e%d", n)))
-		l.Add(t2)
+		laketest.Add(l, t2)
 	}
 	opts := DefaultOptions()
 	opts.MaxCandidates = 3

@@ -8,6 +8,7 @@ import (
 
 	"gent/internal/index"
 	"gent/internal/lake"
+	"gent/internal/lake/laketest"
 	"gent/internal/table"
 )
 
@@ -21,7 +22,7 @@ func noisyExampleLake(bulk int) *lake.Lake {
 		for j := 0; j < 10; j++ {
 			n.AddRow(table.S(fmt.Sprintf("x%d", r.Intn(500))), table.N(float64(r.Intn(500))))
 		}
-		l.Add(n)
+		laketest.Add(l, n)
 	}
 	return l
 }
@@ -52,9 +53,9 @@ func TestDiscoverWithStaleIndex(t *testing.T) {
 	l := noisyExampleLake(50)
 	ix := index.BuildIndexSet(l)
 
-	l.Remove("lakeC")
+	laketest.Remove(l, "lakeC")
 	for i := 0; i < 10; i++ {
-		l.Remove(fmt.Sprintf("bulk%02d", i))
+		laketest.Remove(l, fmt.Sprintf("bulk%02d", i))
 	}
 
 	opts := DefaultOptions()

@@ -7,6 +7,7 @@ import (
 
 	"gent/internal/index"
 	"gent/internal/lake"
+	"gent/internal/lake/laketest"
 	"gent/internal/table"
 )
 
@@ -78,7 +79,7 @@ func randomDiscoveryCorpus(rng *rand.Rand) (*lake.Lake, *table.Table) {
 			}
 			tab.Rows = append(tab.Rows, row)
 		}
-		l.Add(tab)
+		laketest.Add(l, tab)
 	}
 	return l, src
 }

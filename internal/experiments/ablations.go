@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -111,15 +112,19 @@ func AblationDiversify(b *benchmark.TPTR, opts RunOptions) AblationRow {
 // every nullified variant (the tables worth crowding out).
 func lakeWithDuplicates(b *benchmark.TPTR) *lake.Lake {
 	out := lake.New()
+	var muts []lake.Mutation
 	for _, t := range b.Lake.Tables() {
-		out.Add(t)
+		muts = append(muts, lake.Put(t))
 		if strings.Contains(t.Name, "_err") {
 			for i := 1; i <= 2; i++ {
 				cp := t.Clone()
 				cp.Name = fmt.Sprintf("%s_copy%d", t.Name, i)
-				out.Add(cp)
+				muts = append(muts, lake.Put(cp))
 			}
 		}
+	}
+	if _, err := out.Apply(context.Background(), muts...); err != nil {
+		panic(err) // clones of lake members always apply cleanly
 	}
 	return out
 }

@@ -6,6 +6,7 @@ import (
 
 	"gent/internal/benchmark"
 	"gent/internal/lake"
+	"gent/internal/lake/laketest"
 	"gent/internal/metrics"
 	"gent/internal/table"
 )
@@ -24,8 +25,8 @@ func methodInput() Input {
 	right.Key = nil
 
 	l := lake.New()
-	l.Add(left)
-	l.Add(right)
+	laketest.Add(l, left)
+	laketest.Add(l, right)
 	return Input{
 		Src:        src,
 		Lake:       l,

@@ -5,6 +5,7 @@ import (
 
 	"gent/internal/benchmark"
 	"gent/internal/core"
+	"gent/internal/lake"
 	"gent/internal/table"
 )
 
@@ -30,14 +31,17 @@ func Table4Context(ctx context.Context, corpus *benchmark.T2D, opts RunOptions) 
 	// small incremental deltas off this warm build.
 	session := sessionFor(corpus.Lake).WarmFor(opts.Discovery)
 
+	// The whole corpus is present before the first remove/restore pair, so
+	// one pinned snapshot serves every iteration's source lookup.
+	snap := corpus.Lake.Snapshot()
 	for _, name := range corpus.Reclaimable {
-		src := corpus.Lake.Get(name).Clone()
+		src := snap.Get(name).Clone()
 		key := table.MineKey(src, 2)
 		if key == nil {
 			continue
 		}
 		src.Key = key
-		corpus.Lake.Remove(name)
+		corpus.Lake.Apply(ctx, lake.Drop(name))
 		cands := sessionCandidates(ctx, session, src, opts.Discovery)
 		in := Input{Src: src, Lake: corpus.Lake, Candidates: cands, IntSet: cands, Session: session}
 		outcomes := make(map[Method]Outcome, len(methods))
@@ -87,14 +91,17 @@ func T2DSelfReclamation(corpus *benchmark.T2D, opts RunOptions) T2DSelfResult {
 	// leave-one-out queries; each remove/restore is an epoch pair the
 	// substrates follow incrementally.
 	session := sessionFor(corpus.Lake).WarmFor(opts.Discovery)
-	for _, name := range corpus.Lake.Names() {
-		src := corpus.Lake.Get(name).Clone()
+	// Pin the whole corpus once: every leave-one-out iteration reads its
+	// source from this snapshot, no matter where the remove/restore churn is.
+	snap := corpus.Lake.Snapshot()
+	for _, name := range snap.Names() {
+		src := snap.Get(name).Clone()
 		key := table.MineKey(src, 2)
 		if key == nil {
 			continue
 		}
 		src.Key = key
-		corpus.Lake.Remove(name)
+		corpus.Lake.Apply(context.Background(), lake.Drop(name))
 		out.SourcesTried++
 		res, err := session.ReclaimWith(src, cfg)
 		restore(corpus, name, src)
@@ -115,10 +122,12 @@ func T2DSelfReclamation(corpus *benchmark.T2D, opts RunOptions) T2DSelfResult {
 
 // restore puts a removed source table back into the corpus lake.
 func restore(corpus *benchmark.T2D, name string, src *table.Table) {
-	if corpus.Lake.Get(name) == nil {
+	if corpus.Lake.Snapshot().Get(name) == nil {
 		back := src.Clone()
 		back.Name = name
 		back.Key = nil
-		corpus.Lake.Add(back)
+		if _, err := corpus.Lake.Apply(context.Background(), lake.Put(back)); err != nil {
+			panic(err) // a clone of a former member always applies cleanly
+		}
 	}
 }

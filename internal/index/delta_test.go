@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"gent/internal/lake"
+	"gent/internal/lake/laketest"
 	"gent/internal/table"
 )
 
@@ -43,7 +44,7 @@ func randomTable(rng *rand.Rand, name string) *table.Table {
 // replace-existing, drop, rename) and returns the epoch.
 func applyRandomMutation(t *testing.T, rng *rand.Rand, l *lake.Lake, nextID *int) {
 	t.Helper()
-	names := l.Names()
+	names := l.Snapshot().Names()
 	var mut lake.Mutation
 	switch op := rng.Intn(4); {
 	case op == 0 && len(names) > 0: // replace
@@ -104,7 +105,7 @@ func TestInvertedDeltaMatchesRebuild(t *testing.T) {
 		nextID := 0
 		for i := 0; i < 4; i++ {
 			nextID++
-			l.Add(randomTable(rng, fmt.Sprintf("t%d", nextID)))
+			laketest.Add(l, randomTable(rng, fmt.Sprintf("t%d", nextID)))
 		}
 		prev := l.Snapshot()
 		maintained := BuildInverted(prev)
@@ -159,7 +160,7 @@ func TestMinHashDeltaMatchesRebuild(t *testing.T) {
 		nextID := 0
 		for i := 0; i < 4; i++ {
 			nextID++
-			l.Add(randomTable(rng, fmt.Sprintf("t%d", nextID)))
+			laketest.Add(l, randomTable(rng, fmt.Sprintf("t%d", nextID)))
 		}
 		prev := l.Snapshot()
 		maintained := BuildMinHashLSH(prev)
@@ -216,14 +217,14 @@ func forms(snap *lake.Snapshot, tables []*table.Table) []*table.Interned {
 // and untouched postings must be shared (no deep copy of the corpus).
 func TestWithDeltaSharesAndPreserves(t *testing.T) {
 	l := lake.New()
-	l.Add(mk("stay", "a", "b", "c"))
-	l.Add(mk("gone", "a", "x"))
+	laketest.Add(l, mk("stay", "a", "b", "c"))
+	laketest.Add(l, mk("gone", "a", "x"))
 	snap := l.Snapshot()
 	base := BuildInverted(snap)
 	baseView := flatPostingsView(base)
 
-	l.Remove("gone")
-	l.Add(mk("new", "b", "y"))
+	laketest.Remove(l, "gone")
+	laketest.Add(l, mk("new", "b", "y"))
 	snap2 := l.Snapshot()
 	snap2.EnsureInterned()
 	derived := base.WithDelta(
@@ -253,7 +254,7 @@ func TestWithDeltaSharesAndPreserves(t *testing.T) {
 // deltas (callers must rebuild).
 func TestReferenceIndexNotMaintainable(t *testing.T) {
 	l := lake.New()
-	l.Add(mk("t", "a"))
+	laketest.Add(l, mk("t", "a"))
 	snap := l.Snapshot()
 	snap.EnsureInterned()
 	it := snap.Interned("t")
@@ -269,12 +270,12 @@ func TestReferenceIndexNotMaintainable(t *testing.T) {
 // add-only; schema changes make the gap non-add-only.
 func TestGapAndCatchUp(t *testing.T) {
 	l := lake.New()
-	l.Add(mk("t1", "a", "b"))
-	l.Add(mk("t2", "b", "c"))
+	laketest.Add(l, mk("t1", "a", "b"))
+	laketest.Add(l, mk("t2", "b", "c"))
 	set := BuildIndexSet(l.Snapshot())
 
 	// Lake grows by one table with novel values.
-	l.Add(mk("t3", "c", "zzz"))
+	laketest.Add(l, mk("t3", "c", "zzz"))
 	snap := l.Snapshot()
 	covered, missing, ok := set.Gap(snap)
 	if !ok {
@@ -303,11 +304,11 @@ func TestGapAndCatchUp(t *testing.T) {
 
 	// A schema change under a kept name is not add-only.
 	l2 := lake.New()
-	l2.Add(mk("t1", "a"))
+	laketest.Add(l2, mk("t1", "a"))
 	set2 := BuildIndexSet(l2.Snapshot())
 	wider := table.New("t1", "a", "extra")
 	wider.AddRow(table.S("a"), table.S("e"))
-	l2.Add(wider)
+	laketest.Add(l2, wider)
 	if _, _, ok := set2.Gap(l2.Snapshot()); ok {
 		t.Fatal("schema change reported add-only")
 	}
@@ -323,16 +324,16 @@ func TestGapAndCatchUp(t *testing.T) {
 // current.
 func TestCatchUpRefusesEditedCoveredTable(t *testing.T) {
 	l := lake.New()
-	l.Add(mk("edited", "a", "b"))
-	l.Add(mk("other", "b", "c"))
+	laketest.Add(l, mk("edited", "a", "b"))
+	laketest.Add(l, mk("other", "b", "c"))
 	set := BuildIndexSet(l.Snapshot())
 
 	// Edit "edited" in place: swap a -> c. Every value is already in the
 	// persisted dictionary and the distinct count is unchanged, so neither
 	// the dictionary nor the schema can see it. The lake also grows, making
 	// the gap otherwise add-only.
-	l.Add(mk("edited", "c", "b"))
-	l.Add(mk("brand_new", "c"))
+	laketest.Add(l, mk("edited", "c", "b"))
+	laketest.Add(l, mk("brand_new", "c"))
 	snap := l.Snapshot()
 	if _, _, ok := set.Gap(snap); !ok {
 		t.Fatal("gap should look add-only at the schema level")
@@ -343,10 +344,10 @@ func TestCatchUpRefusesEditedCoveredTable(t *testing.T) {
 
 	// Sanity: without the edit, the same growth catches up fine.
 	l2 := lake.New()
-	l2.Add(mk("edited", "a", "b"))
-	l2.Add(mk("other", "b", "c"))
+	laketest.Add(l2, mk("edited", "a", "b"))
+	laketest.Add(l2, mk("other", "b", "c"))
 	set2 := BuildIndexSet(l2.Snapshot())
-	l2.Add(mk("brand_new", "c"))
+	laketest.Add(l2, mk("brand_new", "c"))
 	if added, ok := set2.CatchUp(l2.Snapshot()); !ok || added != 1 {
 		t.Fatalf("clean add-only catch-up = %d, %v", added, ok)
 	}
@@ -357,7 +358,7 @@ func TestCatchUpRefusesEditedCoveredTable(t *testing.T) {
 // substrates.
 func TestSaveDirClearsStaleEpochStamp(t *testing.T) {
 	l := lake.New()
-	l.Add(mk("t", "a"))
+	laketest.Add(l, mk("t", "a"))
 	dir := t.TempDir()
 	stamped := BuildIndexSet(l.Snapshot())
 	if err := stamped.SaveDir(dir); err != nil {
@@ -382,7 +383,7 @@ func TestSaveDirClearsStaleEpochStamp(t *testing.T) {
 // stamp.
 func TestEpochStampRoundTrip(t *testing.T) {
 	l := lake.New()
-	l.Add(mk("t", "a", "b"))
+	laketest.Add(l, mk("t", "a", "b"))
 	snap := l.Snapshot()
 	set := BuildIndexSet(snap)
 	if set.Epoch != snap.Epoch() {

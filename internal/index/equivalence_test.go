@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"gent/internal/lake"
+	"gent/internal/lake/laketest"
 	"gent/internal/table"
 )
 
@@ -40,7 +41,7 @@ func randomEquivLake(rng *rand.Rand) *lake.Lake {
 			}
 			tab.AddRow(row...)
 		}
-		l.Add(tab)
+		laketest.Add(l, tab)
 	}
 	return l
 }
@@ -120,8 +121,8 @@ func TestMinHashInternedRecall(t *testing.T) {
 		l := randomEquivLake(rng)
 		ids := BuildMinHashLSH(l)
 		ref := BuildMinHashLSHReference(l)
-		for _, name := range l.Names() {
-			q := l.Get(name)
+		for _, name := range l.Snapshot().Names() {
+			q := l.Snapshot().Get(name)
 			hit := func(ranked []Ranked) bool {
 				for _, r := range ranked {
 					if r.Table == name {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"gent/internal/lake"
+	"gent/internal/lake/laketest"
 	"gent/internal/table"
 )
 
@@ -15,17 +16,17 @@ func buildLake() *lake.Lake {
 	people.AddRow(table.S("Smith"), table.N(27))
 	people.AddRow(table.S("Brown"), table.N(24))
 	people.AddRow(table.S("Wang"), table.N(32))
-	l.Add(people)
+	laketest.Add(l, people)
 
 	cities := table.New("cities", "city", "pop")
 	cities.AddRow(table.S("Boston"), table.N(600))
 	cities.AddRow(table.S("Worcester"), table.N(180))
-	l.Add(cities)
+	laketest.Add(l, cities)
 
 	mixed := table.New("mixed", "name", "city")
 	mixed.AddRow(table.S("Smith"), table.S("Boston"))
 	mixed.AddRow(table.S("Nobody"), table.S("Nowhere"))
-	l.Add(mixed)
+	laketest.Add(l, mixed)
 	return l
 }
 
@@ -76,7 +77,7 @@ func TestInvertedIgnoresNulls(t *testing.T) {
 	l := lake.New()
 	tb := table.New("nulls", "a")
 	tb.AddRow(table.Null)
-	l.Add(tb)
+	laketest.Add(l, tb)
 	ix := BuildInverted(l)
 	if got := ix.SearchSet(map[string]bool{table.Null.Key(): true}); len(got) != 0 {
 		t.Error("nulls must never be indexed or matched")
@@ -93,7 +94,7 @@ func TestMinHashTopKFindsOverlappingTables(t *testing.T) {
 		for j := 0; j < 20; j++ {
 			tb.AddRow(table.S(fmt.Sprintf("n%d-%d", i, r.Intn(1000))), table.N(float64(r.Intn(100))))
 		}
-		l.Add(tb)
+		laketest.Add(l, tb)
 	}
 	target := table.New("target", "name", "extra")
 	query := table.New("query", "name")
@@ -102,7 +103,7 @@ func TestMinHashTopKFindsOverlappingTables(t *testing.T) {
 		target.AddRow(v, table.N(float64(j)))
 		query.AddRow(v)
 	}
-	l.Add(target)
+	laketest.Add(l, target)
 
 	ix := BuildMinHashLSH(l)
 	top := ix.TopK(query, 5)

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"gent/internal/lake"
+	"gent/internal/lake/laketest"
 	"gent/internal/table"
 )
 
@@ -25,7 +26,7 @@ func randomLake(tables int, seed int64) *lake.Lake {
 				table.S(fmt.Sprintf("w%d-%d", i%7, r.Intn(40))),
 			)
 		}
-		l.Add(tb)
+		laketest.Add(l, tb)
 	}
 	return l
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"gent/internal/lake"
+	"gent/internal/lake/laketest"
 	"gent/internal/table"
 )
 
@@ -95,7 +96,7 @@ func TestAdoptDictDetectsLakeMismatch(t *testing.T) {
 	grown := buildLake()
 	extra := table.New("extra", "name")
 	extra.AddRow(table.S("Zephyr"))
-	grown.Add(extra)
+	laketest.Add(grown, extra)
 	d2, err := LoadDictFile(filepath.Join(dir, dictFileName))
 	if err != nil {
 		t.Fatal(err)

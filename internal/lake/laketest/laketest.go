@@ -1,0 +1,38 @@
+// Package laketest gives tests a terse way to populate a Lake through the
+// v3 mutation API. The deprecated v1 shims (Lake.Add/Remove) used to fill
+// this role in test setup; gentlint's deprecatedlake analyzer now keeps shim
+// calls out of the tree, and these helpers are the sanctioned replacement:
+// same one-line ergonomics, but routed through Lake.Apply like production
+// code.
+package laketest
+
+import (
+	"context"
+	"fmt"
+
+	"gent/internal/lake"
+	"gent/internal/table"
+)
+
+// Add applies Put mutations for each table in one epoch turn. It panics on
+// error — test fixtures are static, so a failed Apply is a bug in the test.
+func Add(l *lake.Lake, tables ...*table.Table) {
+	muts := make([]lake.Mutation, len(tables))
+	for i, t := range tables {
+		muts[i] = lake.Put(t)
+	}
+	if _, err := l.Apply(context.Background(), muts...); err != nil {
+		panic(fmt.Sprintf("laketest.Add: %v", err))
+	}
+}
+
+// Remove applies Drop mutations for each named table in one epoch turn.
+func Remove(l *lake.Lake, names ...string) {
+	muts := make([]lake.Mutation, len(names))
+	for i, name := range names {
+		muts[i] = lake.Drop(name)
+	}
+	if _, err := l.Apply(context.Background(), muts...); err != nil {
+		panic(fmt.Sprintf("laketest.Remove: %v", err))
+	}
+}

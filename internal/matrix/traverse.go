@@ -33,7 +33,8 @@ type TraverseOptions struct {
 // stopping when adding any remaining candidate no longer improves it. It
 // returns the indices of the originating tables, in pick order.
 func Traverse(src *table.Table, cands []*table.Table, enc Encoding) []int {
-	return TraverseWith(src, cands, enc, TraverseOptions{})
+	picked, _ := TraverseContext(context.Background(), src, cands, enc, TraverseOptions{})
+	return picked
 }
 
 // TraverseWith is Traverse on an explicitly-configured engine. Whatever the

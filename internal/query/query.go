@@ -30,7 +30,7 @@ type Scan struct{ Name string }
 
 // Run implements Plan.
 func (s Scan) Run(l *lake.Lake) (*table.Table, error) {
-	t := l.Get(s.Name)
+	t := l.Snapshot().Get(s.Name)
 	if t == nil {
 		return nil, fmt.Errorf("query: no table %q", s.Name)
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"gent/internal/lake"
+	"gent/internal/lake/laketest"
 	"gent/internal/table"
 )
 
@@ -14,11 +15,11 @@ func queryLake() *lake.Lake {
 	people.AddRow(table.S("p1"), table.S("Ann"), table.N(30))
 	people.AddRow(table.S("p2"), table.S("Bob"), table.N(40))
 	people.AddRow(table.S("p3"), table.S("Cem"), table.N(50))
-	l.Add(people)
+	laketest.Add(l, people)
 	cities := table.New("cities", "id", "city")
 	cities.AddRow(table.S("p1"), table.S("Boston"))
 	cities.AddRow(table.S("p2"), table.S("Worcester"))
-	l.Add(cities)
+	laketest.Add(l, cities)
 	return l
 }
 

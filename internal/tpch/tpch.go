@@ -12,6 +12,7 @@
 package tpch
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -62,18 +63,20 @@ func Generate(s Scale) *lake.Lake {
 	}
 	r := rand.New(rand.NewSource(s.Seed))
 	l := lake.New()
+	var muts []lake.Mutation
+	add := func(t *table.Table) { muts = append(muts, lake.Put(t)) }
 
 	region := table.New("region", "regionkey", "r_name", "r_comment")
 	for i, name := range regionNames {
 		region.AddRow(key("REG", i), table.S(name), comment(r))
 	}
-	l.Add(region)
+	add(region)
 
 	nation := table.New("nation", "nationkey", "n_name", "regionkey", "n_comment")
 	for i, name := range nationNames {
 		nation.AddRow(key("NAT", i), table.S(name), key("REG", i%len(regionNames)), comment(r))
 	}
-	l.Add(nation)
+	add(nation)
 
 	nSupp := max(2, s.Base/3)
 	supplier := table.New("supplier", "suppkey", "s_name", "s_address", "nationkey", "s_phone", "s_acctbal")
@@ -87,7 +90,7 @@ func Generate(s Scale) *lake.Lake {
 			money(r, 10000),
 		)
 	}
-	l.Add(supplier)
+	add(supplier)
 
 	customer := table.New("customer", "custkey", "c_name", "c_address", "nationkey", "c_phone", "c_acctbal", "c_mktsegment")
 	for i := 0; i < s.Base; i++ {
@@ -101,7 +104,7 @@ func Generate(s Scale) *lake.Lake {
 			table.S(segments[r.Intn(len(segments))]),
 		)
 	}
-	l.Add(customer)
+	add(customer)
 
 	nPart := max(2, s.Base*2/3)
 	part := table.New("part", "partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size", "p_retailprice")
@@ -117,7 +120,7 @@ func Generate(s Scale) *lake.Lake {
 			money(r, 2000),
 		)
 	}
-	l.Add(part)
+	add(part)
 
 	partsupp := table.New("partsupp", "partkey", "suppkey", "ps_availqty", "ps_supplycost")
 	for i := 0; i < nPart; i++ {
@@ -130,7 +133,7 @@ func Generate(s Scale) *lake.Lake {
 			)
 		}
 	}
-	l.Add(partsupp)
+	add(partsupp)
 
 	nOrders := s.Base * 2
 	orders := table.New("orders", "orderkey", "custkey", "o_orderstatus", "o_totalprice", "o_orderdate", "o_orderpriority")
@@ -144,7 +147,7 @@ func Generate(s Scale) *lake.Lake {
 			table.S(priorities[r.Intn(len(priorities))]),
 		)
 	}
-	l.Add(orders)
+	add(orders)
 
 	lineitem := table.New("lineitem", "orderkey", "partkey", "suppkey", "l_linenumber", "l_quantity", "l_extendedprice", "l_discount", "l_returnflag", "l_shipdate")
 	for i := 0; i < nOrders; i++ {
@@ -163,8 +166,13 @@ func Generate(s Scale) *lake.Lake {
 			)
 		}
 	}
-	l.Add(lineitem)
+	add(lineitem)
 
+	// One Apply publishes the whole corpus as a single epoch turn; the
+	// generator's tables are well-formed by construction.
+	if _, err := l.Apply(context.Background(), muts...); err != nil {
+		panic(err)
+	}
 	return l
 }
 

@@ -12,7 +12,7 @@ func TestGenerateShape(t *testing.T) {
 		t.Fatalf("generated %d tables, want 8", l.Len())
 	}
 	for _, name := range TableNames {
-		tb := l.Get(name)
+		tb := l.Snapshot().Get(name)
 		if tb == nil {
 			t.Fatalf("missing table %s", name)
 		}
@@ -23,13 +23,13 @@ func TestGenerateShape(t *testing.T) {
 			t.Errorf("%s is empty", name)
 		}
 	}
-	if l.Get("region").NumRows() != 5 || l.Get("nation").NumRows() != 25 {
+	if l.Snapshot().Get("region").NumRows() != 5 || l.Snapshot().Get("nation").NumRows() != 25 {
 		t.Error("region/nation cardinalities wrong")
 	}
-	if l.Get("customer").NumRows() != Small.Base {
-		t.Errorf("customer rows = %d, want %d", l.Get("customer").NumRows(), Small.Base)
+	if l.Snapshot().Get("customer").NumRows() != Small.Base {
+		t.Errorf("customer rows = %d, want %d", l.Snapshot().Get("customer").NumRows(), Small.Base)
 	}
-	if l.Get("orders").NumRows() != 2*Small.Base {
+	if l.Snapshot().Get("orders").NumRows() != 2*Small.Base {
 		t.Error("orders should be 2x customers")
 	}
 }
@@ -37,12 +37,12 @@ func TestGenerateShape(t *testing.T) {
 func TestGenerateDeterministic(t *testing.T) {
 	a, b := Generate(Small), Generate(Small)
 	for _, name := range TableNames {
-		if !table.EqualRows(a.Get(name), b.Get(name)) {
+		if !table.EqualRows(a.Snapshot().Get(name), b.Snapshot().Get(name)) {
 			t.Fatalf("%s not deterministic", name)
 		}
 	}
 	c := Generate(Scale{Base: Small.Base, Seed: 99})
-	if table.EqualRows(a.Get("customer"), c.Get("customer")) {
+	if table.EqualRows(a.Snapshot().Get("customer"), c.Snapshot().Get("customer")) {
 		t.Error("different seeds produced identical data")
 	}
 }
@@ -54,7 +54,7 @@ func TestPrimaryKeysAreKeys(t *testing.T) {
 		if pk == "" {
 			continue // composite-key tables
 		}
-		tb := l.Get(name)
+		tb := l.Snapshot().Get(name)
 		i := tb.ColIndex(pk)
 		if i < 0 {
 			t.Fatalf("%s lacks declared key column %s", name, pk)
@@ -72,16 +72,16 @@ func TestPrimaryKeysAreKeys(t *testing.T) {
 
 func TestForeignKeysResolve(t *testing.T) {
 	l := Generate(Small)
-	custKeys := l.Get("customer").ColumnSet(l.Get("customer").ColIndex("custkey"))
-	orders := l.Get("orders")
+	custKeys := l.Snapshot().Get("customer").ColumnSet(l.Snapshot().Get("customer").ColIndex("custkey"))
+	orders := l.Snapshot().Get("orders")
 	ci := orders.ColIndex("custkey")
 	for _, r := range orders.Rows {
 		if !custKeys[r[ci].Key()] {
 			t.Fatal("orders.custkey does not resolve to a customer")
 		}
 	}
-	natKeys := l.Get("nation").ColumnSet(l.Get("nation").ColIndex("nationkey"))
-	supp := l.Get("supplier")
+	natKeys := l.Snapshot().Get("nation").ColumnSet(l.Snapshot().Get("nation").ColIndex("nationkey"))
+	supp := l.Snapshot().Get("supplier")
 	ni := supp.ColIndex("nationkey")
 	for _, r := range supp.Rows {
 		if !natKeys[r[ni].Key()] {
@@ -92,8 +92,8 @@ func TestForeignKeysResolve(t *testing.T) {
 
 func TestJoinsWorkByColumnName(t *testing.T) {
 	l := Generate(Small)
-	j := table.InnerJoin(l.Get("orders"), l.Get("customer"))
-	if j.NumRows() != l.Get("orders").NumRows() {
-		t.Errorf("orders⋈customer = %d rows, want %d", j.NumRows(), l.Get("orders").NumRows())
+	j := table.InnerJoin(l.Snapshot().Get("orders"), l.Snapshot().Get("customer"))
+	if j.NumRows() != l.Snapshot().Get("orders").NumRows() {
+		t.Errorf("orders⋈customer = %d rows, want %d", j.NumRows(), l.Snapshot().Get("orders").NumRows())
 	}
 }
