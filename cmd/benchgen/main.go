@@ -5,7 +5,14 @@
 // Usage:
 //
 //	benchgen -out ./bench [-base 30] [-null 0.5] [-err 0.5] [-seed 11]
-//	         [-distractors 0] [-t2d 0]
+//	         [-distractors 0] [-t2d 0] [-preset large] [-tables 100000]
+//
+// The `large` preset materializes the beyond-RAM acceptance corpus: the TP-TR
+// benchmark (so the Sources stay exactly reclaimable) embedded in
+// open-data-portal-shaped volume up to -tables tables (default 100000) —
+// log-uniform row skew, domain-clustered vocabularies, dense portal-wide
+// columns. internal/benchmark's storage benchmarks generate the same corpus
+// (scaled down) in-process via benchmark.BuildLargePreset.
 package main
 
 import (
@@ -28,6 +35,8 @@ func main() {
 		distractors = flag.Int("distractors", 0, "additional distractor web tables")
 		t2d         = flag.Int("t2d", 0, "also generate a T2D-style corpus of this size")
 		maxRows     = flag.Int("max-source-rows", 1000, "cap per Source Table")
+		preset      = flag.String("preset", "", `corpus preset: "large" embeds TP-TR in open-data-shaped volume`)
+		tables      = flag.Int("tables", benchmark.LargeCorpusTables, "total table count for -preset large")
 	)
 	flag.Parse()
 	if *outDir == "" {
@@ -35,15 +44,23 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := benchmark.DefaultTPTROptions()
-	opts.Scale.Base = *base
-	opts.Scale.Seed = *seed
-	opts.Seed = *seed
-	opts.NullRate = *nullRate
-	opts.ErrRate = *errRate
-	opts.MaxSourceRows = *maxRows
-
-	b, err := benchmark.BuildTPTR("tp-tr", opts)
+	var b *benchmark.TPTR
+	var err error
+	switch *preset {
+	case "large":
+		b, err = benchmark.BuildLargePreset(*tables, *seed)
+	case "":
+		opts := benchmark.DefaultTPTROptions()
+		opts.Scale.Base = *base
+		opts.Scale.Seed = *seed
+		opts.Seed = *seed
+		opts.NullRate = *nullRate
+		opts.ErrRate = *errRate
+		opts.MaxSourceRows = *maxRows
+		b, err = benchmark.BuildTPTR("tp-tr", opts)
+	default:
+		fatal(fmt.Errorf("unknown preset %q", *preset))
+	}
 	if err != nil {
 		fatal(err)
 	}

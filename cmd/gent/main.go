@@ -10,11 +10,19 @@
 // phase-tagged error; -progress streams per-phase events (discovery
 // candidate counts, every traversal pick, integration) to stderr.
 //
+// With -max-resident-mb, the interned forms of lake tables are capped at a
+// byte budget: least-recently-used forms are evicted under pressure and come
+// back transparently on the next query — from segment files under -store-dir
+// when given (a block read, no re-hashing), by re-interning otherwise.
+// Results are bit-identical either way; -stats reports what the cache did on
+// every exit path, including error and deadline exits.
+//
 // Usage:
 //
 //	gent -source source.csv -lake ./lake [-out reclaimed.csv] [-tau 0.2]
 //	     [-topk 0] [-max-candidates 15] [-key id,name] [-index-dir ./lake.idx]
 //	     [-timeout 30s] [-progress] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	     [-store-dir ./lake.seg] [-max-resident-mb 256] [-stats]
 package main
 
 import (
@@ -52,6 +60,9 @@ func main() {
 		progress   = flag.Bool("progress", false, "stream per-phase progress events to stderr")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		storeDir   = flag.String("store-dir", "", "spill evicted interned tables to segment files under this directory (created if missing)")
+		maxResMB   = flag.Int("max-resident-mb", 0, "cap resident interned-table memory at this many MiB (0 = unbounded; evicted forms reload from -store-dir, or re-intern without one)")
+		stats      = flag.Bool("stats", false, "print resident-cache statistics to stderr on exit (including error and deadline exits)")
 	)
 	flag.Parse()
 	if *sourcePath == "" || *lakeDir == "" {
@@ -118,6 +129,30 @@ func main() {
 	}
 	if l.Len() == 0 {
 		fatal(fmt.Errorf("no tables loaded from %s", *lakeDir))
+	}
+
+	if *storeDir != "" {
+		st, err := table.NewSegmentStore(*storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		l.SetSegmentStore(st)
+	}
+	if *maxResMB > 0 {
+		l.SetResidentBudget(int64(*maxResMB) << 20)
+	}
+	if *stats {
+		// Chained onto the profile flush so every exit path — success, fatal,
+		// the deadline exit — reports what the resident cache did.
+		prev := flushProfiles
+		flushProfiles = func() {
+			prev()
+			s := l.CacheStats()
+			fmt.Fprintf(os.Stderr,
+				"cache: resident=%d tables (%.1f MiB, budget %.1f MiB) hits=%d misses=%d evictions=%d spills=%d loads=%d reinterns=%d\n",
+				s.Resident, float64(s.ResidentBytes)/(1<<20), float64(s.Budget)/(1<<20),
+				s.Hits, s.Misses, s.Evictions, s.Spills, s.Loads, s.Reinterns)
+		}
 	}
 
 	cfg := core.DefaultConfig()

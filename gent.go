@@ -140,6 +140,12 @@ type (
 	// Mutation is one catalog edit for Lake.Apply; see Put, Drop,
 	// RenameTable.
 	Mutation = lake.Mutation
+	// CacheStats reports the lake's resident interned-form cache traffic;
+	// see Lake.CacheStats, Lake.SetResidentBudget, Lake.SetSegmentStore.
+	CacheStats = lake.CacheStats
+	// SegmentStore is the disk tier evicted interned forms spill to and
+	// reload from (Lake.SetSegmentStore); see NewSegmentStore.
+	SegmentStore = table.SegmentStore
 	// BatchItem is one source's outcome within a batch or stream.
 	BatchItem = core.BatchItem
 	// IndexSet bundles a lake's persisted discovery indexes.
@@ -263,6 +269,11 @@ func WithoutTraversal() Option { return core.WithoutTraversal() }
 // WithKeyMaxArity bounds key mining when the Source has no declared key.
 func WithKeyMaxArity(n int) Option { return core.WithKeyMaxArity(n) }
 
+// WithIndexShards selects the shard count of the compressed inverted
+// substrate a Reclaimer session builds; 0 keeps the uncompressed map form.
+// Session-level: pass it through the Config given to NewReclaimer.
+func WithIndexShards(n int) Option { return core.WithIndexShards(n) }
+
 // WithRequireCandidates turns an empty discovery result into
 // ErrNoCandidates instead of an all-null reclamation.
 func WithRequireCandidates() Option { return core.WithRequireCandidates() }
@@ -285,6 +296,16 @@ func NewLake() *Lake { return lake.New() }
 // LoadLake reads every CSV file under dir into a lake; unreadable files are
 // skipped and reported.
 func LoadLake(dir string) (*Lake, []error) { return lake.LoadDir(dir) }
+
+// OpenLake reads a lake persisted with Lake.Persist: catalog, epoch and
+// value dictionary are restored verbatim, and interned table forms page in
+// lazily from the segment files under dir, so opening a beyond-RAM lake is
+// cheap. Combine with Lake.SetResidentBudget to bound resident memory.
+func OpenLake(dir string) (*Lake, error) { return lake.Open(dir) }
+
+// NewSegmentStore opens (creating if needed) a directory of on-disk table
+// segments — the spill/reload tier behind Lake.SetSegmentStore.
+func NewSegmentStore(dir string) (*SegmentStore, error) { return table.NewSegmentStore(dir) }
 
 // LoadTable reads one CSV file.
 func LoadTable(path string) (*Table, error) { return table.LoadCSVFile(path) }

@@ -64,6 +64,19 @@
 // analyzer keeps each exported plain entry point delegating to its
 // ...Context sibling, so the pair cannot drift apart behaviorally.
 //
+// # Coverage of the storage tier
+//
+// The beyond-RAM storage layer (the lake's budgeted resident cache and
+// Persist/Open, table segment I/O, the sharded compressed inverted index)
+// introduced no new analyzer: the existing invariants generalize to it and
+// the suite checks it like any other library code. Its goroutine pools —
+// the chunked sharded index build, per-shard probe fan-out, parallel
+// pre-interning — are WaitGroup- or channel-tied per nakedgo; its session
+// and lake read paths pin one snapshot per function per snappin; its
+// persistence and segment-verification errors wrap causes with %w per
+// phaseerr; and eviction, spill and reload run entirely under the cache's
+// own lock with no context roots, keeping ctxflow silent.
+//
 // # Architecture
 //
 // The suite does not depend on golang.org/x/tools. Package framework is a

@@ -44,6 +44,16 @@ type Config struct {
 	// RequireCandidates makes an empty discovery result fail with
 	// ErrNoCandidates instead of integrating nothing.
 	RequireCandidates bool
+	// IndexShards selects the number of value-ID-hash shards for the
+	// compressed inverted substrate a Reclaimer session builds (query results
+	// are bit-identical across shard counts; shards only bound memory and
+	// parallelize builds and large probes). 0 keeps the uncompressed map
+	// form. It is a session-level knob: the substrate is built once per lake
+	// epoch from the session configuration, so per-call options cannot change
+	// it mid-epoch, and the one-shot Reclaim path always uses the map form
+	// (its index dies with the call — compression would cost more than it
+	// saves).
+	IndexShards int
 }
 
 // DefaultConfig mirrors the paper's Gen-T configuration.
@@ -52,6 +62,7 @@ func DefaultConfig() Config {
 		Discovery:   discovery.DefaultOptions(),
 		Encoding:    matrix.ThreeValued,
 		KeyMaxArity: 3,
+		IndexShards: 8,
 	}
 }
 

@@ -51,6 +51,14 @@ func WithoutTraversal() Option {
 	return func(c *Config) { c.SkipTraversal = true }
 }
 
+// WithIndexShards selects the shard count of the compressed inverted
+// substrate a Reclaimer session builds; 0 keeps the uncompressed map form.
+// Session-level: it takes effect through the Config passed to NewReclaimer,
+// not per call (the substrate is shared across an epoch's queries).
+func WithIndexShards(n int) Option {
+	return func(c *Config) { c.IndexShards = n }
+}
+
 // WithKeyMaxArity bounds key mining when the Source has no declared key.
 func WithKeyMaxArity(n int) Option {
 	return func(c *Config) { c.KeyMaxArity = n }

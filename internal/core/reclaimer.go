@@ -54,6 +54,9 @@ const maxCatchUpChain = 8
 // incrementally when an ancestor state has a maintainable copy.
 type epochState struct {
 	snap *lake.Snapshot
+	// shards is the session's Config.IndexShards, captured at state creation:
+	// >0 builds the compressed sharded inverted form, 0 the map form.
+	shards int
 	// prev links toward the ancestor states substrate catch-up derives from;
 	// cleared once both substrates are resolved (or at chain-trim time) so
 	// old snapshots do not accumulate.
@@ -105,7 +108,7 @@ func (r *Reclaimer) stateLocked() *epochState {
 	if cur != nil && cur.snap == ls {
 		return cur
 	}
-	ns := &epochState{snap: ls}
+	ns := &epochState{snap: ls, shards: r.cfg.IndexShards}
 	ns.prev.Store(cur)
 	trimChain(ns)
 	r.cur.Store(ns)
@@ -166,7 +169,11 @@ func (s *epochState) inverted() *index.Inverted {
 			}
 			break // unmaintainable (reference form or dict swap): rebuild
 		}
-		s.invPtr.Store(index.BuildInverted(s.snap))
+		if s.shards > 0 {
+			s.invPtr.Store(index.BuildInvertedSharded(s.snap, s.shards))
+		} else {
+			s.invPtr.Store(index.BuildInverted(s.snap))
+		}
 	})
 	s.dropPrevIfDone()
 	return s.invPtr.Load()
@@ -317,7 +324,7 @@ func (r *Reclaimer) UseIndexes(ix *index.IndexSet) error {
 			ix.LSH.RebindDict(d)
 		}
 	}
-	ns := &epochState{snap: ls, injInv: ix.Inverted, injLSH: ix.LSH}
+	ns := &epochState{snap: ls, shards: r.cfg.IndexShards, injInv: ix.Inverted, injLSH: ix.LSH}
 	// Publish the injected substrates immediately (the lazy Once still
 	// short-circuits onto them): a later epoch's catch-up walk reads invPtr/
 	// lshPtr, and an injected set must be deltable from, not silently

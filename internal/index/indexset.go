@@ -58,6 +58,32 @@ func BuildIndexSet(l Corpus) *IndexSet {
 	return s
 }
 
+// BuildIndexSetSharded is BuildIndexSet with the inverted substrate built in
+// the compressed, sharded form (BuildInvertedSharded). shards ≤ 0 falls back
+// to the map form.
+func BuildIndexSetSharded(l Corpus, shards int) *IndexSet {
+	if shards <= 0 {
+		return BuildIndexSet(l)
+	}
+	s := &IndexSet{}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		s.Inverted = BuildInvertedSharded(l, shards)
+	}()
+	go func() {
+		defer wg.Done()
+		s.LSH = BuildMinHashLSH(l)
+	}()
+	wg.Wait()
+	s.Dict = l.Dict()
+	if snap, ok := l.(*lake.Snapshot); ok {
+		s.Epoch = snap.Epoch()
+	}
+	return s
+}
+
 // Gap classifies how this set relates to a corpus: the corpus tables the
 // substrates already cover and the tables missing entirely. ok reports an
 // add-only gap — every covered table is indexed under exactly its current
@@ -206,11 +232,27 @@ func (s *IndexSet) SaveDir(dir string) error {
 		}
 	}
 	if s.Inverted != nil {
-		err := saveFile(filepath.Join(dir, invertedFileName), func(w io.Writer) error {
-			return s.Inverted.save(w, fp)
-		})
-		if err != nil {
-			return err
+		if s.Inverted.sharded != nil {
+			// Sharded form: per-shard files plus meta. Remove any map-form
+			// file so the directory holds exactly one inverted representation.
+			if err := saveInvertedSharded(dir, s.Inverted, fp); err != nil {
+				return err
+			}
+			if err := os.Remove(filepath.Join(dir, invertedFileName)); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("index: %w", err)
+			}
+		} else {
+			err := saveFile(filepath.Join(dir, invertedFileName), func(w io.Writer) error {
+				return s.Inverted.save(w, fp)
+			})
+			if err != nil {
+				return err
+			}
+			// And conversely: a map-form save must not leave stale shard
+			// files behind, since loaders prefer those.
+			if err := removeShardedInverted(dir); err != nil {
+				return err
+			}
 		}
 	}
 	if s.LSH != nil {
@@ -254,8 +296,13 @@ func LoadIndexSetDir(dir string) (*IndexSet, error) {
 		}
 		s.Dict = d
 	}
-	invPath := filepath.Join(dir, invertedFileName)
-	if _, err := os.Stat(invPath); err == nil {
+	if hasShardedInverted(dir) {
+		inv, err := loadInvertedSharded(dir, s.Dict)
+		if err != nil {
+			return nil, err
+		}
+		s.Inverted = inv
+	} else if invPath := filepath.Join(dir, invertedFileName); fileExists(invPath) {
 		inv, err := LoadInvertedFile(invPath, s.Dict)
 		if err != nil {
 			return nil, err
@@ -295,3 +342,11 @@ func LoadIndexSetDir(dir string) (*IndexSet, error) {
 // ErrNoIndexFiles reports that a directory holds no persisted substrates at
 // all — a fresh location, as opposed to a corrupt or unreadable one.
 var ErrNoIndexFiles = errors.New("index: no index files")
+
+// fileExists reports whether path exists (any stat error counts as absent —
+// the subsequent open of a genuinely unreadable file surfaces the real error
+// on the paths that matter).
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}

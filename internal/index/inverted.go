@@ -44,7 +44,13 @@ type Inverted struct {
 	// string-keyed reference (or legacy persisted) index.
 	dict       *table.Dict
 	idPostings map[uint32][]ColumnRef
-	// idOver overrides idPostings per ID for incrementally maintained
+	// sharded is the compressed, sharded base form (shard.go) an ID-keyed
+	// index carries instead of idPostings when built by
+	// BuildInvertedSharded. Exactly one of the two is non-nil on an
+	// ID-keyed index; search, delta and persistence go through
+	// baseRefs/baseLen so both bases answer identically.
+	sharded *shardedForm
+	// idOver overrides the base per ID for incrementally maintained
 	// indexes: a present entry (even an empty slice) wins over the base.
 	// Both maps are immutable once the index is published.
 	idOver map[uint32][]ColumnRef
@@ -205,15 +211,78 @@ func (ix *Inverted) RebindDict(d *table.Dict) {
 	}
 }
 
+// baseRefs returns the base-layer postings of one ID (ignoring any override
+// layer), materializing from the compressed form when the base is sharded.
+func (ix *Inverted) baseRefs(id uint32) []ColumnRef {
+	if ix.sharded != nil {
+		return ix.sharded.materialize(id)
+	}
+	return ix.idPostings[id]
+}
+
+// baseLen is the number of base-layer posting lists — the compaction
+// threshold's denominator on either base form.
+func (ix *Inverted) baseLen() int {
+	if ix.sharded != nil {
+		return ix.sharded.nlists
+	}
+	return len(ix.idPostings)
+}
+
+// Shards returns the shard count of a compressed sharded index, 0 for the
+// map and reference forms.
+func (ix *Inverted) Shards() int {
+	if ix.sharded == nil {
+		return 0
+	}
+	return ix.sharded.n
+}
+
 // idRefs returns the live postings of one ID, merging the override layer of
-// a maintained index over its base.
+// a maintained index over its base. On a map base the returned slice is the
+// stored one (callers must not mutate it); a sharded base materializes a
+// fresh slice.
 func (ix *Inverted) idRefs(id uint32) []ColumnRef {
 	if ix.idOver != nil {
 		if refs, ok := ix.idOver[id]; ok {
 			return refs
 		}
 	}
-	return ix.idPostings[id]
+	return ix.baseRefs(id)
+}
+
+// countID adds one ID's live postings (override layer over base) into
+// counts.
+func (ix *Inverted) countID(id uint32, counts map[ColumnRef]int) {
+	if ix.idOver != nil {
+		if refs, ok := ix.idOver[id]; ok {
+			for _, ref := range refs {
+				counts[ref]++
+			}
+			return
+		}
+	}
+	if ix.sharded != nil {
+		ix.sharded.count(id, counts)
+		return
+	}
+	for _, ref := range ix.idPostings[id] {
+		counts[ref]++
+	}
+}
+
+// countIDs produces the overlap counts for a resolved query ID set, fanning
+// out across shards for large probes on a sharded base. Counting is
+// additive, so every path yields identical totals.
+func (ix *Inverted) countIDs(query []uint32) map[ColumnRef]int {
+	if ix.sharded != nil && ix.sharded.n > 1 && len(query) >= shardProbeFanOut {
+		return ix.countIDsSharded(query)
+	}
+	counts := make(map[ColumnRef]int)
+	for _, id := range query {
+		ix.countID(id, counts)
+	}
+	return counts
 }
 
 // SearchSet returns, for a query value set (canonical keys), every lake
@@ -222,20 +291,19 @@ func (ix *Inverted) idRefs(id uint32) []ColumnRef {
 // through the dictionary; keys the dictionary has never seen have no
 // postings in either form, so results match the reference exactly.
 func (ix *Inverted) SearchSet(query map[string]bool) []Overlap {
-	counts := make(map[ColumnRef]int)
 	if ix.dict != nil {
+		ids := make([]uint32, 0, len(query))
 		for v := range query {
 			if id, ok := ix.dict.LookupKey(v); ok {
-				for _, ref := range ix.idRefs(id) {
-					counts[ref]++
-				}
+				ids = append(ids, id)
 			}
 		}
-	} else {
-		for v := range query {
-			for _, ref := range ix.postings[v] {
-				counts[ref]++
-			}
+		return rankOverlaps(ix.countIDs(ids), len(query))
+	}
+	counts := make(map[ColumnRef]int)
+	for v := range query {
+		for _, ref := range ix.postings[v] {
+			counts[ref]++
 		}
 	}
 	return rankOverlaps(counts, len(query))
@@ -246,13 +314,7 @@ func (ix *Inverted) SearchSet(query map[string]bool) []Overlap {
 // ID-keyed (built by BuildInverted under the same dictionary the query IDs
 // come from); a reference index has no ID postings and reports nothing.
 func (ix *Inverted) SearchIDs(query []uint32) []Overlap {
-	counts := make(map[ColumnRef]int)
-	for _, id := range query {
-		for _, ref := range ix.idRefs(id) {
-			counts[ref]++
-		}
-	}
-	return rankOverlaps(counts, len(query))
+	return rankOverlaps(ix.countIDs(query), len(query))
 }
 
 // rankOverlaps is the shared ranking tail of SearchSet and SearchIDs; both
@@ -343,26 +405,49 @@ func (ix *Inverted) verifyTables(c Corpus, names []string) bool {
 		hash uint64
 	}
 	indexed := make(map[ColumnRef]colSum)
-	scan := func(postings map[uint32][]ColumnRef, over map[uint32][]ColumnRef) {
-		for id, refs := range postings {
-			if over != nil {
-				if _, overridden := over[id]; overridden {
+	mark := func(id uint32, ref ColumnRef) {
+		if want[ref.Table] {
+			cs := indexed[ref]
+			cs.n++
+			cs.hash ^= hashID(id, 0)
+			indexed[ref] = cs
+		}
+	}
+	overridden := func(id uint32) bool {
+		if ix.idOver == nil {
+			return false
+		}
+		_, ok := ix.idOver[id]
+		return ok
+	}
+	if ix.sharded != nil {
+		sh := ix.sharded
+		for s := range sh.shards {
+			for id, b := range sh.shards[s].lists {
+				if overridden(id) {
 					continue
 				}
+				forEachPosting(b, func(cid uint32) {
+					if int(cid) < len(sh.refs) {
+						mark(id, sh.refs[cid])
+					}
+				})
+			}
+		}
+	} else {
+		for id, refs := range ix.idPostings {
+			if overridden(id) {
+				continue
 			}
 			for _, ref := range refs {
-				if want[ref.Table] {
-					cs := indexed[ref]
-					cs.n++
-					cs.hash ^= hashID(id, 0)
-					indexed[ref] = cs
-				}
+				mark(id, ref)
 			}
 		}
 	}
-	scan(ix.idPostings, ix.idOver)
-	if ix.idOver != nil {
-		scan(ix.idOver, nil)
+	for id, refs := range ix.idOver {
+		for _, ref := range refs {
+			mark(id, ref)
+		}
 	}
 	for _, name := range names {
 		it := c.Interned(name)
@@ -420,6 +505,7 @@ func (ix *Inverted) WithDelta(added, removed []*table.Interned) *Inverted {
 	nix := &Inverted{
 		dict:       ix.dict,
 		idPostings: ix.idPostings,
+		sharded:    ix.sharded,
 		colSizes:   make(map[ColumnRef]int, len(ix.colSizes)),
 	}
 	over := make(map[uint32][]ColumnRef, len(ix.idOver)+len(touched))
@@ -442,7 +528,7 @@ func (ix *Inverted) WithDelta(added, removed []*table.Interned) *Inverted {
 	for id := range touched {
 		cur, ok := over[id]
 		if !ok {
-			cur = ix.idPostings[id]
+			cur = ix.baseRefs(id)
 		}
 		kept := make([]ColumnRef, 0, len(cur))
 		for _, ref := range cur {
@@ -468,7 +554,7 @@ func (ix *Inverted) WithDelta(added, removed []*table.Interned) *Inverted {
 				}
 				cur, ok := over[id]
 				if !ok {
-					cur = ix.idPostings[id]
+					cur = ix.baseRefs(id)
 				}
 				nw := make([]ColumnRef, len(cur), len(cur)+len(added))
 				copy(nw, cur)
@@ -478,8 +564,12 @@ func (ix *Inverted) WithDelta(added, removed []*table.Interned) *Inverted {
 		}
 	}
 
-	if len(over) > len(nix.idPostings)/2+overCompactionSlack {
-		nix.idPostings = flattenPostings(nix.idPostings, over)
+	if len(over) > ix.baseLen()/2+overCompactionSlack {
+		if nix.sharded != nil {
+			nix.sharded = flattenSharded(nix.sharded, over)
+		} else {
+			nix.idPostings = flattenPostings(nix.idPostings, over)
+		}
 	} else {
 		nix.idOver = over
 	}
@@ -503,11 +593,34 @@ func flattenPostings(base, over map[uint32][]ColumnRef) map[uint32][]ColumnRef {
 	return flat
 }
 
-// flatIDPostings returns the single-layer view of the postings — the base
-// itself when there is no override layer.
+// flatIDPostings returns the single-layer map view of the postings — the
+// base itself when there is no override layer. On a sharded base this
+// materializes every block (it is the legacy v2 persistence path; the
+// sharded form persists per-shard instead).
 func (ix *Inverted) flatIDPostings() map[uint32][]ColumnRef {
+	if ix.sharded != nil {
+		flat := make(map[uint32][]ColumnRef, ix.sharded.nlists)
+		for s := range ix.sharded.shards {
+			for id := range ix.sharded.shards[s].lists {
+				flat[id] = ix.sharded.materialize(id)
+			}
+		}
+		if ix.idOver != nil {
+			flat = flattenPostings(flat, ix.idOver)
+		}
+		return flat
+	}
 	if ix.idOver == nil {
 		return ix.idPostings
 	}
 	return flattenPostings(ix.idPostings, ix.idOver)
+}
+
+// compactedSharded returns the sharded base with any override layer folded
+// in — what sharded persistence writes.
+func (ix *Inverted) compactedSharded() *shardedForm {
+	if ix.idOver == nil {
+		return ix.sharded
+	}
+	return flattenSharded(ix.sharded, ix.idOver)
 }

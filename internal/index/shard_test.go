@@ -1,0 +1,350 @@
+package index
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"gent/internal/lake"
+	"gent/internal/lake/laketest"
+	"gent/internal/table"
+)
+
+// TestShardedMatchesMapForm pins the compressed sharded index to the map
+// form bit for bit: identical SearchSet/SearchIDs output (order included),
+// identical flattened postings, identical coverage — across shard counts.
+func TestShardedMatchesMapForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 15; trial++ {
+		l := randomEquivLake(rng)
+		ref := BuildInverted(l)
+		for _, nshards := range []int{1, 3, 8} {
+			ix := BuildInvertedSharded(l, nshards)
+			if ix.Shards() != nshards {
+				t.Fatalf("Shards() = %d, want %d", ix.Shards(), nshards)
+			}
+			if !reflect.DeepEqual(flatPostingsView(ix), flatPostingsView(ref)) {
+				t.Fatalf("trial %d, %d shards: postings diverged", trial, nshards)
+			}
+			if !reflect.DeepEqual(ix.colSizes, ref.colSizes) {
+				t.Fatalf("trial %d, %d shards: colSizes diverged", trial, nshards)
+			}
+			if !ix.Covers(l) {
+				t.Fatalf("trial %d, %d shards: sharded index does not cover its lake", trial, nshards)
+			}
+			for q := 0; q < 10; q++ {
+				query := make(map[string]bool)
+				ids := make([]uint32, 0)
+				for n := 1 + rng.Intn(6); n > 0; n-- {
+					v := table.S(fmt.Sprintf("v%d", rng.Intn(20)))
+					if query[v.Key()] {
+						continue
+					}
+					query[v.Key()] = true
+					if id, ok := l.Dict().LookupValue(v); ok {
+						ids = append(ids, id)
+					}
+				}
+				if a, b := ix.SearchSet(query), ref.SearchSet(query); !reflect.DeepEqual(a, b) {
+					t.Fatalf("trial %d, %d shards: SearchSet diverged\nsharded: %v\nmap:     %v",
+						trial, nshards, a, b)
+				}
+				if a, b := ix.SearchIDs(ids), ref.SearchIDs(ids); !reflect.DeepEqual(a, b) {
+					t.Fatalf("trial %d, %d shards: SearchIDs diverged", trial, nshards)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedFanOutProbe drives a query past the fan-out threshold so the
+// parallel per-shard counting path runs, and pins its output to the map
+// form's.
+func TestShardedFanOutProbe(t *testing.T) {
+	l := lake.New()
+	big := table.New("big", "a", "b")
+	for i := 0; i < 2000; i++ {
+		big.AddRow(table.S(fmt.Sprintf("val%d", i)), table.N(float64(i%500)))
+	}
+	laketest.Add(l, big)
+	small := table.New("small", "x")
+	for i := 0; i < 100; i++ {
+		small.AddRow(table.S(fmt.Sprintf("val%d", i*7)))
+	}
+	laketest.Add(l, small)
+
+	ref := BuildInverted(l)
+	ix := BuildInvertedSharded(l, 4)
+	ids := make([]uint32, 0, 2100)
+	for i := 0; i < 2100; i++ {
+		if id, ok := l.Dict().LookupValue(table.S(fmt.Sprintf("val%d", i))); ok {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) < shardProbeFanOut {
+		t.Fatalf("query too small to exercise fan-out: %d ids", len(ids))
+	}
+	if a, b := ix.SearchIDs(ids), ref.SearchIDs(ids); !reflect.DeepEqual(a, b) {
+		t.Fatalf("fan-out probe diverged from map form:\nsharded: %v\nmap:     %v", a[:3], b[:3])
+	}
+}
+
+// TestShardedDeltaMatchesRebuild is TestInvertedDeltaMatchesRebuild for the
+// sharded base: a maintained sharded index tracks random lake mutations and
+// must stay bit-identical to a fresh sharded build — and to a fresh map
+// build — at every epoch. The mutation volume drives the override layer past
+// the compaction threshold, so flattenSharded is exercised too.
+func TestShardedDeltaMatchesRebuild(t *testing.T) {
+	for seed := int64(11); seed <= 13; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		l := lake.New()
+		nextID := 0
+		for i := 0; i < 4; i++ {
+			nextID++
+			laketest.Add(l, randomTable(rng, fmt.Sprintf("t%d", nextID)))
+		}
+		prev := l.Snapshot()
+		maintained := BuildInvertedSharded(prev, 4)
+		for step := 0; step < 30; step++ {
+			applyRandomMutation(t, rng, l, &nextID)
+			snap := l.Snapshot()
+			added, removed, ok := lake.Diff(prev, snap)
+			if !ok {
+				t.Fatal("diff broke within one lineage")
+			}
+			snap.EnsureInterned()
+			maintained = maintained.WithDelta(forms(snap, added), forms(prev, removed))
+			if maintained == nil {
+				t.Fatal("WithDelta returned nil for a sharded index")
+			}
+			if maintained.Shards() != 4 {
+				t.Fatalf("seed %d step %d: delta lost the sharded base", seed, step)
+			}
+			fresh := BuildInverted(snap)
+			if !reflect.DeepEqual(flatPostingsView(maintained), flatPostingsView(fresh)) {
+				t.Fatalf("seed %d step %d: postings diverged", seed, step)
+			}
+			if !reflect.DeepEqual(maintained.colSizes, fresh.colSizes) {
+				t.Fatalf("seed %d step %d: colSizes diverged", seed, step)
+			}
+			query := make(map[string]bool)
+			for n := 0; n < 8; n++ {
+				query[table.S(fmt.Sprintf("v%d", rng.Intn(120))).Key()] = true
+			}
+			if a, b := maintained.SearchSet(query), fresh.SearchSet(query); !reflect.DeepEqual(a, b) {
+				t.Fatalf("seed %d step %d: SearchSet diverged", seed, step)
+			}
+			prev = snap
+		}
+	}
+}
+
+// TestShardedCompaction forces the override layer past the compaction
+// threshold in one delta: the derived index must flatten back to a pure
+// sharded base (no override layer), stay bit-identical to a fresh build, and
+// leave the receiver's base untouched.
+func TestShardedCompaction(t *testing.T) {
+	l := lake.New()
+	seedTab := table.New("seed", "a")
+	seedTab.AddRow(table.S("anchor"))
+	laketest.Add(l, seedTab)
+	snap := l.Snapshot()
+	base := BuildInvertedSharded(snap, 4)
+	if n := base.baseLen(); n >= 10 {
+		t.Fatalf("seed base unexpectedly large: %d lists", n)
+	}
+
+	// One added table with far more novel values than baseLen/2 + slack.
+	wide := table.New("wide", "w")
+	wide.AddRow(table.S("anchor"))
+	for i := 0; i < 200; i++ {
+		wide.AddRow(table.S(fmt.Sprintf("novel%d", i)))
+	}
+	if _, err := l.Apply(context.Background(), lake.Put(wide)); err != nil {
+		t.Fatal(err)
+	}
+	snap2 := l.Snapshot()
+	snap2.EnsureInterned()
+	derived := base.WithDelta([]*table.Interned{snap2.Interned("wide")}, nil)
+	if derived == nil {
+		t.Fatal("WithDelta returned nil")
+	}
+	if derived.idOver != nil {
+		t.Fatalf("delta of %d novel IDs over a %d-list base did not compact",
+			201, base.baseLen())
+	}
+	if derived.sharded == base.sharded {
+		t.Fatal("compaction mutated the shared base instead of copying")
+	}
+	if base.baseLen() != 1 {
+		t.Fatalf("receiver base changed: %d lists", base.baseLen())
+	}
+	fresh := BuildInverted(snap2)
+	if !reflect.DeepEqual(flatPostingsView(derived), flatPostingsView(fresh)) {
+		t.Fatal("compacted postings diverge from a fresh build")
+	}
+}
+
+// TestShardedIndexSetRoundTrip persists a sharded set and loads it back:
+// per-shard files on disk, identical search results, and a loaded set that
+// still catches up incrementally over a sharded base.
+func TestShardedIndexSetRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	l := randomEquivLake(rng)
+	snap := l.Snapshot()
+	set := BuildIndexSetSharded(snap, 4)
+	if set.Inverted.Shards() != 4 {
+		t.Fatalf("built set has %d shards, want 4", set.Inverted.Shards())
+	}
+	dir := t.TempDir()
+	if err := set.SaveDir(dir); err != nil {
+		t.Fatalf("SaveDir: %v", err)
+	}
+	if !hasShardedInverted(dir) {
+		t.Fatal("sharded save left no shard meta")
+	}
+	for s := 0; s < 4; s++ {
+		if !fileExists(filepath.Join(dir, fmt.Sprintf(shardFilePattern, s))) {
+			t.Fatalf("shard file %d missing", s)
+		}
+	}
+	if fileExists(filepath.Join(dir, invertedFileName)) {
+		t.Fatal("sharded save left a stale map-form file")
+	}
+
+	loaded, err := LoadIndexSetDir(dir)
+	if err != nil {
+		t.Fatalf("LoadIndexSetDir: %v", err)
+	}
+	if loaded.Inverted.Shards() != 4 {
+		t.Fatalf("loaded set has %d shards, want 4", loaded.Inverted.Shards())
+	}
+	if loaded.Epoch != set.Epoch {
+		t.Fatalf("epoch stamp: got %+v, want %+v", loaded.Epoch, set.Epoch)
+	}
+	if !reflect.DeepEqual(flatPostingsView(loaded.Inverted), flatPostingsView(set.Inverted)) {
+		t.Fatal("loaded postings diverged from the saved set")
+	}
+	for q := 0; q < 10; q++ {
+		query := map[string]bool{
+			table.S(fmt.Sprintf("v%d", rng.Intn(20))).Key(): true,
+			table.N(float64(rng.Intn(8))).Key():             true,
+		}
+		if a, b := loaded.Inverted.SearchSet(query), set.Inverted.SearchSet(query); !reflect.DeepEqual(a, b) {
+			t.Fatalf("loaded search diverged: %v vs %v", a, b)
+		}
+	}
+
+	// The loaded sharded set must catch up incrementally like the map form.
+	l2 := lake.New()
+	if err := l2.AdoptDict(loaded.Dict); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range snap.Names() {
+		laketest.Add(l2, snap.Get(name).Clone())
+	}
+	extra := table.New("extra", "z")
+	extra.AddRow(table.S("v1"))
+	extra.AddRow(table.S("brand-new-value"))
+	laketest.Add(l2, extra)
+	snap2 := l2.Snapshot()
+	added, ok := loaded.CatchUp(snap2)
+	if !ok || added != 1 {
+		t.Fatalf("CatchUp = (%d, %v), want (1, true)", added, ok)
+	}
+	fresh := BuildInverted(snap2)
+	if !reflect.DeepEqual(flatPostingsView(loaded.Inverted), flatPostingsView(fresh)) {
+		t.Fatal("caught-up sharded postings diverge from a fresh build")
+	}
+
+	// A map-form save into the same directory replaces the sharded files.
+	mapSet := BuildIndexSet(snap)
+	if err := mapSet.SaveDir(dir); err != nil {
+		t.Fatalf("map-form SaveDir: %v", err)
+	}
+	if hasShardedInverted(dir) {
+		t.Fatal("map-form save left stale shard meta behind")
+	}
+	reloaded, err := LoadIndexSetDir(dir)
+	if err != nil {
+		t.Fatalf("reload after map-form save: %v", err)
+	}
+	if reloaded.Inverted.Shards() != 0 {
+		t.Fatal("reload picked up stale shard files")
+	}
+}
+
+// TestShardedPersistCorruption: every way a sharded set on disk can lie —
+// corrupt shard bytes, a shard from another save, invalid posting blocks,
+// misrouted IDs, a missing shard — fails the load with a clean error.
+func TestShardedPersistCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	l := randomEquivLake(rng)
+	set := BuildIndexSetSharded(l.Snapshot(), 3)
+	dir := t.TempDir()
+	if err := set.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	shard0 := filepath.Join(dir, fmt.Sprintf(shardFilePattern, 0))
+
+	corrupt := func(t *testing.T, mutate func() error) error {
+		t.Helper()
+		if err := mutate(); err != nil {
+			t.Fatal(err)
+		}
+		_, err := LoadIndexSetDir(dir)
+		if err == nil {
+			t.Fatal("load of tampered set succeeded")
+		}
+		if err := set.SaveDir(dir); err != nil { // restore for the next case
+			t.Fatal(err)
+		}
+		return err
+	}
+
+	corrupt(t, func() error { // truncated shard gob
+		raw, err := os.ReadFile(shard0)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(shard0, raw[:len(raw)/2], 0o644)
+	})
+	corrupt(t, func() error { // missing shard file
+		return os.Remove(shard0)
+	})
+	err := corrupt(t, func() error { // shard index/meta mismatch
+		raw, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf(shardFilePattern, 1)))
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(shard0, raw, 0o644)
+	})
+	if err == nil || errors.Is(err, ErrDictFingerprint) {
+		t.Fatalf("misfiled shard reported %v, want a shard-identity error", err)
+	}
+
+	// A dictionary that diverged from the saved one must be rejected.
+	foreign := lake.New()
+	ft := table.New("f", "a")
+	ft.AddRow(table.S("unrelated"))
+	laketest.Add(foreign, ft)
+	fset := BuildIndexSetSharded(foreign.Snapshot(), 3)
+	if err := os.Rename(filepath.Join(dir, dictFileName), filepath.Join(dir, "dict.bak")); err != nil {
+		t.Fatal(err)
+	}
+	fdir := t.TempDir()
+	if err := fset.SaveDir(fdir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(filepath.Join(fdir, dictFileName), filepath.Join(dir, dictFileName)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIndexSetDir(dir); !errors.Is(err, ErrDictFingerprint) {
+		t.Fatalf("foreign dictionary load = %v, want ErrDictFingerprint", err)
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"math"
 
 	"gent/internal/table"
 )
@@ -136,7 +135,7 @@ func (s *Snapshot) Dict() *table.Dict { return s.ist.dict }
 // interned form yet. It is idempotent and safe for concurrent use; substrate
 // builds call it once up front so per-table scans afterwards are cheap cache
 // hits.
-func (s *Snapshot) EnsureInterned() { s.ist.ensure(s.names, s.byName) }
+func (s *Snapshot) EnsureInterned() { s.ist.ensure(s.names, s.byName, s.fps) }
 
 // Interned returns the interned form of the named table, interning any
 // not-yet-interned snapshot tables first; nil when the table is absent.
@@ -145,7 +144,7 @@ func (s *Snapshot) Interned(name string) *table.Interned {
 	if t == nil {
 		return nil
 	}
-	return s.ist.internedOf(t, s.names, s.byName)
+	return s.ist.internedOf(t, s.names, s.byName, s.fps)
 }
 
 // Subset returns a snapshot over the named subset of s's tables that shares
@@ -377,40 +376,7 @@ func chainMix(chain uint64, op byte, name string, content uint64) uint64 {
 	return h.Sum64()
 }
 
-// tableFingerprint hashes a table's schema and cell contents (structurally:
-// kind tag plus payload, no canonical-key strings built).
-func tableFingerprint(t *table.Table) uint64 {
-	h := fnv.New64a()
-	var b [8]byte
-	h.Write([]byte(t.Name))
-	for _, c := range t.Cols {
-		h.Write([]byte{0})
-		h.Write([]byte(c))
-	}
-	for _, k := range t.Key {
-		binary.LittleEndian.PutUint64(b[:], uint64(k))
-		h.Write(b[:])
-	}
-	for _, r := range t.Rows {
-		h.Write([]byte{1})
-		for _, v := range r {
-			switch v.Kind {
-			case table.KindNull:
-				h.Write([]byte{2})
-			case table.KindString:
-				h.Write([]byte{3})
-				h.Write([]byte(v.Str))
-			case table.KindNumber:
-				h.Write([]byte{4})
-				binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.Num))
-				h.Write(b[:])
-			case table.KindLabel:
-				h.Write([]byte{5})
-				binary.LittleEndian.PutUint64(b[:], uint64(v.ID))
-				h.Write(b[:])
-			}
-			h.Write([]byte{6})
-		}
-	}
-	return h.Sum64()
-}
+// tableFingerprint hashes a table's schema and cell contents — the shared
+// content identity, now owned by the table package so segment files can carry
+// the same stamp the epoch chain is keyed on.
+func tableFingerprint(t *table.Table) uint64 { return table.Fingerprint(t) }

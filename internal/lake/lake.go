@@ -43,20 +43,6 @@ type Lake struct {
 	snap atomic.Pointer[Snapshot]
 }
 
-// internState is the dictionary plus the per-table interned-form cache a
-// lineage of snapshots shares. The cache is keyed by table pointer, so a
-// replaced table (new pointer, same name) can never serve a stale form, and
-// every snapshot that contains a given pointer shares one interned form.
-type internState struct {
-	mu    sync.Mutex
-	dict  *table.Dict
-	cache map[*table.Table]*table.Interned
-}
-
-func newInternState(d *table.Dict) *internState {
-	return &internState{dict: d, cache: make(map[*table.Table]*table.Interned)}
-}
-
 // New returns an empty lake, at the zero Epoch, with a fresh value
 // dictionary.
 func New() *Lake {
@@ -118,119 +104,6 @@ func (l *Lake) EnsureInterned() { l.Snapshot().EnsureInterned() }
 // is absent.
 func (l *Lake) Interned(name string) *table.Interned { return l.Snapshot().Interned(name) }
 
-// ensure interns every listed table missing from the cache, with the
-// deterministic two-phase intern: tables pre-intern against private scratch
-// dictionaries on a worker pool (the dominant cost — hashing every cell —
-// parallelizes), then merge into the shared dictionary serially in list
-// order, which assigns exactly the IDs a fully serial pass would have.
-func (st *internState) ensure(names []string, byName map[string]*table.Table) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.ensureLocked(names, byName)
-}
-
-func (st *internState) ensureLocked(names []string, byName map[string]*table.Table) {
-	missing := make([]string, 0)
-	for _, n := range names {
-		if _, ok := st.cache[byName[n]]; !ok {
-			missing = append(missing, n)
-		}
-	}
-	if len(missing) == 0 {
-		return
-	}
-	pres := make([]*table.PreInterned, len(missing))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(missing) {
-		workers = len(missing)
-	}
-	if workers <= 1 {
-		for i, n := range missing {
-			pres[i] = table.PreInternTable(byName[n])
-		}
-	} else {
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range next {
-					pres[i] = table.PreInternTable(byName[missing[i]])
-				}
-			}()
-		}
-		for i := range missing {
-			next <- i
-		}
-		close(next)
-		wg.Wait()
-	}
-	for i, n := range missing {
-		st.cache[byName[n]] = pres[i].Merge(st.dict)
-	}
-}
-
-// internedOf returns t's cached interned form, interning all of the
-// snapshot's missing tables on a miss.
-func (st *internState) internedOf(t *table.Table, names []string, byName map[string]*table.Table) *table.Interned {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if it, ok := st.cache[t]; ok {
-		return it
-	}
-	st.ensureLocked(names, byName)
-	if it, ok := st.cache[t]; ok {
-		return it
-	}
-	// t belongs to an older snapshot and was swept; re-intern it alone. The
-	// dictionary is append-only, so the form is identical to the swept one.
-	it := table.PreInternTable(t).Merge(st.dict)
-	st.cache[t] = it
-	return it
-}
-
-// sweep evicts cached forms of tables absent from the live catalog, plus
-// any explicitly listed ones (same-pointer in-place edits, which the
-// liveness check cannot see). Pinned snapshots that still need an evicted
-// form re-intern on demand (same IDs — the dictionary never shrinks), so
-// sweeping only bounds memory, never changes results.
-func (st *internState) sweep(live map[string]*table.Table, evict []*table.Table) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	for t := range st.cache {
-		if live[t.Name] != t {
-			delete(st.cache, t)
-		}
-	}
-	for _, t := range evict {
-		delete(st.cache, t)
-	}
-}
-
-// retarget republishes renamed tables' cached interned forms under their
-// shallow copies ([old, new] pairs), so a rename costs no re-interning. It
-// runs only after the whole Apply batch has validated.
-func (st *internState) retarget(pairs [][2]*table.Table) {
-	if len(pairs) == 0 {
-		return
-	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	for _, p := range pairs {
-		if it, ok := st.cache[p[0]]; ok {
-			st.cache[p[1]] = it.Retargeted(p[1])
-		}
-	}
-}
-
-// interned reports whether anything has been interned (or adopted) yet.
-func (st *internState) used() bool {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return len(st.cache) > 0 || st.dict.Len() > 0
-}
-
 // ErrDictMismatch reports that an adopted dictionary does not cover the
 // lake's values — the persisted indexes keyed under it would silently miss
 // those values, so callers must rebuild.
@@ -276,12 +149,16 @@ func (l *Lake) adoptDict(d *table.Dict, covered []string) error {
 		return fmt.Errorf("%w: lake interned under a diverged dictionary", ErrDictMismatch)
 	}
 	ns := &Snapshot{epoch: s.epoch, names: s.names, byName: s.byName, fps: s.fps, ist: newInternState(d)}
+	// The replacement state inherits the residency configuration — adopting
+	// a dictionary must not silently drop the budget or detach the store.
+	ns.ist.budget = s.ist.budget
+	ns.ist.store = s.ist.store
 	l.snap.Store(ns)
 	baseline := d.Len()
 	if covered == nil {
 		ns.EnsureInterned()
 	} else {
-		ns.ist.ensure(covered, ns.byName)
+		ns.ist.ensure(covered, ns.byName, ns.fps)
 	}
 	if grown := d.Len() - baseline; grown > 0 {
 		return fmt.Errorf("%w: %d lake values absent", ErrDictMismatch, grown)

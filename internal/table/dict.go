@@ -1,7 +1,9 @@
 package table
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"strconv"
 	"sync"
@@ -42,6 +44,13 @@ type Dict struct {
 	// until the first computation (0 must not alias "empty dict hashed").
 	fp    uint64
 	fpLen int
+	// chain[i] is the chained fingerprint of the first i entries (chain[0]
+	// covers the empty prefix), extended lazily — append-only entries make
+	// every computed prefix permanent. PrefixStamp/VerifyPrefixStamp read it
+	// in O(1) amortized, which is what lets thousands of segment files each
+	// carry (and check) the stamp of the dictionary length they were written
+	// at without an O(dict) hash per file.
+	chain []uint64
 }
 
 // DictEntry is one persisted dictionary entry; entry i of a snapshot holds
@@ -234,6 +243,66 @@ func (d *Dict) Snapshot() []DictEntry {
 	out := make([]DictEntry, len(d.entries))
 	copy(out, d.entries)
 	return out
+}
+
+// prefixChainSeed is chain[0]: a non-zero base so the stamp of an empty
+// prefix cannot alias an unset (zero) stamp field in a persisted footer.
+const prefixChainSeed = 0x9e3779b97f4a7c15
+
+// extendChainLocked grows the cumulative prefix-fingerprint chain to cover
+// the first n entries; d.mu must be held for writing.
+func (d *Dict) extendChainLocked(n int) {
+	if len(d.chain) == 0 {
+		d.chain = append(d.chain, prefixChainSeed)
+	}
+	for i := len(d.chain) - 1; i < n; i++ {
+		e := d.entries[i]
+		h := fnv.New64a()
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], d.chain[i])
+		h.Write(b[:])
+		h.Write([]byte{byte(e.Kind)})
+		switch e.Kind {
+		case KindString:
+			h.Write([]byte(e.Str))
+		case KindNumber:
+			binary.LittleEndian.PutUint64(b[:], e.Bits)
+			h.Write(b[:])
+		default:
+			binary.LittleEndian.PutUint64(b[:], uint64(e.Label))
+			h.Write(b[:])
+		}
+		d.chain = append(d.chain, h.Sum64())
+	}
+}
+
+// PrefixStamp returns the dictionary's current length and the chained
+// fingerprint of exactly that prefix — the stamp a segment file written under
+// this dictionary carries. Because entries are append-only, a stamp taken now
+// stays verifiable for the life of the lake, however much the dictionary
+// grows afterwards.
+func (d *Dict) PrefixStamp() (n int, fp uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n = len(d.entries)
+	d.extendChainLocked(n)
+	return n, d.chain[n]
+}
+
+// VerifyPrefixStamp reports whether this dictionary's first n entries hash to
+// fp — i.e. whether IDs 1..n persisted under the stamped dictionary mean the
+// same values here. n beyond the dictionary's length can never verify.
+func (d *Dict) VerifyPrefixStamp(n int, fp uint64) bool {
+	if n < 0 {
+		return false
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n > len(d.entries) {
+		return false
+	}
+	d.extendChainLocked(n)
+	return d.chain[n] == fp
 }
 
 // PrefixOf reports whether d's entries are a prefix of o's — every ID

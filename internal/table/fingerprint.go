@@ -1,0 +1,48 @@
+package table
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// Fingerprint hashes a table's schema and cell contents (structurally: kind
+// tag plus payload, no canonical-key strings built). It is the content
+// identity the lake's epoch chain and snapshot diffs are keyed on, and the
+// stamp a persisted segment file carries so it can only ever be resolved
+// against the exact table contents it was written from.
+func Fingerprint(t *Table) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	h.Write([]byte(t.Name))
+	for _, c := range t.Cols {
+		h.Write([]byte{0})
+		h.Write([]byte(c))
+	}
+	for _, k := range t.Key {
+		binary.LittleEndian.PutUint64(b[:], uint64(k))
+		h.Write(b[:])
+	}
+	for _, r := range t.Rows {
+		h.Write([]byte{1})
+		for _, v := range r {
+			switch v.Kind {
+			case KindNull:
+				h.Write([]byte{2})
+			case KindString:
+				h.Write([]byte{3})
+				h.Write([]byte(v.Str))
+			case KindNumber:
+				h.Write([]byte{4})
+				binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.Num))
+				h.Write(b[:])
+			case KindLabel:
+				h.Write([]byte{5})
+				binary.LittleEndian.PutUint64(b[:], uint64(v.ID))
+				h.Write(b[:])
+			}
+			h.Write([]byte{6})
+		}
+	}
+	return h.Sum64()
+}
