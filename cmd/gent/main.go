@@ -38,8 +38,7 @@ import (
 	"time"
 
 	"gent/internal/core"
-	"gent/internal/index"
-	"gent/internal/lake"
+	"gent/internal/server/boot"
 	"gent/internal/table"
 )
 
@@ -123,23 +122,13 @@ func main() {
 		}
 	}
 
-	l, errs := lake.LoadDir(*lakeDir)
-	for _, e := range errs {
-		fmt.Fprintf(os.Stderr, "warning: %v\n", e)
-	}
-	if l.Len() == 0 {
-		fatal(fmt.Errorf("no tables loaded from %s", *lakeDir))
-	}
-
-	if *storeDir != "" {
-		st, err := table.NewSegmentStore(*storeDir)
-		if err != nil {
-			fatal(err)
-		}
-		l.SetSegmentStore(st)
-	}
-	if *maxResMB > 0 {
-		l.SetResidentBudget(int64(*maxResMB) << 20)
+	l, err := boot.OpenLake(boot.LakeOptions{
+		Dir:           *lakeDir,
+		StoreDir:      *storeDir,
+		MaxResidentMB: *maxResMB,
+	}, warnLine)
+	if err != nil {
+		fatal(err)
 	}
 	if *stats {
 		// Chained onto the profile flush so every exit path — success, fatal,
@@ -162,58 +151,19 @@ func main() {
 
 	session := core.NewReclaimer(l, cfg)
 	if *indexDir != "" {
-		// A persisted index that fails to load, or whose value dictionary
-		// does not cover the lake's values (lake.ErrDictMismatch), is rebuilt
-		// in place. A set that merely predates tables now in the lake — the
-		// persisted epoch is a prefix of the lake's history: everything it
-		// indexed is unchanged, the lake only grew — is caught up with an
-		// incremental delta (the missing tables inserted via the same
-		// maintenance path the session uses between epochs) instead of the
-		// full rebuild. A directory with no index files is a fresh build.
-		loaded, caughtUp := false, 0
-		ix, err := index.LoadIndexSetDir(*indexDir)
-		switch {
-		case err != nil:
-			if !errors.Is(err, index.ErrNoIndexFiles) {
-				fmt.Fprintf(os.Stderr, "warning: indexes at %s unusable (%v); rebuilding\n", *indexDir, err)
-			}
-		case ix.Inverted == nil || !ix.Inverted.Covers(l) || ix.LSH != nil && !ix.LSH.Covers(l):
-			if n, ok := catchUpIndexes(l, ix); ok {
-				caughtUp = n
-				loaded = true
-			} else {
-				fmt.Fprintf(os.Stderr, "warning: indexes at %s do not cover the lake and the gap is not add-only; rebuilding\n", *indexDir)
-			}
-		default:
-			if err := session.UseIndexes(ix); err != nil {
-				if !errors.Is(err, lake.ErrDictMismatch) && !errors.Is(err, core.ErrSessionStarted) {
-					fatal(err)
-				}
-				fmt.Fprintf(os.Stderr, "warning: indexes at %s unusable for this lake (%v); rebuilding\n", *indexDir, err)
-			} else {
-				loaded = true
-			}
+		// The load/catch-up/rebuild cascade lives in internal/server/boot,
+		// shared with gentd so the two front ends cannot drift.
+		out, err := boot.AdoptIndexes(session, *indexDir, warnLine)
+		if err != nil {
+			fatal(err)
 		}
-		switch {
-		case caughtUp > 0:
-			if err := session.UseIndexes(ix); err != nil {
-				fatal(err)
-			}
-			if err := ix.SaveDir(*indexDir); err != nil {
-				fatal(err)
-			}
-			if !*quiet {
-				fmt.Printf("indexes at %s caught up (+%d tables) and saved\n", *indexDir, caughtUp)
-			}
-		case loaded:
-			if !*quiet {
+		if !*quiet {
+			switch out.Action {
+			case "caught_up":
+				fmt.Printf("indexes at %s caught up (+%d tables) and saved\n", *indexDir, out.Added)
+			case "loaded":
 				fmt.Printf("indexes loaded from %s\n", *indexDir)
-			}
-		default:
-			if err := session.BuildIndexes().SaveDir(*indexDir); err != nil {
-				fatal(err)
-			}
-			if !*quiet {
+			default:
 				fmt.Printf("indexes built and saved to %s\n", *indexDir)
 			}
 		}
@@ -298,27 +248,10 @@ func main() {
 	}
 }
 
-// catchUpIndexes applies the persisted-epoch delta: when every table the
-// set indexed is unchanged (its dictionary needs no value the covered
-// tables don't have; every kept name has its persisted schema) and the lake
-// only grew, the missing tables are inserted incrementally. ok=false means
-// the gap is not add-only — a schema changed, or covered tables hold values
-// the persisted dictionary has never seen — and the caller must rebuild.
-func catchUpIndexes(l *lake.Lake, ix *index.IndexSet) (added int, ok bool) {
-	covered, missing, ok := ix.Gap(l)
-	if !ok || len(missing) == 0 {
-		return 0, false
-	}
-	if ix.Dict != nil {
-		// Adopt the persisted dictionary scoped to the tables the set
-		// covers: values of the still-unindexed tables legitimately postdate
-		// it and will grow the (append-only) dictionary.
-		if err := l.AdoptDictCovering(ix.Dict, covered); err != nil {
-			fmt.Fprintf(os.Stderr, "warning: indexes keyed under a stale dictionary (%v)\n", err)
-			return 0, false
-		}
-	}
-	return ix.CatchUp(l.Snapshot())
+// warnLine is the boot.Warnf both open paths report through: one stderr
+// line per diagnostic, exactly as previous releases printed.
+func warnLine(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
 }
 
 // progressLine renders one structured phase event for -progress.

@@ -75,6 +75,22 @@
 //
 // The v2 mutation surface (Lake.Add, Lake.Remove) remains as shims over
 // Apply; v2 code keeps compiling and is now race-free.
+//
+// # Serving
+//
+// The same session goes on a port: NewServer wraps a Reclaimer in gentd's
+// HTTP/JSON surface — single, batch and NDJSON-streamed reclamation,
+// Apply-over-the-wire, index save/load, /metrics — with bounded admission
+// (shed with 429 past the queue), per-request deadlines, an epoch-keyed
+// result cache invalidated by the next Apply, and graceful drain:
+//
+//	srv := gent.NewServer(gent.NewReclaimer(lake, cfg), gent.ServerConfig{})
+//	go http.ListenAndServe(":8080", srv.Handler())
+//	...
+//	srv.Drain(ctx) // 503 on /healthz, refuse new work, wait for the tail
+//
+// cmd/gentd is the ready-made daemon (and its own load driver and smoke
+// client); see the README's Serving section for the endpoint table.
 package gent
 
 import (
@@ -87,6 +103,7 @@ import (
 	"gent/internal/lake"
 	"gent/internal/matrix"
 	"gent/internal/metrics"
+	"gent/internal/server"
 	"gent/internal/table"
 )
 
@@ -165,6 +182,12 @@ type (
 	EventKind = core.EventKind
 	// ObserverFunc adapts a function to ProgressObserver.
 	ObserverFunc = core.ObserverFunc
+	// Server is gentd's HTTP/JSON surface over one Reclaimer session; see
+	// NewServer.
+	Server = server.Server
+	// ServerConfig tunes a Server: admission bounds, request timeout,
+	// result-cache budget.
+	ServerConfig = server.Config
 )
 
 // Tuple statuses for Explanation entries.
@@ -343,6 +366,13 @@ func ReclaimContext(ctx context.Context, l *Lake, src *Table, cfg Config, opts .
 // ReclaimStream. Inject persisted ones with Reclaimer.UseIndexes before an
 // epoch's first query.
 func NewReclaimer(l *Lake, cfg Config) *Reclaimer { return core.NewReclaimer(l, cfg) }
+
+// NewServer wraps a session in the gentd HTTP surface: mount
+// Server.Handler() on an http.Server, stop with Server.Drain. The zero
+// ServerConfig sizes admission off the session and enables a 64 MiB
+// epoch-keyed result cache. TeeObservers compose: the server's metrics
+// observer layers under any Config.Observer.
+func NewServer(r *Reclaimer, cfg ServerConfig) *Server { return server.New(r, cfg) }
 
 // LoadIndexes reads a lake's persisted discovery indexes from dir (written
 // by SaveIndexes) for injection into a Reclaimer via UseIndexes.

@@ -94,6 +94,10 @@ type Result struct {
 	// Report evaluates Reclaimed against the Source.
 	Report metrics.Report
 	Timing Timing
+	// Epoch is the lake epoch the run was pinned to — the catalog version
+	// every phase read. A server keys result caches by it: two runs over the
+	// same source at the same epoch saw the same lake.
+	Epoch lake.Epoch
 }
 
 // Reclaim runs the full Gen-T pipeline for one Source Table over a lake,
@@ -138,7 +142,7 @@ func reclaimPipeline(ctx context.Context, src *table.Table, cfg Config, dict *ta
 		interner = table.NewOverlay(dict)
 	}
 	obs := cfg.Observer
-	res := &Result{}
+	res := &Result{Epoch: epoch}
 	fail := func(phase Phase, err error) (*Result, error) {
 		return nil, phaseError(phase, src.Name, res.Timing, err)
 	}

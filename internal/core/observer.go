@@ -82,3 +82,33 @@ func emit(obs ProgressObserver, ev ProgressEvent) {
 		obs.Observe(ev)
 	}
 }
+
+// teeObserver fans every event out to each member in order.
+type teeObserver []ProgressObserver
+
+// Observe forwards ev to every member.
+func (t teeObserver) Observe(ev ProgressEvent) {
+	for _, o := range t {
+		o.Observe(ev)
+	}
+}
+
+// TeeObserver composes observers: every event goes to each non-nil observer
+// in argument order. A server uses it to layer its metrics collection under
+// a caller's per-query observer without either displacing the other. Nil
+// members are dropped; zero live members yield a nil observer.
+func TeeObserver(obs ...ProgressObserver) ProgressObserver {
+	live := make(teeObserver, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}

@@ -131,6 +131,12 @@ func (s *Snapshot) Tables() []*table.Table {
 // meaning the same values for the life of the lake).
 func (s *Snapshot) Dict() *table.Dict { return s.ist.dict }
 
+// Fingerprint returns the named table's content fingerprint as recorded at
+// this epoch (the same value table.Fingerprint computes, cached when the
+// table entered the catalog), or 0 when the table is absent. Servers key
+// caches and conditional responses off it without rescanning the rows.
+func (s *Snapshot) Fingerprint(name string) uint64 { return s.fps[name] }
+
 // EnsureInterned interns every table of the snapshot that has no cached
 // interned form yet. It is idempotent and safe for concurrent use; substrate
 // builds call it once up front so per-table scans afterwards are cheap cache

@@ -1,0 +1,42 @@
+package server_test
+
+import (
+	"context"
+	"testing"
+
+	"gent/internal/server"
+)
+
+// BenchmarkServerReclaim measures one reclaim request over a loopback HTTP
+// connection: cold runs the full pipeline every time (result cache
+// disabled); warm is the epoch-keyed cache's O(1) serve path, so the spread
+// between the two is what the cache buys a repeated query.
+func BenchmarkServerReclaim(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		src, _, c := startServer(b, server.Config{CacheBytes: -1})
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Reclaim(ctx, src, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		src, _, c := startServer(b, server.Config{})
+		ctx := context.Background()
+		if _, err := c.Reclaim(ctx, src, nil); err != nil {
+			b.Fatal(err) // prime the cache
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := c.Reclaim(ctx, src, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Cached {
+				b.Fatal("warm request missed the result cache")
+			}
+		}
+	})
+}

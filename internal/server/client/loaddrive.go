@@ -1,0 +1,161 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"gent/internal/server"
+	"gent/internal/table"
+)
+
+// DriveOptions configure a load-generation run against one server.
+type DriveOptions struct {
+	// Concurrency is the number of closed-loop workers; <= 0 means 4.
+	Concurrency int
+	// Duration bounds the run; <= 0 means 10s.
+	Duration time.Duration
+	// Options apply to every reclaim request. Nil requests full responses;
+	// drivers that only measure latency should set OmitTable.
+	Options *server.ReclaimOptions
+	// MutateEvery, when > 0, has worker 0 interleave one no-op-shaped Apply
+	// (a Put of the source it just queried, under a scratch name) every N of
+	// its requests — churn that rolls the epoch and exercises cache
+	// invalidation under load. The scratch table is dropped at the end.
+	MutateEvery int
+}
+
+// DriveReport is what a load run measured.
+type DriveReport struct {
+	Requests  uint64        `json:"requests"`
+	Errors    uint64        `json:"errors"`
+	Shed      uint64        `json:"shed"`
+	CacheHits uint64        `json:"cache_hits"`
+	Mutations uint64        `json:"mutations"`
+	Elapsed   time.Duration `json:"elapsed_ns"`
+	// Throughput is successful requests per second.
+	Throughput float64 `json:"throughput_rps"`
+	// Latency percentiles over successful requests.
+	P50 time.Duration `json:"p50_ns"`
+	P95 time.Duration `json:"p95_ns"`
+	P99 time.Duration `json:"p99_ns"`
+	Max time.Duration `json:"max_ns"`
+}
+
+// Drive runs closed-loop load: Concurrency workers each issue Reclaim
+// requests round-robin over srcs until Duration elapses, and the merged
+// latencies come back as a report. 429 shed responses are counted but not
+// treated as errors — shedding under overload is the server working as
+// designed; the driver backs off by the server's Retry-After hint.
+func (c *Client) Drive(ctx context.Context, srcs []*table.Table, o DriveOptions) (*DriveReport, error) {
+	if len(srcs) == 0 {
+		return nil, errors.New("client: drive needs at least one source")
+	}
+	workers := o.Concurrency
+	if workers <= 0 {
+		workers = 4
+	}
+	dur := o.Duration
+	if dur <= 0 {
+		dur = 10 * time.Second
+	}
+	runCtx, cancel := context.WithTimeout(ctx, dur)
+	defer cancel()
+
+	type tally struct {
+		requests, errors, shed, hits, mutations uint64
+		lat                                     []time.Duration
+	}
+	tallies := make([]tally, workers)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			t := &tallies[w]
+			for i := 0; runCtx.Err() == nil; i++ {
+				src := srcs[(i*workers+w)%len(srcs)]
+				if o.MutateEvery > 0 && w == 0 && i > 0 && i%o.MutateEvery == 0 {
+					churn := src.Clone()
+					churn.Name = "loaddrive_churn"
+					if _, err := c.Apply(runCtx, Put(churn)); err == nil {
+						t.mutations++
+					}
+				}
+				reqStart := time.Now()
+				res, err := c.Reclaim(runCtx, src, o.Options)
+				if err != nil {
+					if runCtx.Err() != nil {
+						break // the run ended, not the request
+					}
+					var cerr *Error
+					if errors.As(err, &cerr) && cerr.Status == 429 {
+						t.shed++
+						backoff := time.Duration(cerr.RetryAfterSec) * time.Second
+						if backoff <= 0 {
+							backoff = 50 * time.Millisecond
+						}
+						select {
+						case <-time.After(backoff):
+						case <-runCtx.Done():
+						}
+						continue
+					}
+					t.errors++
+					continue
+				}
+				t.requests++
+				if res.Cached {
+					t.hits++
+				}
+				t.lat = append(t.lat, time.Since(reqStart))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if o.MutateEvery > 0 {
+		// Best-effort cleanup of the churn table; the run's numbers stand
+		// either way.
+		c.Apply(ctx, Drop("loaddrive_churn")) //nolint:errcheck
+	}
+
+	rep := &DriveReport{Elapsed: elapsed}
+	var lat []time.Duration
+	for i := range tallies {
+		t := &tallies[i]
+		rep.Requests += t.requests
+		rep.Errors += t.errors
+		rep.Shed += t.shed
+		rep.CacheHits += t.hits
+		rep.Mutations += t.mutations
+		lat = append(lat, t.lat...)
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.Requests) / elapsed.Seconds()
+	}
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		rep.P50 = percentile(lat, 0.50)
+		rep.P95 = percentile(lat, 0.95)
+		rep.P99 = percentile(lat, 0.99)
+		rep.Max = lat[len(lat)-1]
+	}
+	return rep, nil
+}
+
+// percentile reads the p-quantile of sorted latencies (nearest-rank).
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

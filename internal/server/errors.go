@@ -1,0 +1,101 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"gent/internal/core"
+	"gent/internal/lake"
+)
+
+// ErrOverloaded is returned (and served as 429) when the admission queue is
+// full: the server is shedding load rather than queuing without bound.
+var ErrOverloaded = errors.New("server: overloaded, admission queue full")
+
+// ErrDraining is returned (and served as 503) for work arriving after the
+// server began its graceful drain.
+var ErrDraining = errors.New("server: draining, not accepting new work")
+
+// StatusCanceled is the non-standard 499 ("client closed request", the nginx
+// convention): the client went away mid-run, so no response will be read —
+// the code exists for the access log and the metrics.
+const StatusCanceled = 499
+
+// statusEntry pins one sentinel error to its HTTP status and wire code. The
+// table is ordered: the first errors.Is match wins, so a sentinel that wraps
+// another (ErrEpochMismatch wraps ErrSessionStarted) must come first.
+type statusEntry struct {
+	err    error
+	status int
+	code   string
+}
+
+// statusTable is the typed-error → HTTP status mapping, in match order.
+//
+//   - Source-shaped failures (no minable key, discovery found nothing under
+//     require_candidates) are 422: the request was well-formed JSON but the
+//     payload cannot be processed.
+//   - A deadline firing mid-pipeline is 504: the server gave up, the request
+//     might have succeeded with more time.
+//   - Epoch conflicts (stale index stamp, injection after the epoch's first
+//     query) are 409: the request raced the catalog's state.
+//   - A rejected mutation batch or a dictionary mismatch is 400/409 —
+//     client-fixable.
+//   - Overload shed is 429 with Retry-After; drain is 503.
+var statusTable = []statusEntry{
+	{core.ErrEpochMismatch, http.StatusConflict, "epoch_mismatch"},
+	{core.ErrSessionStarted, http.StatusConflict, "session_started"},
+	{core.ErrNoKey, http.StatusUnprocessableEntity, "no_key"},
+	{core.ErrNoCandidates, http.StatusUnprocessableEntity, "no_candidates"},
+	{lake.ErrBadMutation, http.StatusBadRequest, "bad_mutation"},
+	{lake.ErrDictMismatch, http.StatusConflict, "dict_mismatch"},
+	{ErrOverloaded, http.StatusTooManyRequests, "overloaded"},
+	{ErrDraining, http.StatusServiceUnavailable, "draining"},
+	{context.DeadlineExceeded, http.StatusGatewayTimeout, "deadline"},
+	{context.Canceled, StatusCanceled, "canceled"},
+}
+
+// StatusFor maps an error to the HTTP status it is served as; unknown errors
+// are 500.
+func StatusFor(err error) int {
+	for _, e := range statusTable {
+		if errors.Is(err, e.err) {
+			return e.status
+		}
+	}
+	return http.StatusInternalServerError
+}
+
+// CodeFor maps an error to its stable wire code; "" for unknown errors.
+func CodeFor(err error) string {
+	for _, e := range statusTable {
+		if errors.Is(err, e.err) {
+			return e.code
+		}
+	}
+	return ""
+}
+
+// SentinelFor maps a wire code back to the sentinel it was derived from —
+// the client package's half of the round trip. Nil for unknown codes.
+func SentinelFor(code string) error {
+	for _, e := range statusTable {
+		if e.code == code {
+			return e.err
+		}
+	}
+	return nil
+}
+
+// encodeError renders err in wire form, surfacing the phase and source of a
+// *core.Error.
+func encodeError(err error) *ErrorJSON {
+	out := &ErrorJSON{Error: err.Error(), Code: CodeFor(err)}
+	var gerr *core.Error
+	if errors.As(err, &gerr) {
+		out.Phase = string(gerr.Phase)
+		out.Source = gerr.Source
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"gent/internal/core"
+	"gent/internal/lake"
+	"gent/internal/server"
+)
+
+// TestStatusTablePinsEveryExportedError pins the typed-error → HTTP contract
+// for every exported sentinel the pipeline can surface: changing a mapping
+// (or adding a core sentinel without wiring it) is a wire-protocol break and
+// must show up here.
+func TestStatusTablePinsEveryExportedError(t *testing.T) {
+	cases := []struct {
+		err    error
+		status int
+		code   string
+	}{
+		// Every exported core sentinel.
+		{core.ErrNoKey, http.StatusUnprocessableEntity, "no_key"},
+		{core.ErrNoCandidates, http.StatusUnprocessableEntity, "no_candidates"},
+		{core.ErrSessionStarted, http.StatusConflict, "session_started"},
+		{core.ErrEpochMismatch, http.StatusConflict, "epoch_mismatch"},
+		// The lake's mutation-path sentinels.
+		{lake.ErrBadMutation, http.StatusBadRequest, "bad_mutation"},
+		{lake.ErrDictMismatch, http.StatusConflict, "dict_mismatch"},
+		// The server's own refusals.
+		{server.ErrOverloaded, http.StatusTooManyRequests, "overloaded"},
+		{server.ErrDraining, http.StatusServiceUnavailable, "draining"},
+		// Context outcomes.
+		{context.DeadlineExceeded, http.StatusGatewayTimeout, "deadline"},
+		{context.Canceled, server.StatusCanceled, "canceled"},
+	}
+	for _, c := range cases {
+		if got := server.StatusFor(c.err); got != c.status {
+			t.Errorf("StatusFor(%v) = %d, want %d", c.err, got, c.status)
+		}
+		if got := server.CodeFor(c.err); got != c.code {
+			t.Errorf("CodeFor(%v) = %q, want %q", c.err, got, c.code)
+		}
+		// The pipeline wraps every sentinel in *core.Error; the mapping must
+		// see through the wrapper.
+		wrapped := &core.Error{Phase: core.PhaseDiscovery, Source: "s", Err: c.err}
+		if got := server.StatusFor(wrapped); got != c.status {
+			t.Errorf("StatusFor(wrapped %v) = %d, want %d", c.err, got, c.status)
+		}
+		// And the client's half of the round trip: code → sentinel with
+		// errors.Is intact.
+		sent := server.SentinelFor(c.code)
+		if sent == nil || !errors.Is(c.err, sent) {
+			t.Errorf("SentinelFor(%q) = %v, does not match %v", c.code, sent, c.err)
+		}
+	}
+}
+
+// TestEpochMismatchOutranksSessionStarted: ErrEpochMismatch wraps
+// ErrSessionStarted, so a naive unordered mapping could serve it under the
+// wrong code. The more specific sentinel must win.
+func TestEpochMismatchOutranksSessionStarted(t *testing.T) {
+	if got := server.CodeFor(core.ErrEpochMismatch); got != "epoch_mismatch" {
+		t.Fatalf("CodeFor(ErrEpochMismatch) = %q — the wrapped ErrSessionStarted won", got)
+	}
+	if !errors.Is(core.ErrEpochMismatch, core.ErrSessionStarted) {
+		t.Fatal("precondition: ErrEpochMismatch no longer wraps ErrSessionStarted")
+	}
+}
+
+// TestUnknownErrorsAre500: anything outside the table is an opaque server
+// fault.
+func TestUnknownErrorsAre500(t *testing.T) {
+	err := fmt.Errorf("some novel failure")
+	if got := server.StatusFor(err); got != http.StatusInternalServerError {
+		t.Fatalf("StatusFor(unknown) = %d, want 500", got)
+	}
+	if got := server.CodeFor(err); got != "" {
+		t.Fatalf("CodeFor(unknown) = %q, want empty", got)
+	}
+	if server.SentinelFor("no_such_code") != nil {
+		t.Fatal("SentinelFor invented a sentinel for an unknown code")
+	}
+}
