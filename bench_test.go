@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 
@@ -26,7 +27,26 @@ import (
 var (
 	setOnce  sync.Once
 	benchSet *experiments.BenchmarkSet
+
+	wideOnce sync.Once
+	wideSet  *benchmark.TPTR
 )
+
+// wideCorpus builds the candidate-heavy `wide` preset once per bench run:
+// TP-TR plus WidePresetSlices noisy slices of every original, so traversal
+// faces dozens of overlapping candidates per source — the corpus the
+// bound-and-prune engine is measured on.
+func wideCorpus(b *testing.B) *benchmark.TPTR {
+	b.Helper()
+	wideOnce.Do(func() {
+		w, err := benchmark.BuildWidePreset(0, 11)
+		if err != nil {
+			panic(err)
+		}
+		wideSet = w
+	})
+	return wideSet
+}
 
 func benchmarkSet(b *testing.B) *experiments.BenchmarkSet {
 	b.Helper()
@@ -284,15 +304,21 @@ func BenchmarkMatrixTraversal(b *testing.B) {
 	}
 }
 
-// BenchmarkTraverse compares the incremental, parallel traversal engine
-// against the retained materialize-and-rescan baseline (TraverseReference)
-// on the bench corpora's discovery candidate sets. "interned" is the engine
-// as the pipeline runs it — candidate alignment on the lake dictionary's
-// ID tuples; "incremental" is the same engine on canonical-string keys;
-// "incremental-serial" pins the delta scorer's win with round parallelism
-// turned off; "reference" is the pre-engine implementation. The picks are
-// identical across all four — see the equivalence tests in internal/matrix
-// — so only time and allocations differ.
+// BenchmarkTraverse compares the traversal engine's modes against the
+// retained materialize-and-rescan baseline (TraverseReference) on the bench
+// corpora's discovery candidate sets. "interned" is the engine as the
+// pipeline runs it — bound-and-prune rounds, candidate alignment on the lake
+// dictionary's ID tuples; "incremental" is the same pruned engine on
+// canonical-string keys; "incremental-serial" pins the delta scorer's win
+// with round parallelism turned off; "exhaustive" is the pruned engine's own
+// baseline — identical packed kernel and interned alignment, every remaining
+// candidate scored every round (the pre-PR9 engine), so interned-vs-
+// exhaustive differ in nothing but the admissible bound and isolate what
+// pruning saves; "reference" is the pre-engine implementation. The
+// picks are identical across all five — see the equivalence tests and
+// FuzzTraverseParity in internal/matrix — so only time and allocations
+// differ. The `wide` corpus is the candidate-heavy preset where pruning
+// dominates; small/med keep the historical trend lines.
 func BenchmarkTraverse(b *testing.B) {
 	set := benchmarkSet(b)
 	run := func(name string, src *table.Table, tables []*table.Table, dict *table.Dict) {
@@ -309,6 +335,11 @@ func BenchmarkTraverse(b *testing.B) {
 		b.Run(name+"/incremental-serial", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				matrix.TraverseWith(src, tables, matrix.ThreeValued, matrix.TraverseOptions{Workers: 1})
+			}
+		})
+		b.Run(name+"/exhaustive", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				matrix.TraverseWith(src, tables, matrix.ThreeValued, matrix.TraverseOptions{Dict: dict, Exhaustive: true})
 			}
 		})
 		b.Run(name+"/reference", func(b *testing.B) {
@@ -328,6 +359,58 @@ func BenchmarkTraverse(b *testing.B) {
 			tables[i] = c.Table
 		}
 		run(corpus.name, src, tables, corpus.b.Lake.Dict())
+	}
+
+	// The wide corpus: among its sources, benchmark the one whose traversal
+	// prunes the most candidate-rounds (found with one untimed pruned run
+	// each) — the deepest bound-and-prune workload the preset produces, and
+	// the deterministic pick the BENCH trend line tracks.
+	wide := wideCorpus(b)
+	wopts := discovery.DefaultOptions()
+	wopts.MaxCandidates = 256
+	var wsrc *table.Table
+	var wtables []*table.Table
+	bestPruned := -1
+	for _, src := range wide.Sources {
+		cands := discovery.Discover(wide.Lake, src, wopts)
+		tables := make([]*table.Table, len(cands))
+		for i, c := range cands {
+			tables[i] = c.Table
+		}
+		var st matrix.TraverseStats
+		matrix.TraverseWith(src, tables, matrix.ThreeValued, matrix.TraverseOptions{
+			Dict: wide.Lake.Dict(), OnStats: func(s matrix.TraverseStats) { st = s },
+		})
+		if st.CandidatesPruned > bestPruned {
+			wsrc, wtables, bestPruned = src, tables, st.CandidatesPruned
+		}
+	}
+	run("wide", wsrc, wtables, wide.Lake.Dict())
+}
+
+// BenchmarkReclaimAllWide runs the wide preset's multi-table sources — its
+// deepest traversals — through one Reclaimer session with the discovery cap
+// raised, so the batched pipeline exercises the pruned traversal path end to
+// end. (All 26 sources would spend most of the time integrating, not
+// traversing; the multi subset keeps the bench smoke's budget.)
+func BenchmarkReclaimAllWide(b *testing.B) {
+	wide := wideCorpus(b)
+	var sources []*table.Table
+	for _, src := range wide.Sources {
+		if strings.Contains(src.Name, "_multi_") {
+			sources = append(sources, src)
+		}
+	}
+	cfg := core.DefaultConfig()
+	cfg.Discovery.MaxCandidates = 160
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		items := core.NewReclaimer(wide.Lake, cfg).ReclaimAll(sources, 0)
+		for _, item := range items {
+			if item.Err != nil {
+				b.Fatal(item.Err)
+			}
+		}
 	}
 }
 

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	benchgen -out ./bench [-base 30] [-null 0.5] [-err 0.5] [-seed 11]
-//	         [-distractors 0] [-t2d 0] [-preset large] [-tables 100000]
+//	         [-distractors 0] [-t2d 0] [-preset large|wide] [-tables 100000]
+//	         [-slices 24]
 //
 // The `large` preset materializes the beyond-RAM acceptance corpus: the TP-TR
 // benchmark (so the Sources stay exactly reclaimable) embedded in
@@ -13,6 +14,12 @@
 // log-uniform row skew, domain-clustered vocabularies, dense portal-wide
 // columns. internal/benchmark's storage benchmarks generate the same corpus
 // (scaled down) in-process via benchmark.BuildLargePreset.
+//
+// The `wide` preset is the candidate-heavy traversal corpus: TP-TR plus
+// -slices noisy row/column slices of every original table (default 24), so
+// each source faces dozens of overlapping plausible candidates — the regime
+// the bound-and-prune traversal engine targets. In-process equivalent:
+// benchmark.BuildWidePreset.
 package main
 
 import (
@@ -35,8 +42,9 @@ func main() {
 		distractors = flag.Int("distractors", 0, "additional distractor web tables")
 		t2d         = flag.Int("t2d", 0, "also generate a T2D-style corpus of this size")
 		maxRows     = flag.Int("max-source-rows", 1000, "cap per Source Table")
-		preset      = flag.String("preset", "", `corpus preset: "large" embeds TP-TR in open-data-shaped volume`)
+		preset      = flag.String("preset", "", `corpus preset: "large" embeds TP-TR in open-data-shaped volume, "wide" multiplies candidates per source`)
 		tables      = flag.Int("tables", benchmark.LargeCorpusTables, "total table count for -preset large")
+		slices      = flag.Int("slices", benchmark.WidePresetSlices, "per-original slice count for -preset wide")
 	)
 	flag.Parse()
 	if *outDir == "" {
@@ -49,6 +57,8 @@ func main() {
 	switch *preset {
 	case "large":
 		b, err = benchmark.BuildLargePreset(*tables, *seed)
+	case "wide":
+		b, err = benchmark.BuildWidePreset(*slices, *seed)
 	case "":
 		opts := benchmark.DefaultTPTROptions()
 		opts.Scale.Base = *base

@@ -1,0 +1,151 @@
+package benchmark
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"gent/internal/lake"
+	"gent/internal/table"
+	"gent/internal/tpch"
+)
+
+// This file builds the `wide` preset: a candidate-heavy corpus where many
+// overlapping candidates compete for every source. The TP-TR base gives each
+// source 4 variants per originating table; `wide` adds WidePresetSlices more
+// per original — random row/column slices with their own null/error noise —
+// every one of which shares join keys with the source and therefore survives
+// discovery into traversal. That is the regime bound-and-prune traversal is
+// for: each greedy round has dozens of remaining candidates, most of which
+// cannot beat the round leader, so the admissible bound retires them without
+// exact scoring. (The `large` preset is the opposite shape: huge lake volume,
+// few candidates per source — it stresses storage, not traversal.)
+
+// WidePresetSlices is the default number of extra slices per original table
+// in the `wide` preset: with the 4 TP-TR variants it yields ~100 candidates
+// per originating table before discovery caps apply.
+const WidePresetSlices = 96
+
+// BuildWidePreset composes the `wide` corpus: a TP-TR benchmark plus
+// `slices` noisy slices of every original table, registered into the
+// integrating sets so accuracy checks still know what is reclaimable.
+// slices <= 0 uses WidePresetSlices.
+func BuildWidePreset(slices int, seed int64) (*TPTR, error) {
+	if slices <= 0 {
+		slices = WidePresetSlices
+	}
+	opts := DefaultTPTROptions()
+	// A large base and a high source-row cap: per-candidate exact scoring
+	// walks every source row, so big sources are what makes an unpruned
+	// round expensive — and pruning measurable. The base variants are made
+	// very sparse (heavy nullification), so they cannot saturate the
+	// integration by themselves: after the full-coverage-but-hollow variants
+	// are absorbed, almost every key still has headroom that only the thin
+	// clean slices can fill, a few keys per pick — which is what sustains the
+	// long many-round traversals this preset exists to exercise.
+	opts.Scale.Base = 240
+	opts.MaxSourceRows = 1000
+	opts.NullRate = 0.9
+	opts.ErrRate = 0.5
+	opts.Scale.Seed = seed
+	opts.Seed = seed
+	b, err := BuildTPTR("tp-tr-wide", opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := AddWideSlices(b, slices, seed+7); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// AddWideSlices adds `slices` random slices of every original table to the
+// benchmark's lake (one epoch turn) and appends them to every integrating
+// set whose query reads that original. Deterministic in (slices, seed).
+func AddWideSlices(b *TPTR, slices int, seed int64) error {
+	r := rand.New(rand.NewSource(seed))
+	osnap := b.Originals.Snapshot()
+	slicesOf := make(map[string][]string, len(tpch.TableNames))
+	var muts []lake.Mutation
+	for _, tn := range tpch.TableNames {
+		orig := osnap.Get(tn)
+		for s := 0; s < slices; s++ {
+			sl := wideSlice(orig, r, s)
+			muts = append(muts, lake.Put(sl))
+			slicesOf[tn] = append(slicesOf[tn], sl.Name)
+		}
+	}
+	if _, err := b.Lake.Apply(context.Background(), muts...); err != nil {
+		return fmt.Errorf("benchmark: wide slices: %w", err)
+	}
+	for i, q := range b.Queries {
+		src := b.Sources[i]
+		for _, tn := range q.Tables {
+			b.IntegratingSets[src.Name] = append(b.IntegratingSets[src.Name], slicesOf[tn]...)
+		}
+	}
+	return nil
+}
+
+// wideSlice cuts one noisy candidate from an original: all protected join
+// columns plus a random subset of the rest, a random subset of the rows, and
+// per-slice null/error rates on the unprotected cells. Each slice overlaps
+// the others heavily (same keys, shared rows) while scoring differently —
+// exactly the many-plausible-candidates shape that makes unpruned traversal
+// quadratic.
+func wideSlice(orig *table.Table, r *rand.Rand, s int) *table.Table {
+	protected := make(map[int]bool)
+	for _, c := range protectedJoinCols {
+		if i := orig.ColIndex(c); i >= 0 {
+			protected[i] = true
+		}
+	}
+	keep := make([]int, 0, len(orig.Cols))
+	for j := range orig.Cols {
+		if protected[j] || r.Float64() < 0.85 {
+			keep = append(keep, j)
+		}
+	}
+	names := make([]string, len(keep))
+	for i, j := range keep {
+		names[i] = orig.Cols[j]
+	}
+	out := table.New(fmt.Sprintf("%s_w%02d", orig.Name, s), names...)
+
+	// Thin, mostly-clean slices: each covers a small, near-constant number of
+	// rows (not a fraction — slices must stay cheap to encode however large
+	// the original), so no single slice covers the source, slices barely
+	// overlap each other, and each greedy pick keeps lifting its few keys'
+	// contributions above what the noisy full-coverage variants reached —
+	// improvement that persists for many rounds. That is the
+	// many-rounds-many-candidates regime where exhaustive rescoring is
+	// quadratic in work and pruning pays. The light null/error noise
+	// differentiates slice scores without drying up the improvement early.
+	rowsWanted := 20.0 + 40.0*r.Float64()
+	rowKeep := 1.0
+	if nr := float64(len(orig.Rows)); nr > rowsWanted {
+		rowKeep = rowsWanted / nr
+	}
+	nullRate := 0.05 + 0.1*r.Float64()
+	errRate := 0.02 + 0.08*r.Float64()
+	for _, row := range orig.Rows {
+		if r.Float64() >= rowKeep {
+			continue
+		}
+		nr := make(table.Row, len(keep))
+		for i, j := range keep {
+			switch {
+			case protected[j]:
+				nr[i] = row[j]
+			case r.Float64() < nullRate:
+				nr[i] = table.Null
+			case r.Float64() < errRate:
+				nr[i] = table.S(fmt.Sprintf("err-%08x", r.Uint32()))
+			default:
+				nr[i] = row[j]
+			}
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	return out
+}

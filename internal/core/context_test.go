@@ -235,6 +235,20 @@ func TestObserverEventSequence(t *testing.T) {
 	if done[PhaseEvaluation].Score != res.Report.EIS {
 		t.Errorf("evaluation score %v != EIS %v", done[PhaseEvaluation].Score, res.Report.EIS)
 	}
+	// The traversal-done event carries the engine's work counters, mirroring
+	// Result.Traversal; rounds equal picks, and every candidate was looked at
+	// (scored or pruned) at least once for the start-table scan.
+	tv := done[PhaseTraversal]
+	if tv.Scored != res.Traversal.CandidatesScored || tv.Pruned != res.Traversal.CandidatesPruned {
+		t.Errorf("traversal event counters (%d, %d) != result (%d, %d)",
+			tv.Scored, tv.Pruned, res.Traversal.CandidatesScored, res.Traversal.CandidatesPruned)
+	}
+	if res.Traversal.Rounds != len(res.Originating) {
+		t.Errorf("traversal rounds %d != picks %d", res.Traversal.Rounds, len(res.Originating))
+	}
+	if res.Traversal.CandidatesScored < res.CandidateCount {
+		t.Errorf("scored %d < candidate count %d", res.Traversal.CandidatesScored, res.CandidateCount)
+	}
 }
 
 // TestTimingEvaluate: the evaluation phase is timed and included in Total.

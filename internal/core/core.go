@@ -93,6 +93,10 @@ type Result struct {
 	CandidateCount int
 	// Report evaluates Reclaimed against the Source.
 	Report metrics.Report
+	// Traversal counts the traversal engine's work: candidate-rounds
+	// exact-scored vs pruned by the admissible bound, and greedy rounds. Zero
+	// when traversal was skipped (Config.SkipTraversal) or had no candidates.
+	Traversal matrix.TraverseStats
 	Timing Timing
 	// Epoch is the lake epoch the run was pinned to — the catalog version
 	// every phase read. A server keys result caches by it: two runs over the
@@ -200,7 +204,8 @@ func reclaimPipeline(ctx context.Context, src *table.Table, cfg Config, dict *ta
 		for i, c := range cands {
 			tables[i] = c.Table
 		}
-		topts := matrix.TraverseOptions{Workers: cfg.TraverseWorkers, Dict: interner}
+		topts := matrix.TraverseOptions{Workers: cfg.TraverseWorkers, Dict: interner,
+			OnStats: func(s matrix.TraverseStats) { res.Traversal = s }}
 		if obs != nil {
 			srcName := src.Name
 			topts.OnRound = func(round, pick int, score float64) {
@@ -220,7 +225,8 @@ func reclaimPipeline(ctx context.Context, src *table.Table, cfg Config, dict *ta
 	res.Timing.Traverse = time.Since(start)
 	res.Originating = picked
 	emit(obs, ProgressEvent{Source: src.Name, Epoch: epoch, Phase: PhaseTraversal, Kind: EventPhaseDone,
-		Elapsed: res.Timing.Traverse, Count: len(picked)})
+		Elapsed: res.Timing.Traverse, Count: len(picked),
+		Scored: res.Traversal.CandidatesScored, Pruned: res.Traversal.CandidatesPruned})
 
 	// Table Integration.
 	if err := ctx.Err(); err != nil {

@@ -59,6 +59,12 @@ type ProgressEvent struct {
 	// Score is the integration's EIS after the pick (EventTraverseRound), or
 	// the final EIS (evaluation EventPhaseDone).
 	Score float64
+	// Scored and Pruned are the traversal engine's work counters, on the
+	// traversal EventPhaseDone: candidate-rounds exact-scored versus skipped
+	// because their admissible EIS-delta bound could not beat the round
+	// leader. Scored+Pruned is the work an unpruned traversal would have done.
+	Scored int
+	Pruned int
 }
 
 // ProgressObserver receives structured phase events from a reclamation run.

@@ -20,6 +20,7 @@ type jsonReport struct {
 	Candidates  int               `json:"candidate_count"`
 	TimingMS    jsonTiming        `json:"timing_ms"`
 	Tuples      *jsonTupleCounts  `json:"tuples,omitempty"`
+	Traversal   *jsonTraversal    `json:"traversal,omitempty"`
 }
 
 type jsonMetrics struct {
@@ -52,6 +53,14 @@ type jsonTupleCounts struct {
 	Partial     int `json:"partial"`
 	Conflicting int `json:"conflicting"`
 	Missing     int `json:"missing"`
+}
+
+// jsonTraversal is the traversal engine's work accounting: candidate-rounds
+// exact-scored vs pruned by the admissible bound, per greedy round summed.
+type jsonTraversal struct {
+	Rounds int `json:"rounds"`
+	Scored int `json:"candidates_scored"`
+	Pruned int `json:"candidates_pruned"`
 }
 
 // WriteJSON renders the result as indented JSON. When src is non-nil the
@@ -88,6 +97,13 @@ func (r *Result) WriteJSON(w io.Writer, src *table.Table) error {
 				Conflicting: e.Counts[TupleConflicting],
 				Missing:     e.Counts[TupleMissing],
 			}
+		}
+	}
+	if r.Traversal.Rounds > 0 {
+		rep.Traversal = &jsonTraversal{
+			Rounds: r.Traversal.Rounds,
+			Scored: r.Traversal.CandidatesScored,
+			Pruned: r.Traversal.CandidatesPruned,
 		}
 	}
 	for _, c := range r.Originating {

@@ -34,6 +34,15 @@ func TestWriteJSON(t *testing.T) {
 	if !ok || len(origs) == 0 {
 		t.Error("originating tables missing")
 	}
+	trav, ok := parsed["traversal"].(map[string]any)
+	if !ok {
+		t.Fatalf("traversal block missing: %v", out)
+	}
+	if trav["rounds"] != float64(res.Traversal.Rounds) ||
+		trav["candidates_scored"] != float64(res.Traversal.CandidatesScored) ||
+		trav["candidates_pruned"] != float64(res.Traversal.CandidatesPruned) {
+		t.Errorf("traversal block %v != result stats %+v", trav, res.Traversal)
+	}
 }
 
 func TestWriteJSONWithoutSource(t *testing.T) {

@@ -188,9 +188,10 @@ func TestDeltaScorerMatchesMaterialized(t *testing.T) {
 			}
 			scratch := make([]float64, e.numKeys)
 			copy(scratch, e.contrib)
+			arena := new(kernelArena)
 			for i := range cands {
 				want := Combine(combined, mats[i]).EIS()
-				if got := e.scoreCand(&e.cands[i], scratch); got != want {
+				if got := e.scoreCand(&e.cands[i], scratch, arena); got != want {
 					t.Fatalf("trial %d enc %d cand %d: delta score %v != materialized EIS %v",
 						trial, enc, i, got, want)
 				}

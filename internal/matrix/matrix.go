@@ -6,11 +6,14 @@
 // simulated integration maximizes the EIS score, all without performing a
 // single real table integration.
 //
-// Traversal runs on an incremental, parallel engine (see traverse.go): each
-// greedy round scores all remaining candidates concurrently, and a candidate
-// is scored by recomputing only the source keys it touches against the
-// current combined matrix — losing candidates never materialize a merged
-// matrix. The engine is pick-for-pick identical to the retained
+// Traversal runs on an incremental, parallel, bound-and-prune engine (see
+// traverse.go): a candidate is scored by recomputing only the source keys it
+// touches against the current combined matrix — losing candidates never
+// materialize a merged matrix — and each greedy round scores only the
+// candidates whose admissible EIS-delta upper bound (bound.go) could still
+// beat the round leader, skipping the rest from a max-heap of stale bounds.
+// The exact scores that do run use a bit-packed SWAR form of the Equation 5
+// kernel (packed.go). The engine is pick-for-pick identical to the retained
 // materialize-and-rescan reference implementation (TraverseReference).
 //
 // Matrices address aligned tuples by dense source-key id. Mapping a
@@ -46,9 +49,11 @@ type Shape struct {
 	// isKey flags the Source's key columns, column-aligned with Src.Cols.
 	isKey  []bool
 	nonKey int
-	// dict, when non-nil, keys candidate-row alignment by interned ID tuples
-	// (keys wider than table.MaxInternKeyArity fall back to strings).
-	dict   table.Interner
+	// useIDs records whether the dense ids were assigned through dictionary
+	// interning (a dict was supplied and the key arity fits
+	// table.MaxInternKeyArity) or through canonical row-key strings. The two
+	// assignments produce the same key partition; candidate probing no longer
+	// consults the dictionary either way (see candKeyID).
 	useIDs bool
 	// rowKeyID maps each source row to its dense key id, -1 when the row's
 	// key contains a null (such rows align with nothing).
@@ -60,6 +65,22 @@ type Shape struct {
 	// byStr / byIDs map a row's key to its dense id — exactly one is built.
 	byStr map[string]int
 	byIDs map[table.IDKey]int
+	// keyVals / byLoc are the alignment probe path for keys of interning
+	// arity: one lock-free per-position map over the Source's own key values
+	// (tiny, cache-resident — unlike the lake dictionary a candidate value
+	// probes otherwise). For single-column keys keyVals[0] maps straight to
+	// the dense id; wider keys compose per-position local ids and resolve
+	// them through byLoc. Values absent from a position match no source key
+	// there, so a failed probe is a provable non-alignment, exactly like a
+	// failed dictionary lookup.
+	keyVals []*table.ValueMap
+	byLoc   map[table.IDKey]int
+	// pwords is the packed width: aligned tuples pack one byte per column,
+	// 8 columns per uint64 (see packed.go).
+	pwords int
+	// nonkey80[w] carries the 0x80 flag in every byte of word w that holds a
+	// non-key column — the mask the packed kernel counts α−δ through.
+	nonkey80 []uint64
 }
 
 // NewShape prepares the matrix shape for a Source Table, which must have a
@@ -76,10 +97,14 @@ func NewShapeWith(src *table.Table, dict table.Interner) *Shape {
 		s.isKey[k] = true
 	}
 	s.nonKey = len(src.Cols) - len(src.Key)
-	s.useIDs = dict != nil && len(src.Key) > 0 && len(src.Key) <= table.MaxInternKeyArity
-	if s.useIDs {
-		s.dict = dict
+	s.pwords = (len(src.Cols) + 7) / 8
+	s.nonkey80 = make([]uint64, s.pwords)
+	for c := range src.Cols {
+		if !s.isKey[c] {
+			s.nonkey80[c>>3] |= 0x80 << ((c & 7) * 8)
+		}
 	}
+	s.useIDs = dict != nil && len(src.Key) > 0 && len(src.Key) <= table.MaxInternKeyArity
 	s.rowKeyID = make([]int, len(src.Rows))
 	if s.useIDs {
 		s.byIDs = make(map[table.IDKey]int, len(src.Rows))
@@ -99,6 +124,7 @@ func NewShapeWith(src *table.Table, dict table.Interner) *Shape {
 			}
 			s.rowKeyID[i] = id
 		}
+		s.buildKeyIndex()
 		return s
 	}
 	s.byStr = make(map[string]int, len(src.Rows))
@@ -118,29 +144,67 @@ func NewShapeWith(src *table.Table, dict table.Interner) *Shape {
 		}
 		s.rowKeyID[i] = id
 	}
+	s.buildKeyIndex()
 	return s
+}
+
+// buildKeyIndex derives keyVals/byLoc from the dense ids the grouping pass
+// just assigned. Per key position every value of one Value.Key equivalence
+// class carries the same local id, so composite local tuples group rows
+// exactly as byStr/byIDs did — the probe path changes, the partition (and
+// with it every pick) cannot.
+func (s *Shape) buildKeyIndex() {
+	arity := len(s.Src.Key)
+	if arity == 0 || arity > table.MaxInternKeyArity {
+		return
+	}
+	s.keyVals = make([]*table.ValueMap, arity)
+	for p := range s.keyVals {
+		s.keyVals[p] = table.NewValueMap(len(s.repRow))
+	}
+	if arity > 1 {
+		s.byLoc = make(map[table.IDKey]int, len(s.repRow))
+	}
+	for i, r := range s.Src.Rows {
+		id := s.rowKeyID[i]
+		if id < 0 {
+			continue
+		}
+		if arity == 1 {
+			s.keyVals[0].Put(r[s.Src.Key[0]], uint32(id))
+			continue
+		}
+		var k table.IDKey
+		for p, c := range s.Src.Key {
+			vid, _ := s.keyVals[p].Intern(r[c])
+			k[p] = vid
+		}
+		s.byLoc[k] = id
+	}
 }
 
 // numKeys returns the size of the dense source-key id space.
 func (s *Shape) numKeys() int { return len(s.repRow) }
 
 // candKeyID maps a candidate row to its dense source-key id; ok is false
-// when the row's key contains a null or matches no source key.
+// when the row's key contains a null or matches no source key. Keys of
+// interning arity probe the Shape's own keyVals/byLoc index; only wider
+// keys pay the canonical-string build.
 func (s *Shape) candKeyID(r table.Row, keyMap []int) (int, bool) {
-	if s.useIDs {
+	if s.keyVals != nil {
+		if len(keyMap) == 1 {
+			id, ok := s.keyVals[0].Get(r[keyMap[0]])
+			return int(id), ok
+		}
 		var k table.IDKey
 		for j, ci := range keyMap {
-			v := r[ci]
-			if v.Kind == table.KindNull {
-				return 0, false
-			}
-			vid, ok := s.dict.LookupValue(v)
+			vid, ok := s.keyVals[j].Get(r[ci])
 			if !ok {
-				return 0, false // never interned ⇒ equals no source key value
+				return 0, false
 			}
 			k[j] = vid
 		}
-		id, ok := s.byIDs[k]
+		id, ok := s.byLoc[k]
 		return id, ok
 	}
 	key, ok := candKey(r, keyMap)

@@ -31,6 +31,11 @@ type metricSet struct {
 	phase map[core.Phase]*histogram
 	// request latency by endpoint.
 	latency map[string]*histogram
+	// traverseScored / traversePruned accumulate the traversal engine's work
+	// counters across runs: candidate-rounds exact-scored vs skipped by the
+	// admissible bound. Their ratio is the live pruning effectiveness.
+	traverseScored uint64
+	traversePruned uint64
 }
 
 type reqKey struct {
@@ -86,6 +91,10 @@ func (m *metricSet) observer() core.ProgressObserver {
 			m.phase[ev.Phase] = h
 		}
 		h.observe(ev.Elapsed.Seconds())
+		if ev.Phase == core.PhaseTraversal {
+			m.traverseScored += uint64(ev.Scored)
+			m.traversePruned += uint64(ev.Pruned)
+		}
 		m.mu.Unlock()
 	})
 }
@@ -164,6 +173,12 @@ func (m *metricSet) render(w io.Writer, cache ResultCacheStats, gauges map[strin
 	fmt.Fprintf(w, "gentd_result_cache_entries %d\n", cache.Entries)
 	fmt.Fprintf(w, "# TYPE gentd_result_cache_bytes gauge\n")
 	fmt.Fprintf(w, "gentd_result_cache_bytes %d\n", cache.Bytes)
+
+	fmt.Fprintf(w, "# HELP gentd_traverse_candidates Traversal engine work: candidate-rounds exact-scored vs pruned by the admissible bound.\n")
+	fmt.Fprintf(w, "# TYPE gentd_traverse_candidates_scored_total counter\n")
+	fmt.Fprintf(w, "gentd_traverse_candidates_scored_total %d\n", m.traverseScored)
+	fmt.Fprintf(w, "# TYPE gentd_traverse_candidates_pruned_total counter\n")
+	fmt.Fprintf(w, "gentd_traverse_candidates_pruned_total %d\n", m.traversePruned)
 
 	names := make([]string, 0, len(gauges))
 	for n := range gauges {

@@ -140,6 +140,74 @@ func TestServerReclaimCacheLifecycle(t *testing.T) {
 	}
 }
 
+// TestServerTraverseCounters: the traversal engine's scored/pruned work
+// counters surface at /metrics, accumulate only when the pipeline actually
+// runs (a cache hit adds nothing), and keep climbing across distinct queries.
+func TestServerTraverseCounters(t *testing.T) {
+	src, _, c := startServer(t, server.Config{})
+	ctx := context.Background()
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	for _, k := range []string{"gentd_traverse_candidates_scored_total", "gentd_traverse_candidates_pruned_total"} {
+		if v, ok := m[k]; !ok || v != 0 {
+			t.Errorf("before any query, %s = %g (present %v), want 0", k, v, ok)
+		}
+	}
+
+	if _, err := c.Reclaim(ctx, src, nil); err != nil {
+		t.Fatalf("cold reclaim: %v", err)
+	}
+	m, err = c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	scored, pruned := m["gentd_traverse_candidates_scored_total"], m["gentd_traverse_candidates_pruned_total"]
+	// The scenario discovers candidates and traverses them: at minimum every
+	// candidate was exact-scored once for the start-table scan.
+	if scored < 1 {
+		t.Fatalf("after a cold reclaim, scored = %g, want >= 1", scored)
+	}
+	if pruned < 0 {
+		t.Fatalf("pruned = %g, want >= 0", pruned)
+	}
+
+	// A cache hit serves without running the pipeline: no counter movement.
+	r, err := c.Reclaim(ctx, src, nil)
+	if err != nil {
+		t.Fatalf("warm reclaim: %v", err)
+	}
+	if !r.Cached {
+		t.Fatal("repeat query not served from cache")
+	}
+	m, err = c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if m["gentd_traverse_candidates_scored_total"] != scored || m["gentd_traverse_candidates_pruned_total"] != pruned {
+		t.Errorf("cache hit moved traverse counters: (%g, %g) -> (%g, %g)", scored, pruned,
+			m["gentd_traverse_candidates_scored_total"], m["gentd_traverse_candidates_pruned_total"])
+	}
+
+	// A different source runs the pipeline again and accumulates.
+	other := src.Project("pid", "name", "city")
+	other.Name = "people_slim"
+	other.Key = []int{0}
+	if _, err := c.Reclaim(ctx, other, nil); err != nil {
+		t.Fatalf("second reclaim: %v", err)
+	}
+	m, err = c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if m["gentd_traverse_candidates_scored_total"] <= scored {
+		t.Errorf("second query did not accumulate: scored %g -> %g", scored,
+			m["gentd_traverse_candidates_scored_total"])
+	}
+}
+
 // TestServerErrorRoundTrip: pipeline failures cross the wire as their mapped
 // statuses, and the client's errors.Is still matches the in-process
 // sentinels.
