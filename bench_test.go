@@ -30,7 +30,25 @@ var (
 
 	wideOnce sync.Once
 	wideSet  *benchmark.TPTR
+
+	semOnce sync.Once
+	semSet  *benchmark.TPTR
 )
+
+// semanticCorpus builds the `semantic` preset once per bench run: TP-TR plus
+// a value-translated twin of every original — tables only the semantic
+// channel can discover (zero exact overlap with any source).
+func semanticCorpus(b *testing.B) *benchmark.TPTR {
+	b.Helper()
+	semOnce.Do(func() {
+		s, err := benchmark.BuildSemanticPreset(11)
+		if err != nil {
+			panic(err)
+		}
+		semSet = s
+	})
+	return semSet
+}
 
 // wideCorpus builds the candidate-heavy `wide` preset once per bench run:
 // TP-TR plus WidePresetSlices noisy slices of every original, so traversal
@@ -434,6 +452,53 @@ func BenchmarkDiscoverInterned(b *testing.B) {
 	b.Run("reference", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			discovery.DiscoverWith(l, reference, src, opts)
+		}
+	})
+}
+
+// BenchmarkDiscoverSemantic times the discovery strategies on the `semantic`
+// preset — TP-TR plus value-translated twins — and pins the channel's reason
+// to exist: the hybrid run must recall translated twins the syntactic run
+// (exact set overlap) cannot see at all. Sub-benchmarks share one prebuilt
+// full index set, so the embedding substrate's build cost is not measured,
+// only the per-query channel cost.
+func BenchmarkDiscoverSemantic(b *testing.B) {
+	sem := semanticCorpus(b)
+	snap := sem.Lake.Snapshot()
+	ix := index.BuildIndexSetFull(snap, 0, nil)
+	src := sem.Sources[0]
+	twins := sem.TranslatedSets[src.Name]
+	opts := discovery.DefaultOptions()
+	opts.MaxCandidates = 60
+	hits := func(cands []*discovery.Candidate) int {
+		found := make(map[string]bool, len(cands))
+		for _, c := range cands {
+			for _, s := range c.Sources {
+				found[s] = true
+			}
+		}
+		n := 0
+		for _, tw := range twins {
+			if found[tw] {
+				n++
+			}
+		}
+		return n
+	}
+	b.Run("syntactic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if hits(discovery.DiscoverWith(sem.Lake, ix, src, opts)) != 0 {
+				b.Fatal("syntactic discovery found a translated twin")
+			}
+		}
+	})
+	b.Run("hybrid", func(b *testing.B) {
+		hopts := opts
+		hopts.Strategy = discovery.StrategyHybrid
+		for i := 0; i < b.N; i++ {
+			if hits(discovery.DiscoverWith(sem.Lake, ix, src, hopts)) == 0 {
+				b.Fatal("hybrid discovery recalled no translated twin")
+			}
 		}
 	})
 }

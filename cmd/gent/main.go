@@ -21,6 +21,7 @@
 //
 //	gent -source source.csv -lake ./lake [-out reclaimed.csv] [-tau 0.2]
 //	     [-topk 0] [-max-candidates 15] [-key id,name] [-index-dir ./lake.idx]
+//	     [-strategy hybrid] [-semantic-tau 0.6] [-vectors vectors.txt]
 //	     [-timeout 30s] [-progress] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	     [-store-dir ./lake.seg] [-max-resident-mb 256] [-stats]
 package main
@@ -38,6 +39,8 @@ import (
 	"time"
 
 	"gent/internal/core"
+	"gent/internal/discovery"
+	"gent/internal/embed"
 	"gent/internal/server/boot"
 	"gent/internal/table"
 )
@@ -62,6 +65,9 @@ func main() {
 		storeDir   = flag.String("store-dir", "", "spill evicted interned tables to segment files under this directory (created if missing)")
 		maxResMB   = flag.Int("max-resident-mb", 0, "cap resident interned-table memory at this many MiB (0 = unbounded; evicted forms reload from -store-dir, or re-intern without one)")
 		stats      = flag.Bool("stats", false, "print resident-cache statistics to stderr on exit (including error and deadline exits)")
+		strategy   = flag.String("strategy", "", "discovery strategy: syntactic (default), semantic, or hybrid")
+		semTau     = flag.Float64("semantic-tau", 0, "semantic cosine threshold (0 = default)")
+		vectors    = flag.String("vectors", "", "word-vector file (fasttext text format) for the semantic channel; default: built-in hashed n-gram embedder")
 	)
 	flag.Parse()
 	if *sourcePath == "" || *lakeDir == "" {
@@ -148,6 +154,21 @@ func main() {
 	cfg.Discovery.Tau = *tau
 	cfg.Discovery.MaxCandidates = *maxCands
 	cfg.Discovery.FirstStageTopK = *topK
+	if *strategy != "" {
+		strat, err := discovery.ParseStrategy(*strategy)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Discovery.Strategy = strat
+	}
+	cfg.Discovery.SemanticTau = *semTau
+	if *vectors != "" {
+		emb, err := embed.LoadVectorFile(*vectors)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Discovery.Embedder = emb
+	}
 
 	session := core.NewReclaimer(l, cfg)
 	if *indexDir != "" {

@@ -42,6 +42,8 @@ import (
 	"time"
 
 	"gent/internal/core"
+	"gent/internal/discovery"
+	"gent/internal/embed"
 	"gent/internal/server"
 	"gent/internal/server/boot"
 	"gent/internal/server/client"
@@ -63,6 +65,9 @@ func main() {
 		reqTimeout = flag.Duration("request-timeout", 60*time.Second, "maximum wall time per reclaim request")
 		drainTO    = flag.Duration("drain-timeout", 30*time.Second, "how long to wait for in-flight requests on shutdown")
 		cacheMB    = flag.Int("cache-mb", 64, "result-cache byte budget in MiB (0 = default, negative = disabled)")
+		strategy   = flag.String("strategy", "", "default discovery strategy: syntactic (default), semantic, or hybrid (clients may override per request)")
+		semTau     = flag.Float64("semantic-tau", 0, "semantic cosine threshold (0 = default)")
+		vectors    = flag.String("vectors", "", "word-vector file (fasttext text format) for the semantic channel; default: built-in hashed n-gram embedder")
 
 		loaddrive   = flag.String("loaddrive", "", "drive load against a running gentd at this base URL instead of serving")
 		smoke       = flag.String("smoke", "", "run the serving-contract smoke against a running gentd at this base URL instead of serving")
@@ -99,6 +104,21 @@ func main() {
 	cfg.Discovery.Tau = *tau
 	cfg.Discovery.MaxCandidates = *maxCands
 	cfg.Discovery.FirstStageTopK = *topK
+	if *strategy != "" {
+		strat, err := discovery.ParseStrategy(*strategy)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Discovery.Strategy = strat
+	}
+	cfg.Discovery.SemanticTau = *semTau
+	if *vectors != "" {
+		emb, err := embed.LoadVectorFile(*vectors)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Discovery.Embedder = emb
+	}
 	session := core.NewReclaimer(l, cfg)
 	if *indexDir != "" {
 		out, err := boot.AdoptIndexes(session, *indexDir, warnLine)

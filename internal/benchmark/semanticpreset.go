@@ -1,0 +1,97 @@
+package benchmark
+
+import (
+	"context"
+	"fmt"
+
+	"gent/internal/lake"
+	"gent/internal/table"
+	"gent/internal/tpch"
+)
+
+// This file builds the `semantic` preset: the corpus the semantic discovery
+// channel is measured on. The TP-TR base gives each source its 4 syntactic
+// variants per originating table; the preset adds one *translated* twin per
+// original — renamed table, renamed columns, and every value rewritten through
+// a deterministic tag transform — so the twin shares not a single cell with
+// the source. Syntactic discovery (exact set overlap) cannot see these tables
+// at all; the n-gram embedding sees through the shared decoration (the
+// per-column idf weighting in internal/embed suppresses grams every value
+// carries), so the semantic channel recovers them. Hybrid recall over
+// TranslatedSets vs syntactic-only is the preset's headline comparison.
+
+// TranslatedPrefix is the value tag the translated twins carry. A multi-byte
+// decoration (not a single character) so it shows up in several n-grams —
+// the realistic "same entities, different surface form" regime.
+const TranslatedPrefix = "de·"
+
+// BuildSemanticPreset composes the `semantic` corpus: a TP-TR benchmark plus
+// a translated twin of every original table, recorded in TranslatedSets.
+func BuildSemanticPreset(seed int64) (*TPTR, error) {
+	opts := DefaultTPTROptions()
+	opts.Scale.Base = 24
+	opts.Scale.Seed = seed
+	opts.Seed = seed
+	opts.MaxSourceRows = 120
+	b, err := BuildTPTR("tp-tr-semantic", opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := AddTranslatedVariants(b, TranslatedPrefix); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// AddTranslatedVariants adds one value-translated twin of every original
+// table to the benchmark's lake (one epoch turn) and records, per source, the
+// twins of the originals its query read in b.TranslatedSets. The twins are
+// deliberately NOT appended to IntegratingSets: their values cannot align
+// with the source's, so they are a discovery target, not an integration one.
+func AddTranslatedVariants(b *TPTR, prefix string) error {
+	if b.TranslatedSets == nil {
+		b.TranslatedSets = make(map[string][]string)
+	}
+	osnap := b.Originals.Snapshot()
+	twinOf := make(map[string]string, len(tpch.TableNames))
+	var muts []lake.Mutation
+	for _, tn := range tpch.TableNames {
+		tw := translateTable(osnap.Get(tn), prefix)
+		muts = append(muts, lake.Put(tw))
+		twinOf[tn] = tw.Name
+	}
+	if _, err := b.Lake.Apply(context.Background(), muts...); err != nil {
+		return fmt.Errorf("benchmark: translated variants: %w", err)
+	}
+	for i, q := range b.Queries {
+		src := b.Sources[i]
+		for _, tn := range q.Tables {
+			b.TranslatedSets[src.Name] = append(b.TranslatedSets[src.Name], twinOf[tn])
+		}
+	}
+	return nil
+}
+
+// translateTable rewrites one original into its translated twin: new table
+// and column names, every non-null value rendered as text and tag-prefixed.
+// Exact overlap with the original (and with any source built from it) is
+// zero; character-level content is intact under the decoration.
+func translateTable(orig *table.Table, prefix string) *table.Table {
+	cols := make([]string, len(orig.Cols))
+	for i, c := range orig.Cols {
+		cols[i] = "xl_" + c
+	}
+	out := table.New(orig.Name+"_xl", cols...)
+	for _, row := range orig.Rows {
+		nr := make(table.Row, len(row))
+		for j, v := range row {
+			if v.IsNull() {
+				nr[j] = table.Null
+				continue
+			}
+			nr[j] = table.S(prefix + v.Text())
+		}
+		out.Rows = append(out.Rows, nr)
+	}
+	return out
+}

@@ -97,6 +97,10 @@ type Result struct {
 	// exact-scored vs pruned by the admissible bound, and greedy rounds. Zero
 	// when traversal was skipped (Config.SkipTraversal) or had no candidates.
 	Traversal matrix.TraverseStats
+	// Discovery is the per-channel candidate accounting of the discovery
+	// phase: which strategy ran and how many candidates each channel
+	// contributed before merging and expansion.
+	Discovery discovery.DiscoverStats
 	Timing Timing
 	// Epoch is the lake epoch the run was pinned to — the catalog version
 	// every phase read. A server keys result caches by it: two runs over the
@@ -121,8 +125,8 @@ func ReclaimContext(ctx context.Context, l *lake.Lake, src *table.Table, cfg Con
 	// Pin the run to the lake's snapshot at entry: every phase reads this
 	// catalog version, immune to concurrent Apply.
 	snap := l.Snapshot()
-	return reclaimPipeline(ctx, src, cfg, snap.Dict(), snap.Epoch(), func(ctx context.Context, keyed *table.Table) ([]*discovery.Candidate, error) {
-		return discovery.DiscoverSnapContext(ctx, snap, keyed, cfg.Discovery)
+	return reclaimPipeline(ctx, src, cfg, snap.Dict(), snap.Epoch(), func(ctx context.Context, keyed *table.Table, dopts discovery.Options) ([]*discovery.Candidate, error) {
+		return discovery.DiscoverSnapContext(ctx, snap, keyed, dopts)
 	})
 }
 
@@ -132,9 +136,11 @@ func ReclaimContext(ctx context.Context, l *lake.Lake, src *table.Table, cfg Con
 // two paths. dict is the pinned snapshot's value dictionary; traversal and
 // integration key their hot paths on its interned IDs (nil falls back to
 // the canonical-string reference paths). epoch is the pinned snapshot's
-// epoch, stamped on every observer event the run emits.
+// epoch, stamped on every observer event the run emits. discover receives
+// the run's discovery options with the stats hook already chained in — it
+// must pass them through rather than re-reading cfg.Discovery.
 func reclaimPipeline(ctx context.Context, src *table.Table, cfg Config, dict *table.Dict, epoch lake.Epoch,
-	discover func(context.Context, *table.Table) ([]*discovery.Candidate, error)) (*Result, error) {
+	discover func(context.Context, *table.Table, discovery.Options) ([]*discovery.Candidate, error)) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -172,20 +178,31 @@ func reclaimPipeline(ctx context.Context, src *table.Table, cfg Config, dict *ta
 		src.Key = key
 	}
 
-	// Table Discovery.
+	// Table Discovery. The stats hook is chained onto a copy of the run's
+	// discovery options — the caller's Config (and any OnStats it set) is
+	// never mutated.
 	if err := ctx.Err(); err != nil {
 		return fail(PhaseDiscovery, err)
 	}
+	dopts := cfg.Discovery
+	userStats := dopts.OnStats
+	dopts.OnStats = func(s discovery.DiscoverStats) {
+		res.Discovery = s
+		if userStats != nil {
+			userStats(s)
+		}
+	}
 	emit(obs, ProgressEvent{Source: src.Name, Epoch: epoch, Phase: PhaseDiscovery, Kind: EventPhaseStarted})
 	start := time.Now()
-	cands, err := discover(ctx, src)
+	cands, err := discover(ctx, src, dopts)
 	res.Timing.Discover = time.Since(start)
 	if err != nil {
 		return fail(PhaseDiscovery, err)
 	}
 	res.CandidateCount = len(cands)
 	emit(obs, ProgressEvent{Source: src.Name, Epoch: epoch, Phase: PhaseDiscovery, Kind: EventPhaseDone,
-		Elapsed: res.Timing.Discover, Count: len(cands)})
+		Elapsed: res.Timing.Discover, Count: len(cands), Strategy: res.Discovery.Strategy.String(),
+		CandsSyntactic: res.Discovery.SyntacticCandidates, CandsSemantic: res.Discovery.SemanticCandidates})
 	if cfg.RequireCandidates && len(cands) == 0 {
 		return fail(PhaseDiscovery, ErrNoCandidates)
 	}

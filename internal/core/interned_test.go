@@ -60,8 +60,8 @@ func TestPipelineInternedMatchesStringReference(t *testing.T) {
 			// over string-keyed discovery. DiscoverWith selects its string
 			// path because the reference index carries no dictionary.
 			reference, err := reclaimPipeline(context.Background(), src, cfg, nil, lake.Epoch{},
-				func(ctx context.Context, keyed *table.Table) ([]*discovery.Candidate, error) {
-					return discovery.DiscoverWithContext(ctx, b.Lake, refIx, keyed, cfg.Discovery)
+				func(ctx context.Context, keyed *table.Table, dopts discovery.Options) ([]*discovery.Candidate, error) {
+					return discovery.DiscoverWithContext(ctx, b.Lake, refIx, keyed, dopts)
 				})
 			if err != nil {
 				t.Fatalf("%s: reference pipeline: %v", src.Name, err)

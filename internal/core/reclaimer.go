@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"gent/internal/discovery"
+	"gent/internal/embed"
 	"gent/internal/index"
 	"gent/internal/lake"
 	"gent/internal/table"
@@ -71,9 +72,17 @@ type epochState struct {
 	invPtr  atomic.Pointer[index.Inverted]
 	lshOnce sync.Once
 	lshPtr  atomic.Pointer[index.MinHashLSH]
+	semOnce sync.Once
+	semPtr  atomic.Pointer[embed.CosineLSH]
 	// injected substrates (UseIndexes) short-circuit the lazy builds.
 	injInv *index.Inverted
 	injLSH *index.MinHashLSH
+	injSem *embed.CosineLSH
+	// semEnabled is captured from the session's default discovery strategy at
+	// state creation: only then do chain-trim and prev-release wait for the
+	// semantic substrate (a syntactic session must not pin ancestors for a
+	// substrate it will never build).
+	semEnabled bool
 }
 
 // NewReclaimer creates a session over l with cfg as the default
@@ -108,11 +117,17 @@ func (r *Reclaimer) stateLocked() *epochState {
 	if cur != nil && cur.snap == ls {
 		return cur
 	}
-	ns := &epochState{snap: ls, shards: r.cfg.IndexShards}
+	ns := &epochState{snap: ls, shards: r.cfg.IndexShards, semEnabled: r.semEnabled()}
 	ns.prev.Store(cur)
 	trimChain(ns)
 	r.cur.Store(ns)
 	return ns
+}
+
+// semEnabled reports whether the session's default configuration engages the
+// semantic substrate.
+func (r *Reclaimer) semEnabled() bool {
+	return r.cfg.Discovery.Strategy != discovery.StrategySyntactic
 }
 
 // acquire resolves and *claims* the epoch state a query will run against.
@@ -142,11 +157,19 @@ func trimChain(head *epochState) {
 	n := 0
 	for s := head; s != nil; s = s.prev.Load() {
 		n++
-		if n > maxCatchUpChain || (s != head && s.invPtr.Load() != nil && s.lshPtr.Load() != nil) {
+		if n > maxCatchUpChain || (s != head && s.substratesDone()) {
 			s.prev.Store(nil)
 			return
 		}
 	}
+}
+
+// substratesDone reports whether every substrate this session maintains is
+// materialized on s — the point at which older ancestors have nothing left
+// to contribute.
+func (s *epochState) substratesDone() bool {
+	return s.invPtr.Load() != nil && s.lshPtr.Load() != nil &&
+		(!s.semEnabled || s.semPtr.Load() != nil)
 }
 
 // inverted returns the state's exact-overlap substrate, building it on
@@ -203,12 +226,40 @@ func (s *epochState) lsh() *index.MinHashLSH {
 	return s.lshPtr.Load()
 }
 
-// dropPrevIfDone releases the ancestor chain once both substrates exist:
-// nothing left to catch up from, so the old snapshots can be collected.
+// dropPrevIfDone releases the ancestor chain once every maintained substrate
+// exists: nothing left to catch up from, so the old snapshots can be
+// collected.
 func (s *epochState) dropPrevIfDone() {
-	if s.invPtr.Load() != nil && s.lshPtr.Load() != nil {
+	if s.substratesDone() {
 		s.prev.Store(nil)
 	}
+}
+
+// semantic is inverted's analogue for the cosine-LSH substrate; emb is the
+// (resolved) embedder a fresh build would use. The substrate is built once
+// per state under the first caller's embedder — discovery falls back to a
+// per-query fresh build when a later query's embedder fingerprint differs.
+func (s *epochState) semantic(emb embed.Embedder) *embed.CosineLSH {
+	s.semOnce.Do(func() {
+		if s.injSem != nil {
+			s.semPtr.Store(s.injSem)
+			return
+		}
+		for a := s.prev.Load(); a != nil; a = a.prev.Load() {
+			base := a.semPtr.Load()
+			if base == nil {
+				continue
+			}
+			if nix := deltaCosine(base, a.snap, s.snap); nix != nil {
+				s.semPtr.Store(nix)
+				return
+			}
+			break // unmaintainable (embedder-less load): rebuild
+		}
+		s.semPtr.Store(embed.Build(s.snap, emb))
+	})
+	s.dropPrevIfDone()
+	return s.semPtr.Load()
 }
 
 // deltaForms computes the interned-form delta bridging old -> new for a
@@ -245,6 +296,22 @@ func deltaMinHash(base *index.MinHashLSH, old, new *lake.Snapshot) *index.MinHas
 	return base.WithDelta(added, removed)
 }
 
+// deltaCosine is deltaInverted for the semantic substrate. Its vectors are
+// not ID-keyed, so only the snapshot diff gates maintainability (WithDelta
+// itself refuses when the embedder is absent); the dictionary is rebound so
+// the maintained index persists under the current pairing.
+func deltaCosine(base *embed.CosineLSH, old, new *lake.Snapshot) *embed.CosineLSH {
+	at, rt, ok := lake.Diff(old, new)
+	if !ok {
+		return nil
+	}
+	nix := base.WithDelta(internForms(new, at), internForms(old, rt))
+	if nix != nil {
+		nix.RebindDict(new.Dict())
+	}
+	return nix
+}
+
 // internForms resolves tables to their interned forms under the snapshot
 // they belong to (the forms a substrate over that snapshot was built from).
 func internForms(snap *lake.Snapshot, tables []*table.Table) []*table.Interned {
@@ -264,11 +331,16 @@ func needsFirstStage(snap *lake.Snapshot, opts discovery.Options) bool {
 }
 
 // indexSet assembles the substrates one query needs at this state, building
-// missing ones.
+// missing ones. The semantic substrate is attached for non-syntactic
+// strategies; discovery itself verifies the embedder fingerprint and falls
+// back to a per-query fresh build on mismatch.
 func (s *epochState) indexSet(opts discovery.Options) *index.IndexSet {
 	ix := &index.IndexSet{Inverted: s.inverted()}
 	if needsFirstStage(s.snap, opts) {
 		ix.LSH = s.lsh()
+	}
+	if opts.Strategy != discovery.StrategySyntactic {
+		ix.Semantic = s.semantic(embed.Resolve(opts.Embedder))
 	}
 	return ix
 }
@@ -323,8 +395,19 @@ func (r *Reclaimer) UseIndexes(ix *index.IndexSet) error {
 		if ix.LSH != nil {
 			ix.LSH.RebindDict(d)
 		}
+		if ix.Semantic != nil {
+			ix.Semantic.RebindDict(d)
+		}
 	}
-	ns := &epochState{snap: ls, shards: r.cfg.IndexShards, injInv: ix.Inverted, injLSH: ix.LSH}
+	// A semantic substrate persisted under an external embedder loads without
+	// one; reunite it with the session's embedder when the fingerprints match
+	// so queries and deltas can use it (a mismatch leaves it detached, and
+	// discovery rebuilds fresh per query rather than mixing vector spaces).
+	if ix.Semantic != nil && !ix.Semantic.Embeddable() {
+		ix.Semantic.AttachEmbedder(embed.Resolve(r.cfg.Discovery.Embedder))
+	}
+	ns := &epochState{snap: ls, shards: r.cfg.IndexShards,
+		injInv: ix.Inverted, injLSH: ix.LSH, injSem: ix.Semantic, semEnabled: r.semEnabled()}
 	// Publish the injected substrates immediately (the lazy Once still
 	// short-circuits onto them): a later epoch's catch-up walk reads invPtr/
 	// lshPtr, and an injected set must be deltable from, not silently
@@ -335,16 +418,21 @@ func (r *Reclaimer) UseIndexes(ix *index.IndexSet) error {
 	if ix.LSH != nil {
 		ns.lshPtr.Store(ix.LSH)
 	}
+	if ix.Semantic != nil {
+		ns.semPtr.Store(ix.Semantic)
+	}
 	ns.prev.Store(r.cur.Load())
 	trimChain(ns)
 	r.cur.Store(ns)
 	return nil
 }
 
-// BuildIndexes eagerly builds (or catches up) both substrates for the
-// current epoch — concurrently, their lazy guards are independent — and
-// returns them stamped with the epoch, e.g. to persist with
-// IndexSet.SaveDir for later sessions over the same lake.
+// BuildIndexes eagerly builds (or catches up) every substrate the session's
+// configuration engages for the current epoch — concurrently, their lazy
+// guards are independent — and returns them stamped with the epoch, e.g. to
+// persist with IndexSet.SaveDir for later sessions over the same lake. The
+// semantic substrate is included only when the session's default strategy is
+// non-syntactic.
 func (r *Reclaimer) BuildIndexes() *index.IndexSet {
 	st := r.acquire()
 	var wg sync.WaitGroup
@@ -353,11 +441,19 @@ func (r *Reclaimer) BuildIndexes() *index.IndexSet {
 		defer wg.Done()
 		st.inverted()
 	}()
+	if st.semEnabled {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st.semantic(embed.Resolve(r.cfg.Discovery.Embedder))
+		}()
+	}
 	st.lsh()
 	wg.Wait()
 	return &index.IndexSet{
 		Inverted: st.invPtr.Load(),
 		LSH:      st.lshPtr.Load(),
+		Semantic: st.semPtr.Load(),
 		Dict:     st.snap.Dict(),
 		Epoch:    st.snap.Epoch(),
 	}
@@ -375,6 +471,9 @@ func (r *Reclaimer) WarmFor(opts discovery.Options) *Reclaimer {
 	st.inverted()
 	if needsFirstStage(st.snap, opts) {
 		st.lsh()
+	}
+	if opts.Strategy != discovery.StrategySyntactic {
+		st.semantic(embed.Resolve(opts.Embedder))
 	}
 	return r
 }
@@ -445,8 +544,8 @@ func (r *Reclaimer) ReclaimWithContext(ctx context.Context, src *table.Table, cf
 // and its substrates, no matter what Apply does to the lake meanwhile.
 func (r *Reclaimer) reclaimConfigured(ctx context.Context, src *table.Table, cfg Config) (*Result, error) {
 	st := r.acquire()
-	return reclaimPipeline(ctx, src, cfg, st.snap.Dict(), st.snap.Epoch(), func(ctx context.Context, keyed *table.Table) ([]*discovery.Candidate, error) {
-		return r.rawCandidates(ctx, st, keyed, cfg.Discovery)
+	return reclaimPipeline(ctx, src, cfg, st.snap.Dict(), st.snap.Epoch(), func(ctx context.Context, keyed *table.Table, dopts discovery.Options) ([]*discovery.Candidate, error) {
+		return r.rawCandidates(ctx, st, keyed, dopts)
 	})
 }
 

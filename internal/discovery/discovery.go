@@ -4,6 +4,10 @@
 // columns to the Source columns they align with, subsumed-candidate removal,
 // and the Expand join-path search (Algorithm 5) that gives every candidate
 // the Source Table's key.
+//
+// Retrieval is strategy-pluggable (see Strategy): the default syntactic
+// channel above, a semantic channel over internal/embed's cosine-LSH
+// substrate, or a hybrid that unions and reranks both.
 package discovery
 
 import (
@@ -12,6 +16,7 @@ import (
 	"sort"
 	"sync"
 
+	"gent/internal/embed"
 	"gent/internal/index"
 	"gent/internal/lake"
 	"gent/internal/table"
@@ -37,6 +42,24 @@ type Options struct {
 	// 15) — the second redundancy control, disabled together with
 	// Diversify in the ablation.
 	RemoveSubsumed bool
+	// Strategy selects the discovery channel(s); the zero value keeps the
+	// purely syntactic pipeline, bit-identical to before strategies existed.
+	Strategy Strategy
+	// SemanticTau is the minimum cosine for a semantic column match;
+	// <= 0 means DefaultSemanticTau.
+	SemanticTau float64
+	// SemanticTopK caps semantic matches retrieved per Source column;
+	// <= 0 means DefaultSemanticTopK.
+	SemanticTopK int
+	// SemanticWeight scales semantic scores when hybrid-merging into the
+	// syntactic ranking; <= 0 means DefaultSemanticWeight.
+	SemanticWeight float64
+	// Embedder embeds Source columns (and the lake, when no usable prebuilt
+	// semantic index is supplied); nil means the built-in embedder.
+	Embedder embed.Embedder
+	// OnStats, when set, receives per-channel candidate counts once per
+	// discovery run, before expansion.
+	OnStats func(DiscoverStats)
 }
 
 // DefaultOptions mirror the paper's configuration at our scales.
@@ -57,8 +80,13 @@ type Candidate struct {
 	Table *table.Table
 	// Sources lists the lake tables this candidate came from.
 	Sources []string
-	// Score is the averaged diversified overlap score that ranked it.
+	// Score is the averaged diversified overlap score that ranked it. For a
+	// semantic-channel candidate it is the averaged cosine (weighted, under
+	// the hybrid strategy).
 	Score float64
+	// Semantic marks a candidate the semantic channel assembled — its Score
+	// is cosine-based and its rows were not aligned-tuple verified.
+	Semantic bool
 }
 
 // Discover runs the full Table Discovery phase and returns candidates ranked
@@ -89,23 +117,27 @@ func DiscoverSnapContext(ctx context.Context, snap *lake.Snapshot, src *table.Ta
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	pool := snap
-	if opts.FirstStageTopK > 0 && snap.Len() > opts.FirstStageTopK {
-		lsh := index.BuildMinHashLSH(snap)
+	var syn []*Candidate
+	if opts.Strategy != StrategySemantic {
+		pool := snap
+		if opts.FirstStageTopK > 0 && snap.Len() > opts.FirstStageTopK {
+			lsh := index.BuildMinHashLSH(snap)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			pool = firstStagePool(snap, lsh, src, opts.FirstStageTopK)
+		}
+		ix := index.BuildInverted(pool)
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		pool = firstStagePool(snap, lsh, src, opts.FirstStageTopK)
+		var err error
+		syn, err = setSimilarityContext(ctx, pool, ix, src, opts)
+		if err != nil {
+			return nil, err
+		}
 	}
-	ix := index.BuildInverted(pool)
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	cands, err := setSimilarityContext(ctx, pool, ix, src, opts)
-	if err != nil {
-		return nil, err
-	}
-	return expandContext(ctx, cands, src, opts)
+	return finishDiscover(ctx, snap, nil, syn, src, opts)
 }
 
 // DiscoverWith is Discover over prebuilt (possibly persisted) substrates:
@@ -134,29 +166,33 @@ func DiscoverWithSnapContext(ctx context.Context, snap *lake.Snapshot, ix *index
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	inv := ix.Inverted
-	if inv == nil {
-		inv = index.BuildInverted(snap)
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-	}
-	pool := snap
-	if opts.FirstStageTopK > 0 && snap.Len() > opts.FirstStageTopK {
-		lsh := ix.LSH
-		if lsh == nil {
-			lsh = index.BuildMinHashLSH(snap)
+	var syn []*Candidate
+	if opts.Strategy != StrategySemantic {
+		inv := ix.Inverted
+		if inv == nil {
+			inv = index.BuildInverted(snap)
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 		}
-		pool = firstStagePool(snap, lsh, src, opts.FirstStageTopK)
+		pool := snap
+		if opts.FirstStageTopK > 0 && snap.Len() > opts.FirstStageTopK {
+			lsh := ix.LSH
+			if lsh == nil {
+				lsh = index.BuildMinHashLSH(snap)
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			pool = firstStagePool(snap, lsh, src, opts.FirstStageTopK)
+		}
+		var err error
+		syn, err = setSimilarityContext(ctx, pool, inv, src, opts)
+		if err != nil {
+			return nil, err
+		}
 	}
-	cands, err := setSimilarityContext(ctx, pool, inv, src, opts)
-	if err != nil {
-		return nil, err
-	}
-	return expandContext(ctx, cands, src, opts)
+	return finishDiscover(ctx, snap, ix.Semantic, syn, src, opts)
 }
 
 // firstStagePool restricts the search pool to the LSH retriever's top-k

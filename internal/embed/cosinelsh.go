@@ -1,0 +1,481 @@
+package embed
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"gent/internal/table"
+)
+
+// Cosine-LSH parameters: bands × bitsPerBand signed random hyperplanes. A
+// band matches when all of its sign bits agree, so with 8-bit bands the
+// match probability at angular similarity p is p^8 per band, OR-ed over 24
+// bands — ~90% recall at cosine 0.7, near-certain above 0.8, vanishing for
+// unrelated columns. Exact cosine re-scoring after the bucket probe removes
+// the false positives, so the bands only control recall and probe cost.
+const (
+	lshBands    = 24
+	lshBandBits = 8
+	// lshPlaneSeed fixes the hyperplane family forever: signatures from
+	// different processes and sessions must agree bit-for-bit for persisted
+	// indexes and delta maintenance to interoperate.
+	lshPlaneSeed = 0x636f734c5348 // "cosLSH"
+)
+
+// hyperplanes returns the bands×bits Gaussian hyperplanes for dimension dim,
+// deterministically derived from the fixed family seed.
+func hyperplanes(dim int) [][]float32 {
+	r := rand.New(rand.NewSource(lshPlaneSeed))
+	planes := make([][]float32, lshBands*lshBandBits)
+	for i := range planes {
+		p := make([]float32, dim)
+		for d := range p {
+			p[d] = float32(r.NormFloat64())
+		}
+		planes[i] = p
+	}
+	return planes
+}
+
+// CosineLSH indexes every lake column's embedding vector under banded
+// hyperplane signatures — the semantic counterpart of index.MinHashLSH, and
+// a first-class substrate beside it: built in parallel, maintained
+// incrementally through WithDelta over lake diffs (override layer +
+// tombstones, compacted past a slack bound, no column ever re-embedded on
+// compaction), and persisted with dictionary- and embedder-fingerprint
+// verification. All maps are immutable once the index is published.
+type CosineLSH struct {
+	// dict pins the index to the lake state it was built against; vectors do
+	// not depend on IDs (they embed canonical value text), but persisting
+	// under the dictionary fingerprint keeps semantic.gob provably paired
+	// with the same save the other substrates came from.
+	dict *table.Dict
+	// emb re-embeds added tables in WithDelta and query columns at search
+	// time. It is nil after loading a file whose embedder was external
+	// (vector-file) — such an index can be caught up only after
+	// AttachEmbedder presents an embedder with the matching fingerprint.
+	emb    Embedder
+	embFP  uint64
+	dim    int
+	planes [][]float32
+
+	vecs    map[ColumnRef][]float32
+	buckets map[uint64][]ColumnRef
+	// vecsOver/bucketsOver hold columns inserted since the base was built; a
+	// column in vecsOver supersedes any base occurrence. dead tombstones
+	// base columns of removed tables.
+	vecsOver    map[ColumnRef][]float32
+	bucketsOver map[uint64][]ColumnRef
+	dead        map[ColumnRef]bool
+	tables      []string
+}
+
+// overCompactionSlack mirrors the syntactic substrates' bound: the
+// override-layer size (relative to the base, plus a small absolute
+// allowance) past which WithDelta folds the layers back into one.
+const overCompactionSlack = 64
+
+// Build embeds and buckets every column of the corpus under e (nil for the
+// default embedder). Embedding — the dominant cost — fans out per table on a
+// bounded worker pool; bucket merging stays in corpus order so the index is
+// identical to a sequential build.
+func Build(l Corpus, e Embedder) *CosineLSH {
+	return build(l, e, runtime.GOMAXPROCS(0))
+}
+
+// tableVectors is one table's embedded columns, in column order.
+type tableVectors struct {
+	refs []ColumnRef
+	vecs [][]float32
+}
+
+func embedTable(e Embedder, t *table.Table) tableVectors {
+	var tv tableVectors
+	for c := range t.Cols {
+		vec, ok := EmbedColumn(e, t, c)
+		if !ok {
+			continue
+		}
+		tv.refs = append(tv.refs, ColumnRef{Table: t.Name, Col: c})
+		tv.vecs = append(tv.vecs, vec)
+	}
+	return tv
+}
+
+func build(l Corpus, e Embedder, workers int) *CosineLSH {
+	e = Resolve(e)
+	// Vectors embed canonical value text, not IDs — but interning first means
+	// the dictionary this index is persisted beside reflects the corpus it
+	// was built from, so the stamped fingerprint actually pins the pairing.
+	l.EnsureInterned()
+	tables := l.Tables()
+	parts := make([]tableVectors, len(tables))
+	if workers > len(tables) {
+		workers = len(tables)
+	}
+	if workers <= 1 {
+		for i := range tables {
+			parts[i] = embedTable(e, tables[i])
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					parts[i] = embedTable(e, tables[i])
+				}
+			}()
+		}
+		for i := range tables {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	ix := newCosineLSH(e)
+	ix.dict = l.Dict()
+	ix.tables = l.Names()
+	for _, tv := range parts {
+		for i, ref := range tv.refs {
+			vec := tv.vecs[i]
+			ix.vecs[ref] = vec
+			for _, bk := range ix.bandKeys(vec) {
+				ix.buckets[bk] = append(ix.buckets[bk], ref)
+			}
+		}
+	}
+	return ix
+}
+
+func newCosineLSH(e Embedder) *CosineLSH {
+	return &CosineLSH{
+		emb:     e,
+		embFP:   e.Fingerprint(),
+		dim:     e.Dim(),
+		planes:  hyperplanes(e.Dim()),
+		vecs:    make(map[ColumnRef][]float32),
+		buckets: make(map[uint64][]ColumnRef),
+	}
+}
+
+// bandKeys computes the banded signature of a vector: per band, one bit per
+// hyperplane (the sign of the projection), tagged with the band index so
+// bands never collide with each other in the shared bucket map.
+func (ix *CosineLSH) bandKeys(vec []float32) []uint64 {
+	keys := make([]uint64, lshBands)
+	for b := 0; b < lshBands; b++ {
+		var bits uint64
+		for r := 0; r < lshBandBits; r++ {
+			if dot(ix.planes[b*lshBandBits+r], vec) >= 0 {
+				bits |= 1 << r
+			}
+		}
+		keys[b] = uint64(b)<<56 | bits
+	}
+	return keys
+}
+
+// Match is one semantic search hit: a lake column and its exact cosine
+// similarity to the query vector.
+type Match struct {
+	Ref    ColumnRef
+	Cosine float64
+}
+
+// SearchVector probes the banded buckets with q (a unit vector of the
+// index's dimension) and re-scores every candidate by exact cosine,
+// returning matches with cosine ≥ minCos sorted by cosine descending (ties
+// by table then column), at most k (k ≤ 0 means unlimited). Output order and
+// contents are independent of bucket layout, so a delta-maintained index
+// answers identically to a fresh rebuild.
+func (ix *CosineLSH) SearchVector(q []float32, minCos float64, k int) []Match {
+	if len(q) != ix.dim {
+		return nil
+	}
+	seen := make(map[ColumnRef]bool)
+	var out []Match
+	score := func(ref ColumnRef) {
+		if seen[ref] {
+			return
+		}
+		seen[ref] = true
+		if cos := dot(q, ix.vecOf(ref)); cos >= minCos {
+			out = append(out, Match{Ref: ref, Cosine: cos})
+		}
+	}
+	for _, bk := range ix.bandKeys(q) {
+		for _, ref := range ix.buckets[bk] {
+			if ix.liveInBase(ref) {
+				score(ref)
+			}
+		}
+		if ix.bucketsOver != nil {
+			for _, ref := range ix.bucketsOver[bk] {
+				score(ref)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cosine != out[j].Cosine {
+			return out[i].Cosine > out[j].Cosine
+		}
+		if out[i].Ref.Table != out[j].Ref.Table {
+			return out[i].Ref.Table < out[j].Ref.Table
+		}
+		return out[i].Ref.Col < out[j].Ref.Col
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// SearchColumn embeds column c of query under the index's embedder and
+// searches; it returns nil when the index has no embedder attached
+// (externally-embedded file loaded without its vectors) or the column has no
+// embeddable content.
+func (ix *CosineLSH) SearchColumn(query *table.Table, c int, minCos float64, k int) []Match {
+	if ix.emb == nil {
+		return nil
+	}
+	q, ok := EmbedColumn(ix.emb, query, c)
+	if !ok {
+		return nil
+	}
+	return ix.SearchVector(q, minCos, k)
+}
+
+// vecOf returns a column's live vector, preferring the override layer.
+func (ix *CosineLSH) vecOf(ref ColumnRef) []float32 {
+	if ix.vecsOver != nil {
+		if vec, ok := ix.vecsOver[ref]; ok {
+			return vec
+		}
+	}
+	return ix.vecs[ref]
+}
+
+// liveInBase reports whether a base-bucket occurrence of ref is current: not
+// tombstoned, and not superseded by an override.
+func (ix *CosineLSH) liveInBase(ref ColumnRef) bool {
+	if ix.dead != nil && ix.dead[ref] {
+		return false
+	}
+	if ix.vecsOver != nil {
+		if _, over := ix.vecsOver[ref]; over {
+			return false
+		}
+	}
+	return true
+}
+
+// Dim returns the embedding dimension the index was built at.
+func (ix *CosineLSH) Dim() int { return ix.dim }
+
+// Dict returns the dictionary the index was built beside (may be nil for a
+// hand-built corpus without one).
+func (ix *CosineLSH) Dict() *table.Dict { return ix.dict }
+
+// RebindDict points the index at d for persistence pairing; vectors never
+// reference IDs, so any dictionary the session adopted the original into is
+// valid. No-op when either side is nil.
+func (ix *CosineLSH) RebindDict(d *table.Dict) {
+	if ix.dict != nil && d != nil {
+		ix.dict = d
+	}
+}
+
+// Embeddable reports whether the index can embed queries and deltas — false
+// only for a file loaded without its external embedder.
+func (ix *CosineLSH) Embeddable() bool { return ix.emb != nil }
+
+// Embedder returns the embedding function stored vectors came from, or nil
+// for a file loaded without its external embedder (see AttachEmbedder).
+func (ix *CosineLSH) Embedder() Embedder { return ix.emb }
+
+// EmbedderFingerprint identifies the embedder every stored vector came from.
+func (ix *CosineLSH) EmbedderFingerprint() uint64 { return ix.embFP }
+
+// AttachEmbedder supplies the embedder to an index loaded without one; it
+// refuses (returns false) unless the fingerprints match, since mixing
+// embedding functions would make stored and query vectors incomparable.
+func (ix *CosineLSH) AttachEmbedder(e Embedder) bool {
+	if e == nil || e.Fingerprint() != ix.embFP {
+		return false
+	}
+	ix.emb = e
+	return true
+}
+
+// Tables returns the names present when the index was built or maintained.
+func (ix *CosineLSH) Tables() []string { return ix.tables }
+
+// Covers reports whether every table of the corpus was present when this
+// index was built or maintained; see MinHashLSH.Covers.
+func (ix *CosineLSH) Covers(l Corpus) bool {
+	have := make(map[string]bool, len(ix.tables))
+	for _, name := range ix.tables {
+		have[name] = true
+	}
+	for _, t := range l.Tables() {
+		if !have[t.Name] {
+			return false
+		}
+	}
+	return true
+}
+
+// WithDelta returns a new index reflecting the receiver with the removed
+// tables' vectors tombstoned and the added tables' columns embedded and
+// inserted; the receiver is unchanged, and the two indexes share the base
+// vector and bucket storage. A replaced table appears in both slices, old
+// form under removed, new under added (see Inverted.WithDelta). It returns
+// nil when no embedder is attached — the caller must rebuild.
+func (ix *CosineLSH) WithDelta(added, removed []*table.Interned) *CosineLSH {
+	if ix.emb == nil {
+		return nil
+	}
+	nix := &CosineLSH{
+		dict:        ix.dict,
+		emb:         ix.emb,
+		embFP:       ix.embFP,
+		dim:         ix.dim,
+		planes:      ix.planes,
+		vecs:        ix.vecs,
+		buckets:     ix.buckets,
+		vecsOver:    make(map[ColumnRef][]float32, len(ix.vecsOver)+8*len(added)),
+		bucketsOver: make(map[uint64][]ColumnRef, len(ix.bucketsOver)),
+		dead:        make(map[ColumnRef]bool, len(ix.dead)),
+	}
+	for ref, vec := range ix.vecsOver {
+		nix.vecsOver[ref] = vec
+	}
+	for bk, refs := range ix.bucketsOver {
+		nix.bucketsOver[bk] = refs
+	}
+	for ref := range ix.dead {
+		nix.dead[ref] = true
+	}
+
+	removedNames := make(map[string]bool, len(removed))
+	stripOver := make(map[ColumnRef]bool)
+	for _, it := range removed {
+		removedNames[it.Table.Name] = true
+		for c := range it.Table.Cols {
+			ref := ColumnRef{Table: it.Table.Name, Col: c}
+			if vec, over := nix.vecsOver[ref]; over {
+				// The column lives in the override layer: remove it for real
+				// (its band keys come straight from its vector).
+				delete(nix.vecsOver, ref)
+				stripOver[ref] = true
+				for _, bk := range nix.bandKeys(vec) {
+					nix.bucketsOver[bk] = stripRefs(nix.bucketsOver[bk], stripOver)
+				}
+				delete(stripOver, ref)
+			}
+			if _, inBase := nix.vecs[ref]; inBase {
+				// Tombstone any base occurrence too — an override was only
+				// masking it, and deleting the override alone would resurrect
+				// the stale base vector.
+				nix.dead[ref] = true
+			}
+		}
+	}
+
+	for _, it := range added {
+		tv := embedTable(nix.emb, it.Table)
+		for i, ref := range tv.refs {
+			vec := tv.vecs[i]
+			delete(nix.dead, ref) // a re-added column is live via the override
+			nix.vecsOver[ref] = vec
+			for _, bk := range nix.bandKeys(vec) {
+				cur := nix.bucketsOver[bk]
+				nw := make([]ColumnRef, len(cur), len(cur)+1)
+				copy(nw, cur)
+				nix.bucketsOver[bk] = append(nw, ref)
+			}
+		}
+	}
+
+	nix.tables = make([]string, 0, len(ix.tables)+len(added))
+	inTables := make(map[string]bool, len(ix.tables)+len(added))
+	for _, name := range ix.tables {
+		if !removedNames[name] && !inTables[name] {
+			nix.tables = append(nix.tables, name)
+			inTables[name] = true
+		}
+	}
+	for _, it := range added {
+		if !inTables[it.Table.Name] {
+			nix.tables = append(nix.tables, it.Table.Name)
+			inTables[it.Table.Name] = true
+		}
+	}
+
+	if len(nix.dead)+len(nix.vecsOver) > len(nix.vecs)/2+overCompactionSlack {
+		return nix.compacted()
+	}
+	return nix
+}
+
+// stripRefs returns refs without the members of drop.
+func stripRefs(refs []ColumnRef, drop map[ColumnRef]bool) []ColumnRef {
+	kept := make([]ColumnRef, 0, len(refs))
+	for _, ref := range refs {
+		if !drop[ref] {
+			kept = append(kept, ref)
+		}
+	}
+	return kept
+}
+
+// compacted folds the override layer and tombstones into a fresh
+// single-layer index. No column is re-embedded: live vectors determine their
+// band keys.
+func (ix *CosineLSH) compacted() *CosineLSH {
+	flat := &CosineLSH{
+		dict:    ix.dict,
+		emb:     ix.emb,
+		embFP:   ix.embFP,
+		dim:     ix.dim,
+		planes:  ix.planes,
+		vecs:    make(map[ColumnRef][]float32, len(ix.vecs)+len(ix.vecsOver)),
+		buckets: make(map[uint64][]ColumnRef, len(ix.buckets)),
+		tables:  ix.tables,
+	}
+	for ref, vec := range ix.vecs {
+		if ix.liveInBase(ref) {
+			flat.vecs[ref] = vec
+		}
+	}
+	for ref, vec := range ix.vecsOver {
+		flat.vecs[ref] = vec
+	}
+	for ref, vec := range flat.vecs {
+		for _, bk := range flat.bandKeys(vec) {
+			flat.buckets[bk] = append(flat.buckets[bk], ref)
+		}
+	}
+	return flat
+}
+
+// flattened returns the single-layer view of the index — the receiver itself
+// when it has no maintenance layers.
+func (ix *CosineLSH) flattened() *CosineLSH {
+	if len(ix.vecsOver) == 0 && len(ix.dead) == 0 {
+		return ix
+	}
+	return ix.compacted()
+}
+
+// liveVectors returns the flattened ref→vector view (for persistence and
+// equivalence checks).
+func (ix *CosineLSH) liveVectors() map[ColumnRef][]float32 {
+	flat := ix.flattened()
+	return flat.vecs
+}

@@ -1,0 +1,277 @@
+package embed
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"gent/internal/lake"
+	"gent/internal/lake/laketest"
+	"gent/internal/table"
+)
+
+func unitNorm(t *testing.T, vec []float32) {
+	t.Helper()
+	var n float64
+	for _, v := range vec {
+		n += float64(v) * float64(v)
+	}
+	if math.Abs(n-1) > 1e-5 {
+		t.Fatalf("vector norm² = %v, want 1", n)
+	}
+}
+
+func TestNGramEmbedderDeterministic(t *testing.T) {
+	e := Default()
+	keys := []string{"sberlin", "shamburg", "smunich", "\x00#42"}
+	a, ok := e.Embed(keys)
+	if !ok {
+		t.Fatal("embed failed")
+	}
+	b, _ := e.Embed(keys)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same keys produced different vectors")
+	}
+	unitNorm(t, a)
+	if NewNGramEmbedder(DefaultDim, defaultNGram, defaultSeed).Fingerprint() != e.Fingerprint() {
+		t.Fatal("equal parameters, unequal fingerprints")
+	}
+	if NewNGramEmbedder(DefaultDim, defaultNGram, 1).Fingerprint() == e.Fingerprint() {
+		t.Fatal("different seed, same fingerprint")
+	}
+}
+
+// TestNGramEmbedderSurfaceDrift: decorated/translated spellings of the same
+// values must stay far closer in cosine than unrelated columns — that is the
+// entire value proposition of the n-gram space.
+func TestNGramEmbedderSurfaceDrift(t *testing.T) {
+	e := Default()
+	orig := table.New("orig", "city")
+	drift := table.New("drift", "city")
+	other := table.New("other", "fruit")
+	for i, c := range []string{"berlin", "hamburg", "munich", "cologne", "frankfurt", "stuttgart"} {
+		orig.AddRow(table.S(c))
+		drift.AddRow(table.S("xx·" + c)) // surface decoration, zero exact overlap
+		_ = i
+	}
+	for _, f := range []string{"apple", "banana", "cherry", "quince", "plum", "grape"} {
+		other.AddRow(table.S(f))
+	}
+	ov, _ := EmbedColumn(e, orig, 0)
+	dv, _ := EmbedColumn(e, drift, 0)
+	xv, _ := EmbedColumn(e, other, 0)
+	drifted, unrelated := dot(ov, dv), dot(ov, xv)
+	if drifted < 0.6 {
+		t.Fatalf("drifted cosine %v, want ≥ 0.6", drifted)
+	}
+	if drifted <= unrelated+0.3 {
+		t.Fatalf("drifted cosine %v not clearly above unrelated %v", drifted, unrelated)
+	}
+}
+
+func TestEmbedColumnEmpty(t *testing.T) {
+	tb := table.New("t", "a")
+	tb.AddRow(table.Null)
+	if _, ok := EmbedColumn(Default(), tb, 0); ok {
+		t.Fatal("all-null column embedded")
+	}
+}
+
+// cityTable builds a table whose single column holds decorated city names.
+func cityTable(name, prefix string, n int) *table.Table {
+	t := table.New(name, "place")
+	cities := []string{"berlin", "hamburg", "munich", "cologne", "frankfurt",
+		"stuttgart", "dresden", "leipzig", "bremen", "hanover"}
+	for i := 0; i < n; i++ {
+		t.AddRow(table.S(prefix + cities[i%len(cities)] + fmt.Sprintf("-%d", i/len(cities))))
+	}
+	return t
+}
+
+func TestCosineLSHFindsDriftedColumn(t *testing.T) {
+	l := lake.New()
+	laketest.Add(l, cityTable("cities", "", 30))
+	laketest.Add(l, mkNumbers("numbers", 50))
+	snap := l.Snapshot()
+	ix := Build(snap, nil)
+	if !ix.Covers(snap) {
+		t.Fatal("fresh build does not cover its corpus")
+	}
+	query := cityTable("q", "de·", 30) // zero exact value overlap with "cities"
+	ms := ix.SearchColumn(query, 0, 0.5, 5)
+	if len(ms) == 0 || ms[0].Ref != (ColumnRef{Table: "cities", Col: 0}) {
+		t.Fatalf("drifted query missed the city column: %v", ms)
+	}
+	// Different content must not pass the threshold at rank 1.
+	for _, m := range ms {
+		if m.Ref.Table == "numbers" && m.Cosine >= ms[0].Cosine {
+			t.Fatalf("unrelated column outranked the true match: %v", ms)
+		}
+	}
+}
+
+func mkNumbers(name string, n int) *table.Table {
+	t := table.New(name, "n")
+	for i := 0; i < n; i++ {
+		t.AddRow(table.N(float64(i*7717 % 100000)))
+	}
+	return t
+}
+
+func randomTable(rng *rand.Rand, name string) *table.Table {
+	ncols := 1 + rng.Intn(3)
+	cols := make([]string, ncols)
+	for c := range cols {
+		cols[c] = fmt.Sprintf("c%d", c)
+	}
+	t := table.New(name, cols...)
+	nrows := 1 + rng.Intn(12)
+	for r := 0; r < nrows; r++ {
+		row := make([]table.Value, ncols)
+		for c := range row {
+			switch rng.Intn(10) {
+			case 0:
+				row[c] = table.Null
+			case 1, 2:
+				row[c] = table.N(float64(rng.Intn(40)))
+			default:
+				row[c] = table.S(fmt.Sprintf("value-%d", rng.Intn(120)))
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func forms(snap *lake.Snapshot, tables []*table.Table) []*table.Interned {
+	out := make([]*table.Interned, len(tables))
+	for i, tt := range tables {
+		out[i] = snap.Interned(tt.Name)
+	}
+	return out
+}
+
+// TestCosineDeltaMatchesRebuild drives a maintained cosine-LSH through a
+// random mutation sequence (puts, replacements, drops, renames), comparing
+// it after every epoch against a fresh build of the same snapshot: live
+// vectors bit-identical, coverage intact, search output identical.
+func TestCosineDeltaMatchesRebuild(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		l := lake.New()
+		nextID := 0
+		for i := 0; i < 4; i++ {
+			nextID++
+			laketest.Add(l, randomTable(rng, fmt.Sprintf("t%d", nextID)))
+		}
+		prev := l.Snapshot()
+		maintained := Build(prev, nil)
+		for step := 0; step < 30; step++ {
+			names := l.Snapshot().Names()
+			var mut lake.Mutation
+			switch op := rng.Intn(4); {
+			case op == 0 && len(names) > 0:
+				mut = lake.Put(randomTable(rng, names[rng.Intn(len(names))]))
+			case op == 1 && len(names) > 1:
+				mut = lake.Drop(names[rng.Intn(len(names))])
+			case op == 2 && len(names) > 0:
+				nextID++
+				mut = lake.Rename(names[rng.Intn(len(names))], fmt.Sprintf("rn%d", nextID))
+			default:
+				nextID++
+				mut = lake.Put(randomTable(rng, fmt.Sprintf("t%d", nextID)))
+			}
+			if _, err := l.Apply(context.Background(), mut); err != nil {
+				t.Fatal(err)
+			}
+			snap := l.Snapshot()
+			added, removed, ok := lake.Diff(prev, snap)
+			if !ok {
+				t.Fatal("diff broke within one lineage")
+			}
+			snap.EnsureInterned()
+			prev.EnsureInterned()
+			maintained = maintained.WithDelta(forms(snap, added), forms(prev, removed))
+			if maintained == nil {
+				t.Fatal("WithDelta returned nil with an embedder attached")
+			}
+			fresh := Build(snap, nil)
+
+			if !reflect.DeepEqual(maintained.liveVectors(), fresh.liveVectors()) {
+				t.Fatalf("seed %d step %d: live vectors diverged", seed, step)
+			}
+			mt := append([]string(nil), maintained.tables...)
+			ft := append([]string(nil), fresh.tables...)
+			sort.Strings(mt)
+			sort.Strings(ft)
+			if !reflect.DeepEqual(mt, ft) {
+				t.Fatalf("seed %d step %d: table lists diverged: %v vs %v", seed, step, mt, ft)
+			}
+			if !maintained.Covers(snap) {
+				t.Fatalf("seed %d step %d: maintained index does not cover the snapshot", seed, step)
+			}
+			probe := randomTable(rng, "probe")
+			for c := range probe.Cols {
+				got := maintained.SearchColumn(probe, c, 0.2, 10)
+				want := fresh.SearchColumn(probe, c, 0.2, 10)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed %d step %d: search diverged on col %d:\n got %v\nwant %v",
+						seed, step, c, got, want)
+				}
+			}
+			prev = snap
+		}
+	}
+}
+
+// TestCosineWithDeltaPreservesReceiver: the delta must not mutate its
+// receiver, and untouched vectors must share storage with the base.
+func TestCosineWithDeltaPreservesReceiver(t *testing.T) {
+	l := lake.New()
+	laketest.Add(l, cityTable("stay", "", 12))
+	laketest.Add(l, cityTable("gone", "zz·", 12))
+	snap := l.Snapshot()
+	snap.EnsureInterned()
+	base := Build(snap, nil)
+	baseView := base.liveVectors()
+
+	laketest.Remove(l, "gone")
+	laketest.Add(l, cityTable("new", "yy·", 12))
+	snap2 := l.Snapshot()
+	snap2.EnsureInterned()
+	derived := base.WithDelta(
+		[]*table.Interned{snap2.Interned("new")},
+		[]*table.Interned{snap.Interned("gone")},
+	)
+	if derived == nil {
+		t.Fatal("WithDelta returned nil")
+	}
+	if !reflect.DeepEqual(base.liveVectors(), baseView) {
+		t.Fatal("WithDelta mutated its receiver")
+	}
+	if !reflect.DeepEqual(derived.liveVectors(), Build(snap2, nil).liveVectors()) {
+		t.Fatal("derived index diverges from a fresh build")
+	}
+	stay := ColumnRef{Table: "stay", Col: 0}
+	if &base.vecs[stay][0] != &derived.vecOf(stay)[0] {
+		t.Error("untouched vector was copied instead of shared")
+	}
+}
+
+// TestCosineWithDeltaWithoutEmbedder: an index that lost its embedder
+// (external-kind load) must refuse deltas instead of inserting zero vectors.
+func TestCosineWithDeltaWithoutEmbedder(t *testing.T) {
+	l := lake.New()
+	laketest.Add(l, cityTable("t", "", 5))
+	snap := l.Snapshot()
+	snap.EnsureInterned()
+	ix := Build(snap, nil)
+	ix.emb = nil
+	if ix.WithDelta([]*table.Interned{snap.Interned("t")}, nil) != nil {
+		t.Fatal("embedder-less index accepted a delta")
+	}
+}

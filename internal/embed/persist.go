@@ -1,0 +1,197 @@
+package embed
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"gent/internal/table"
+)
+
+// The semantic substrate persists like the syntactic ones (see
+// internal/index/persist.go): a versioned gob envelope carrying the
+// dictionary fingerprint it was saved beside, written temp-and-rename, and
+// rejected loudly on any mismatch. The envelope additionally records the
+// embedder — kind, parameters, fingerprint — because vectors are only
+// comparable to queries embedded by the very same function: an n-gram index
+// reconstructs its embedder from the recorded parameters, while an
+// external-vector index loads without one and must have the matching
+// embedder re-attached (AttachEmbedder) before it can answer queries or
+// take deltas.
+
+const cosineFormatVersion = 1
+
+// Embedder kinds recorded in the envelope.
+const (
+	embKindNGram    = "ngram"
+	embKindExternal = "external"
+)
+
+// ErrDictFingerprint reports a semantic index file whose vectors were saved
+// beside a different dictionary than the one supplied — a torn or mixed
+// save.
+var ErrDictFingerprint = errors.New("embed: semantic index/dictionary fingerprint mismatch")
+
+// ErrStaleFormat reports a semantic index file from an incompatible format
+// version; callers must rebuild.
+var ErrStaleFormat = errors.New("embed: semantic index file format is stale")
+
+// ErrEmbedderFingerprint reports an attempt to pair a semantic index with an
+// embedder other than the one its vectors came from.
+var ErrEmbedderFingerprint = errors.New("embed: semantic index was built under a different embedder")
+
+// cosineDisk is the serializable form of CosineLSH. Vectors ride in the
+// canonical binary codec (codec.go); buckets are recomputed at load from the
+// vectors and the fixed hyperplane family, so the file stays small and a
+// loaded index is structurally identical to a fresh build over the same
+// vectors.
+type cosineDisk struct {
+	Version         int
+	EmbKind         string
+	EmbDim          int
+	EmbNGram        int
+	EmbSeed         uint64
+	EmbFingerprint  uint64
+	Tables          []string
+	DictFingerprint uint64
+	Vectors         []byte
+}
+
+// Save writes the index using its own dictionary's current fingerprint; see
+// SaveStamped for the set-level snapshot-consistent variant.
+func (ix *CosineLSH) Save(w io.Writer) error {
+	var fp uint64
+	if ix.dict != nil {
+		fp = ix.dict.Fingerprint()
+	}
+	return ix.SaveStamped(w, fp)
+}
+
+// SaveStamped writes the index stamped with the given dictionary
+// fingerprint — index.IndexSet.SaveDir passes the fingerprint of the one
+// dictionary snapshot it persists for all substrates.
+func (ix *CosineLSH) SaveStamped(w io.Writer, dictFP uint64) error {
+	flat := ix.flattened()
+	d := cosineDisk{
+		Version:        cosineFormatVersion,
+		EmbKind:        embKindExternal,
+		EmbDim:         flat.dim,
+		EmbFingerprint: flat.embFP,
+		Tables:         flat.tables,
+		Vectors:        encodeVectors(flat.dim, flat.vecs),
+	}
+	if flat.dict != nil {
+		d.DictFingerprint = dictFP
+	}
+	if ng, ok := flat.emb.(*NGramEmbedder); ok {
+		d.EmbKind = embKindNGram
+		d.EmbNGram = ng.n
+		d.EmbSeed = ng.seed
+	}
+	return gob.NewEncoder(w).Encode(d)
+}
+
+// Load reads a semantic index written by Save. dict must carry the
+// fingerprint the vectors were saved beside when the file records one (nil
+// is then rejected); an ngram-kind file reconstructs its embedder from the
+// recorded parameters, an external-kind file loads with none attached.
+func Load(r io.Reader, dict *table.Dict) (*CosineLSH, error) {
+	var d cosineDisk
+	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("embed: decoding semantic index: %w", err)
+	}
+	if d.Version != cosineFormatVersion {
+		return nil, fmt.Errorf("%w (semantic index v%d, want v%d)",
+			ErrStaleFormat, d.Version, cosineFormatVersion)
+	}
+	if d.DictFingerprint != 0 {
+		if dict == nil {
+			return nil, errors.New("embed: semantic index requires its value dictionary")
+		}
+		if dict.Fingerprint() != d.DictFingerprint {
+			return nil, fmt.Errorf("%w (semantic index)", ErrDictFingerprint)
+		}
+	}
+	dim, vecs, err := decodeVectors(d.Vectors)
+	if err != nil {
+		return nil, err
+	}
+	if dim != d.EmbDim {
+		return nil, fmt.Errorf("%w: payload dimension %d, envelope %d",
+			errVectorCodec, dim, d.EmbDim)
+	}
+	ix := &CosineLSH{
+		embFP:   d.EmbFingerprint,
+		dim:     dim,
+		planes:  hyperplanes(dim),
+		vecs:    vecs,
+		buckets: make(map[uint64][]ColumnRef, len(vecs)),
+		tables:  d.Tables,
+	}
+	if d.DictFingerprint != 0 {
+		ix.dict = dict
+	}
+	if d.EmbKind == embKindNGram {
+		emb := NewNGramEmbedder(d.EmbDim, d.EmbNGram, d.EmbSeed)
+		if emb.Fingerprint() != d.EmbFingerprint {
+			return nil, fmt.Errorf("%w (recorded parameters disagree with fingerprint)",
+				ErrEmbedderFingerprint)
+		}
+		ix.emb = emb
+	}
+	for ref, vec := range vecs {
+		for _, bk := range ix.bandKeys(vec) {
+			ix.buckets[bk] = append(ix.buckets[bk], ref)
+		}
+	}
+	return ix, nil
+}
+
+// SaveFile persists the index to a file via temp-and-rename, creating
+// directories, so a crash mid-write leaves any previous file intact.
+func (ix *CosineLSH) SaveFile(path string) error {
+	return saveFile(path, ix.Save)
+}
+
+// SaveFileStamped is SaveFile with an explicit dictionary fingerprint.
+func (ix *CosineLSH) SaveFileStamped(path string, dictFP uint64) error {
+	return saveFile(path, func(w io.Writer) error { return ix.SaveStamped(w, dictFP) })
+}
+
+// LoadFile reads a semantic index file; dict as in Load.
+func LoadFile(path string, dict *table.Dict) (*CosineLSH, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("embed: %w", err)
+	}
+	defer f.Close()
+	return Load(f, dict)
+}
+
+func saveFile(path string, save func(io.Writer) error) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("embed: %w", err)
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("embed: %w", err)
+	}
+	tmp := f.Name()
+	if err := save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("embed: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("embed: %w", err)
+	}
+	return nil
+}

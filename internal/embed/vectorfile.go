@@ -1,0 +1,117 @@
+package embed
+
+import (
+	"bufio"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// VectorEmbedder embeds a column as the normalized mean of pre-trained word
+// vectors — the fasttext-style alternative to the built-in n-gram embedder,
+// for deployments that have real (e.g. cross-lingual) vectors. A value's
+// text is lowercased and split on whitespace; tokens absent from the
+// vocabulary contribute nothing, and a column none of whose tokens are known
+// has no semantic presence (ok=false).
+type VectorEmbedder struct {
+	dim   int
+	words map[string][]float32
+	fp    uint64
+}
+
+// LoadVectorFile reads a fasttext-style text vector file: an optional
+// "<count> <dim>" header line, then one "word v1 v2 ... vdim" line per word.
+// The fingerprint is a hash of the full vocabulary contents, so two sessions
+// agree on it exactly when they loaded identical vectors.
+func LoadVectorFile(path string) (*VectorEmbedder, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("embed: %w", err)
+	}
+	defer f.Close()
+
+	e := &VectorEmbedder{words: make(map[string][]float32)}
+	h := fnv.New64a()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if line == 1 && len(fields) == 2 {
+			// "<count> <dim>" header.
+			if d, err := strconv.Atoi(fields[1]); err == nil {
+				e.dim = d
+				continue
+			}
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("embed: %s:%d: malformed vector line", path, line)
+		}
+		word := fields[0]
+		vec := make([]float32, len(fields)-1)
+		for i, fs := range fields[1:] {
+			v, err := strconv.ParseFloat(fs, 32)
+			if err != nil {
+				return nil, fmt.Errorf("embed: %s:%d: %w", path, line, err)
+			}
+			vec[i] = float32(v)
+		}
+		if e.dim == 0 {
+			e.dim = len(vec)
+		} else if len(vec) != e.dim {
+			return nil, fmt.Errorf("embed: %s:%d: vector has %d dims, want %d",
+				path, line, len(vec), e.dim)
+		}
+		e.words[word] = vec
+		h.Write([]byte(word))
+		h.Write([]byte{0})
+		for _, v := range vec {
+			writeU64(h, uint64(math.Float32bits(v)))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("embed: %s: %w", path, err)
+	}
+	if len(e.words) == 0 {
+		return nil, fmt.Errorf("embed: %s: no vectors", path)
+	}
+	writeU64(h, uint64(e.dim))
+	e.fp = h.Sum64()
+	return e, nil
+}
+
+// Dim returns the embedding dimension.
+func (e *VectorEmbedder) Dim() int { return e.dim }
+
+// Fingerprint identifies the loaded vocabulary exactly.
+func (e *VectorEmbedder) Fingerprint() uint64 { return e.fp }
+
+// Embed averages the known token vectors across the column's values and
+// normalizes; sortedKeys fixes the accumulation order as in NGramEmbedder.
+func (e *VectorEmbedder) Embed(sortedKeys []string) ([]float32, bool) {
+	acc := make([]float64, e.dim)
+	any := false
+	for _, k := range sortedKeys {
+		for _, tok := range strings.Fields(strings.ToLower(embedText(k))) {
+			vec, ok := e.words[tok]
+			if !ok {
+				continue
+			}
+			any = true
+			for i, v := range vec {
+				acc[i] += float64(v)
+			}
+		}
+	}
+	if !any {
+		return nil, false
+	}
+	return normalize(acc)
+}

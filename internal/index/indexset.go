@@ -8,19 +8,27 @@ import (
 	"path/filepath"
 	"sync"
 
+	"gent/internal/embed"
 	"gent/internal/lake"
 	"gent/internal/table"
 )
 
 // IndexSet bundles the discovery substrates over one lake: the exact
 // inverted index (the JOSIE role), the MinHash-LSH first stage (the Starmie
-// role), and the value dictionary both are keyed under. Either substrate may
-// be nil — the LSH index is only needed when first-stage retrieval is on.
-// All members are read-only after construction (the dictionary only ever
+// role), the optional cosine-LSH semantic substrate, and the value
+// dictionary the ID-keyed members are keyed under. Any substrate may be nil
+// — the LSH index is only needed when first-stage retrieval is on, the
+// semantic index only when a non-syntactic discovery strategy is. All
+// members are read-only after construction (the dictionary only ever
 // appends) and safe for concurrent search.
 type IndexSet struct {
 	Inverted *Inverted
 	LSH      *MinHashLSH
+	// Semantic is the embedding substrate for semantic/hybrid discovery. Its
+	// vectors are not ID-keyed, but it is persisted under the set's
+	// dictionary fingerprint like the others so a mixed directory refuses to
+	// load.
+	Semantic *embed.CosineLSH
 	// Dict is the value dictionary the ID-keyed substrates were built with;
 	// nil when both substrates are string-keyed reference forms. A session
 	// loading a persisted set must adopt this dictionary into its lake
@@ -84,6 +92,23 @@ func BuildIndexSetSharded(l Corpus, shards int) *IndexSet {
 	return s
 }
 
+// BuildIndexSetFull is BuildIndexSetSharded plus the semantic substrate,
+// embedded under emb (nil means the built-in embedder), with all three
+// builds running concurrently.
+func BuildIndexSetFull(l Corpus, shards int, emb embed.Embedder) *IndexSet {
+	var sem *embed.CosineLSH
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sem = embed.Build(l, emb)
+	}()
+	s := BuildIndexSetSharded(l, shards)
+	wg.Wait()
+	s.Semantic = sem
+	return s
+}
+
 // Gap classifies how this set relates to a corpus: the corpus tables the
 // substrates already cover and the tables missing entirely. ok reports an
 // add-only gap — every covered table is indexed under exactly its current
@@ -102,15 +127,23 @@ func (s *IndexSet) Gap(c Corpus) (covered, missing []string, ok bool) {
 			lshHas[name] = true
 		}
 	}
+	semHas := map[string]bool(nil)
+	if s.Semantic != nil {
+		names := s.Semantic.Tables()
+		semHas = make(map[string]bool, len(names))
+		for _, name := range names {
+			semHas[name] = true
+		}
+	}
 	for _, t := range c.Tables() {
 		switch {
 		case s.Inverted.coversTable(t):
-			if lshHas != nil && !lshHas[t.Name] {
+			if lshHas != nil && !lshHas[t.Name] || semHas != nil && !semHas[t.Name] {
 				return nil, nil, false // substrates disagree: not add-only
 			}
 			covered = append(covered, t.Name)
 		case !s.Inverted.hasTable(t.Name):
-			if lshHas != nil && lshHas[t.Name] {
+			if lshHas != nil && lshHas[t.Name] || semHas != nil && semHas[t.Name] {
 				return nil, nil, false
 			}
 			missing = append(missing, t.Name)
@@ -141,7 +174,8 @@ func (s *IndexSet) Gap(c Corpus) (covered, missing []string, ok bool) {
 func (s *IndexSet) CatchUp(snap *lake.Snapshot) (added int, ok bool) {
 	covered, missing, ok := s.Gap(snap)
 	if !ok || s.Inverted == nil || s.Inverted.Dict() == nil ||
-		s.LSH != nil && s.LSH.dict == nil {
+		s.LSH != nil && s.LSH.dict == nil ||
+		s.Semantic != nil && !s.Semantic.Embeddable() {
 		return 0, false
 	}
 	snap.EnsureInterned()
@@ -171,8 +205,16 @@ func (s *IndexSet) CatchUp(snap *lake.Snapshot) (added int, ok bool) {
 			return 0, false
 		}
 	}
+	var sem *embed.CosineLSH
+	if s.Semantic != nil {
+		s.Semantic.RebindDict(snap.Dict())
+		if sem = s.Semantic.WithDelta(forms, nil); sem == nil {
+			return 0, false
+		}
+	}
 	s.Inverted = inv
 	s.LSH = lsh
+	s.Semantic = sem
 	s.Dict = snap.Dict()
 	s.Epoch = snap.Epoch()
 	return len(missing), true
@@ -183,6 +225,7 @@ func (s *IndexSet) CatchUp(snap *lake.Snapshot) (added int, ok bool) {
 const (
 	invertedFileName = "inverted.gob"
 	minhashFileName  = "minhash.gob"
+	semanticFileName = "semantic.gob"
 	dictFileName     = "dict.gob"
 	epochFileName    = "epoch.gob"
 )
@@ -216,6 +259,9 @@ func (s *IndexSet) SaveDir(dir string) error {
 	}
 	if s.LSH != nil && !compatible(s.LSH.dict) {
 		return errors.New("index: minhash index was built under a different dictionary than the set's")
+	}
+	if s.Semantic != nil && !compatible(s.Semantic.Dict()) {
+		return errors.New("index: semantic index was built under a different dictionary than the set's")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("index: %w", err)
@@ -262,6 +308,19 @@ func (s *IndexSet) SaveDir(dir string) error {
 		if err != nil {
 			return err
 		}
+	}
+	semPath := filepath.Join(dir, semanticFileName)
+	if s.Semantic != nil {
+		err := saveFile(semPath, func(w io.Writer) error {
+			return s.Semantic.SaveStamped(w, fp)
+		})
+		if err != nil {
+			return err
+		}
+	} else if err := os.Remove(semPath); err != nil && !os.IsNotExist(err) {
+		// A semantic-less save must not leave an older semantic file behind to
+		// be paired with these fresh substrates.
+		return fmt.Errorf("index: %w", err)
 	}
 	epochPath := filepath.Join(dir, epochFileName)
 	if s.Epoch.IsZero() {
@@ -316,6 +375,14 @@ func LoadIndexSetDir(dir string) (*IndexSet, error) {
 			return nil, err
 		}
 		s.LSH = lsh
+	}
+	semPath := filepath.Join(dir, semanticFileName)
+	if _, err := os.Stat(semPath); err == nil {
+		sem, err := embed.LoadFile(semPath, s.Dict)
+		if err != nil {
+			return nil, err
+		}
+		s.Semantic = sem
 	}
 	if s.Inverted == nil && s.LSH == nil {
 		return nil, fmt.Errorf("%w under %s", ErrNoIndexFiles, dir)

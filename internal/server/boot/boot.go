@@ -94,7 +94,8 @@ func AdoptIndexes(session *core.Reclaimer, dir string, warnf Warnf) (IndexOutcom
 		if !errors.Is(err, index.ErrNoIndexFiles) {
 			warnf.printf("warning: indexes at %s unusable (%v); rebuilding", dir, err)
 		}
-	case ix.Inverted == nil || !ix.Inverted.Covers(l) || ix.LSH != nil && !ix.LSH.Covers(l):
+	case ix.Inverted == nil || !ix.Inverted.Covers(l) || ix.LSH != nil && !ix.LSH.Covers(l) ||
+		ix.Semantic != nil && !ix.Semantic.Covers(l):
 		if n, ok := catchUpIndexes(l, ix, warnf); ok {
 			caughtUp = n
 			loaded = true

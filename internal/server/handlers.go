@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gent/internal/core"
+	"gent/internal/discovery"
 	"gent/internal/lake"
 	"gent/internal/server/boot"
 	"gent/internal/table"
@@ -103,13 +104,24 @@ func (s *Server) requestCtx(r *http.Request, o *ReclaimOptions) (context.Context
 }
 
 // queryOptions translates wire options into per-call pipeline options,
-// layering the metrics observer under any session-configured one.
-func (s *Server) queryOptions(o *ReclaimOptions) []core.Option {
+// layering the metrics observer under any session-configured one. An unknown
+// strategy name is the one malformed knob, reported for a 400.
+func (s *Server) queryOptions(o *ReclaimOptions) ([]core.Option, error) {
 	cfg := s.session.Config()
 	d := cfg.Discovery
 	if o != nil {
+		if o.Strategy != "" {
+			strat, err := discovery.ParseStrategy(o.Strategy)
+			if err != nil {
+				return nil, err
+			}
+			d.Strategy = strat
+		}
 		if o.Tau > 0 {
 			d.Tau = o.Tau
+		}
+		if o.SemanticTau > 0 {
+			d.SemanticTau = o.SemanticTau
 		}
 		if o.MaxCandidates > 0 {
 			d.MaxCandidates = o.MaxCandidates
@@ -128,7 +140,7 @@ func (s *Server) queryOptions(o *ReclaimOptions) []core.Option {
 	if o != nil && o.RequireCandidates {
 		opts = append(opts, core.WithRequireCandidates())
 	}
-	return opts
+	return opts, nil
 }
 
 // handleReclaim serves POST /v1/reclaim: one source, one result, fronted by
@@ -145,6 +157,11 @@ func (s *Server) handleReclaim(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	src, err := DecodeTable(req.Source)
+	if err != nil {
+		writeBadRequest(w, err)
+		return
+	}
+	qopts, err := s.queryOptions(req.Options)
 	if err != nil {
 		writeBadRequest(w, err)
 		return
@@ -173,7 +190,7 @@ func (s *Server) handleReclaim(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	res, err := s.session.ReclaimContext(ctx, src, s.queryOptions(req.Options)...)
+	res, err := s.session.ReclaimContext(ctx, src, qopts...)
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -243,6 +260,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	opts, err := s.queryOptions(req.Options)
+	if err != nil {
+		writeBadRequest(w, err)
+		return
+	}
 	ctx, cancel := s.requestCtx(r, req.Options)
 	defer cancel()
 	if err := s.admit.acquire(ctx); err != nil {
@@ -254,7 +276,6 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer s.metrics.addInflight(-1)
 
 	omit := req.Options != nil && req.Options.OmitTable
-	opts := s.queryOptions(req.Options)
 	items, _ := s.session.ReclaimAllContext(ctx, srcs, s.batchWorkers(len(srcs)), opts...)
 	resp := BatchResponse{Items: make([]StreamItem, len(items))}
 	for i, item := range items {
@@ -277,6 +298,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	opts, err := s.queryOptions(req.Options)
+	if err != nil {
+		writeBadRequest(w, err)
+		return
+	}
 	ctx, cancel := s.requestCtx(r, req.Options)
 	defer cancel()
 	if err := s.admit.acquire(ctx); err != nil {
@@ -288,7 +314,6 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	defer s.metrics.addInflight(-1)
 
 	omit := req.Options != nil && req.Options.OmitTable
-	opts := s.queryOptions(req.Options)
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)

@@ -36,6 +36,10 @@ type metricSet struct {
 	// admissible bound. Their ratio is the live pruning effectiveness.
 	traverseScored uint64
 	traversePruned uint64
+	// discoveryCands accumulates discovery candidates surfaced per channel
+	// ("syntactic", "semantic") across runs — how much each channel of the
+	// configured strategy actually contributes.
+	discoveryCands map[string]uint64
 }
 
 type reqKey struct {
@@ -70,9 +74,10 @@ func (h *histogram) observe(seconds float64) {
 
 func newMetricSet() *metricSet {
 	return &metricSet{
-		requests: make(map[reqKey]uint64),
-		phase:    make(map[core.Phase]*histogram),
-		latency:  make(map[string]*histogram),
+		requests:       make(map[reqKey]uint64),
+		phase:          make(map[core.Phase]*histogram),
+		latency:        make(map[string]*histogram),
+		discoveryCands: make(map[string]uint64),
 	}
 }
 
@@ -94,6 +99,10 @@ func (m *metricSet) observer() core.ProgressObserver {
 		if ev.Phase == core.PhaseTraversal {
 			m.traverseScored += uint64(ev.Scored)
 			m.traversePruned += uint64(ev.Pruned)
+		}
+		if ev.Phase == core.PhaseDiscovery {
+			m.discoveryCands["syntactic"] += uint64(ev.CandsSyntactic)
+			m.discoveryCands["semantic"] += uint64(ev.CandsSemantic)
 		}
 		m.mu.Unlock()
 	})
@@ -179,6 +188,17 @@ func (m *metricSet) render(w io.Writer, cache ResultCacheStats, gauges map[strin
 	fmt.Fprintf(w, "gentd_traverse_candidates_scored_total %d\n", m.traverseScored)
 	fmt.Fprintf(w, "# TYPE gentd_traverse_candidates_pruned_total counter\n")
 	fmt.Fprintf(w, "gentd_traverse_candidates_pruned_total %d\n", m.traversePruned)
+
+	fmt.Fprintf(w, "# HELP gentd_discovery_candidates_total Discovery candidates surfaced, by channel.\n")
+	fmt.Fprintf(w, "# TYPE gentd_discovery_candidates_total counter\n")
+	chans := make([]string, 0, len(m.discoveryCands))
+	for c := range m.discoveryCands {
+		chans = append(chans, c)
+	}
+	sort.Strings(chans)
+	for _, c := range chans {
+		fmt.Fprintf(w, "gentd_discovery_candidates_total{strategy=%q} %d\n", c, m.discoveryCands[c])
+	}
 
 	names := make([]string, 0, len(gauges))
 	for n := range gauges {

@@ -1,0 +1,64 @@
+package server_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"gent/internal/server"
+)
+
+// TestServerDiscoveryStrategy: the strategy knob crosses the wire — a hybrid
+// request runs both channels and surfaces per-channel candidate counters at
+// /metrics; an unknown name is a 400 before any pipeline work; and the result
+// cache keys on the normalized strategy, so "syntactic" shares the default's
+// entry while "hybrid" gets its own.
+func TestServerDiscoveryStrategy(t *testing.T) {
+	src, _, c := startServer(t, server.Config{})
+	ctx := context.Background()
+
+	r1, err := c.Reclaim(ctx, src, &server.ReclaimOptions{Strategy: "hybrid"})
+	if err != nil {
+		t.Fatalf("hybrid reclaim: %v", err)
+	}
+	if r1.Cached {
+		t.Fatal("cold hybrid query reported a cache hit")
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	if v := m[`gentd_discovery_candidates_total{strategy="syntactic"}`]; v < 1 {
+		t.Errorf("syntactic candidate counter = %g, want >= 1", v)
+	}
+	if v := m[`gentd_discovery_candidates_total{strategy="semantic"}`]; v < 1 {
+		t.Errorf("semantic candidate counter = %g, want >= 1", v)
+	}
+
+	// An unknown strategy never reaches the pipeline (or the cache).
+	if _, err := c.Reclaim(ctx, src, &server.ReclaimOptions{Strategy: "telepathic"}); err == nil {
+		t.Fatal("unknown strategy accepted")
+	} else if !strings.Contains(err.Error(), "telepathic") {
+		t.Fatalf("unknown-strategy error does not name the input: %v", err)
+	}
+
+	// Explicit "syntactic" asks the default question: it must share the
+	// default's cache entry, while "hybrid" keyed separately above.
+	if _, err := c.Reclaim(ctx, src, nil); err != nil {
+		t.Fatalf("default reclaim: %v", err)
+	}
+	rs, err := c.Reclaim(ctx, src, &server.ReclaimOptions{Strategy: "syntactic"})
+	if err != nil {
+		t.Fatalf("explicit syntactic reclaim: %v", err)
+	}
+	if !rs.Cached {
+		t.Error(`explicit "syntactic" did not share the default's cache entry`)
+	}
+	rh, err := c.Reclaim(ctx, src, &server.ReclaimOptions{Strategy: "hybrid"})
+	if err != nil {
+		t.Fatalf("warm hybrid reclaim: %v", err)
+	}
+	if !rh.Cached {
+		t.Error("repeated hybrid query not served from the cache")
+	}
+}
